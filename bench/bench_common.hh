@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared plumbing for the experiment-reproduction binaries.
+ *
+ * Each bench binary regenerates one table or figure from the paper.
+ * By default they run in a reduced configuration (fewer invocations
+ * and iterations) so the full set completes in minutes; pass --full
+ * for the paper's methodology (5 iterations timing the last, 10
+ * invocations, 95 % confidence intervals).
+ */
+
+#ifndef CAPO_BENCH_BENCH_COMMON_HH
+#define CAPO_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "harness/runner.hh"
+#include "support/flags.hh"
+#include "support/strfmt.hh"
+#include "support/table.hh"
+
+namespace capo::bench {
+
+/** Standard flags shared by every reproduction binary. */
+inline support::Flags
+standardFlags(const std::string &description)
+{
+    support::Flags flags(description);
+    flags.addBool("full", false,
+                  "use the paper's full methodology (10 invocations, "
+                  "5 iterations) instead of the quick configuration");
+    flags.addInt("invocations", 0,
+                 "override the number of invocations (0 = preset)");
+    flags.addInt("iterations", 0,
+                 "override the number of iterations (0 = preset)");
+    flags.addInt("seed", 0x5eed, "base random seed");
+    return flags;
+}
+
+/** Experiment options derived from the standard flags. */
+inline harness::ExperimentOptions
+optionsFromFlags(const support::Flags &flags, int quick_invocations = 3,
+                 int quick_iterations = 3)
+{
+    harness::ExperimentOptions options;
+    if (flags.getBool("full")) {
+        options.invocations = 10;
+        options.iterations = 5;
+    } else {
+        options.invocations = quick_invocations;
+        options.iterations = quick_iterations;
+    }
+    if (flags.getInt("invocations") > 0)
+        options.invocations = static_cast<int>(flags.getInt("invocations"));
+    if (flags.getInt("iterations") > 0)
+        options.iterations = static_cast<int>(flags.getInt("iterations"));
+    options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    return options;
+}
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "# " << title << "\n# (reproduces " << paper_ref
+              << " of 'Rethinking Java Performance Analysis', "
+                 "ASPLOS'25)\n\n";
+}
+
+/** Format an LBO overhead value ("1.153"). */
+inline std::string
+overhead(double value)
+{
+    return support::fixed(value, 3);
+}
+
+/** Format a latency in ms with three significant figures. */
+inline std::string
+latencyMs(double ns)
+{
+    return support::fixed(ns / 1e6, 3);
+}
+
+} // namespace capo::bench
+
+#endif // CAPO_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 6: user-experienced latency for h2 (100,000 TPC-C-like
+ * requests), simple and metered (full smoothing) at 2x and 6x heap.
+ * The paper's four questions about this figure are answered by the
+ * combination of h2's nominal statistics (large GMD, low GTO, high
+ * GCM) and its LBO curves.
+ */
+
+#include "bench/latency_figure.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Figure 6: h2 user-experienced latency distributions");
+    flags.parse(argc, argv);
+
+    bench::banner("h2 request-latency distributions", "Figure 6(a-d)");
+    bench::latencyFigure(workloads::byName("h2"),
+                         bench::optionsFromFlags(flags, 1, 3));
+
+    std::cout <<
+        "\nPaper reference: metered ~= simple for h2 (few, productive\n"
+        "GCs); the latency-oriented collectors perform *worse* than\n"
+        "Parallel/G1 because their concurrent work consumes roughly\n"
+        "half the CPU, slowing every query.\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Appendix latency figures (Figures 15, 24, 29, 34, 39, 44, ...):
+ * simple and metered latency distributions for all nine
+ * latency-sensitive workloads at 2x and 6x heap.
+ */
+
+#include "bench/latency_figure.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Appendix: latency distributions for all nine "
+        "latency-sensitive workloads");
+    flags.parse(argc, argv);
+
+    bench::banner("Per-workload latency distributions",
+                  "appendix Figures 15, 24, 29, 34, 39, 44, ...");
+
+    const auto options = bench::optionsFromFlags(flags, 1, 2);
+
+    std::vector<std::string> selection = flags.positionals();
+    if (selection.empty()) {
+        for (const auto *workload : workloads::latencySensitive())
+            selection.push_back(workload->name);
+    }
+
+    for (const auto &name : selection) {
+        std::cerr << "  measuring " << name << "...\n";
+        std::cout << "\n# ---- " << name << " ----\n";
+        bench::latencyFigure(workloads::byName(name), options);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Appendix LBO figures (Figures 7, 9, 11, ...): per-benchmark lower
+ * bounds on collector overheads (wall clock and task clock) as a
+ * function of heap size, for every workload in the suite.
+ */
+
+#include "bench/bench_common.hh"
+#include "harness/lbo_experiment.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Appendix: per-benchmark LBO curves");
+    flags.parse(argc, argv);
+
+    bench::banner("Per-benchmark LBO overheads",
+                  "appendix Figures 7, 9, 11, ...");
+
+    harness::LboSweepOptions sweep;
+    sweep.factors = {1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+    sweep.base = bench::optionsFromFlags(flags, 2, 2);
+
+    std::vector<std::string> selection = flags.positionals();
+    if (selection.empty())
+        selection = workloads::names();
+
+    for (const auto &name : selection) {
+        const auto &workload = workloads::byName(name);
+        std::cerr << "  sweeping " << name << "...\n";
+        const auto result = harness::runLboSweep(workload, sweep);
+
+        std::cout << "\n## " << name << " (min heap "
+                  << support::fixed(workload.gc.gmd_mb, 0) << " MB)\n";
+        support::TextTable table;
+        std::vector<std::string> header = {"collector", "axis"};
+        for (double f : sweep.factors)
+            header.push_back(support::fixed(f, 1) + "x");
+        std::vector<support::TextTable::Align> aligns(
+            header.size(), support::TextTable::Align::Right);
+        aligns[0] = support::TextTable::Align::Left;
+        aligns[1] = support::TextTable::Align::Left;
+        table.columns(header, aligns);
+
+        for (auto algorithm : sweep.collectors) {
+            const std::string collector = gc::algorithmName(algorithm);
+            for (const char *axis : {"wall", "cpu"}) {
+                std::vector<std::string> row = {collector, axis};
+                for (double f : sweep.factors) {
+                    if (!result.completedAt(collector, f)) {
+                        row.push_back("-");
+                        continue;
+                    }
+                    const auto o =
+                        result.analysis.overhead(collector, f);
+                    row.push_back(bench::overhead(
+                        std::string(axis) == "wall" ? o.wall : o.cpu));
+                }
+                table.row(row);
+            }
+            table.separator();
+        }
+        table.render(std::cout);
+    }
+    return 0;
+}

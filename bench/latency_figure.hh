@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared driver for the latency figures (Figures 3, 6 and the
+ * appendix latency plots): runs one latency-sensitive workload under
+ * every production collector at the requested heap factors, and
+ * prints simple and metered percentile curves per panel.
+ */
+
+#ifndef CAPO_BENCH_LATENCY_FIGURE_HH
+#define CAPO_BENCH_LATENCY_FIGURE_HH
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.hh"
+#include "support/ascii_chart.hh"
+#include "metrics/latency.hh"
+#include "metrics/request_synth.hh"
+#include "support/rng.hh"
+
+namespace capo::bench {
+
+/** One collector's synthesized request log for a configuration. */
+struct LatencyRun
+{
+    bool ok = false;
+    metrics::LatencyRecorder requests;
+};
+
+/** Run one (workload, collector, factor) and synthesize requests. */
+inline LatencyRun
+runLatency(const workloads::Descriptor &workload,
+           gc::Algorithm algorithm, double factor,
+           harness::ExperimentOptions options)
+{
+    options.trace_rate = true;
+    options.invocations = 1;
+    harness::Runner runner(options);
+    const auto set = runner.run(workload, algorithm, factor);
+    LatencyRun out;
+    if (!set.allCompleted())
+        return out;
+    const auto &run = set.runs.front();
+    const auto &timed = run.iterations.back();
+    out.requests = metrics::synthesizeRequests(
+        run.rate_timeline, run.baseline_rate, workload.requests,
+        timed.wall_begin, timed.wall_end,
+        support::Rng(options.base_seed ^ 0xfacade));
+    out.ok = true;
+    return out;
+}
+
+/** Percentile labels matching the paper's x axis. */
+inline std::vector<std::string>
+percentileLabels()
+{
+    return {"0", "50", "90", "99", "99.9", "99.99", "99.999",
+            "99.9999"};
+}
+
+/**
+ * Print one panel: request-latency percentiles (ms) for every
+ * collector, for the chosen metric.
+ *
+ * @param window_ns Metered smoothing window; < 0 selects simple
+ *        latency, 0 selects full smoothing.
+ */
+inline void
+latencyPanel(const std::string &title,
+             const std::map<std::string, LatencyRun> &runs,
+             double window_ns)
+{
+    std::cout << "\n## " << title << "\n";
+    support::TextTable table;
+    const auto labels = percentileLabels();
+    std::vector<std::string> header = {"percentile"};
+    header.insert(header.end(), labels.begin(), labels.end());
+    std::vector<support::TextTable::Align> aligns(
+        header.size(), support::TextTable::Align::Right);
+    aligns[0] = support::TextTable::Align::Left;
+    table.columns(header, aligns);
+
+    support::AsciiChart chart(64, 14);
+    chart.setLogY(true);
+    chart.setXLabel("percentile (index)");
+    chart.setYLabel("request latency (ms)");
+
+    for (const auto &[name, run] : runs) {
+        std::vector<std::string> row = {name};
+        if (!run.ok) {
+            row.insert(row.end(), labels.size(), "-");
+            table.row(row);
+            continue;
+        }
+        const auto latencies = window_ns < 0.0
+            ? run.requests.simpleLatencies()
+            : run.requests.meteredLatencies(window_ns);
+        const auto curve = metrics::percentileCurve(latencies);
+        std::vector<std::pair<double, double>> pts;
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            row.push_back(latencyMs(curve[i].second));
+            pts.emplace_back(static_cast<double>(i),
+                             curve[i].second / 1e6);
+        }
+        chart.addSeries(name, std::move(pts));
+        table.row(row);
+    }
+    table.render(std::cout);
+    std::cout << chart.render();
+}
+
+/** Produce the full figure for one workload (all panels). */
+inline void
+latencyFigure(const workloads::Descriptor &workload,
+              const harness::ExperimentOptions &options,
+              const std::vector<double> &factors = {2.0, 6.0})
+{
+    for (double factor : factors) {
+        std::map<std::string, LatencyRun> runs;
+        for (auto algorithm : gc::productionCollectors()) {
+            runs[gc::algorithmName(algorithm)] =
+                runLatency(workload, algorithm, factor, options);
+        }
+        const std::string at =
+            workload.name + ", " + support::fixed(factor, 1) + "x heap (" +
+            support::fixed(workload.gc.gmd_mb * factor, 0) + " MB)";
+        latencyPanel("Simple latency, " + at + " [ms]", runs, -1.0);
+        latencyPanel("Metered latency (100 ms smoothing), " + at +
+                         " [ms]",
+                     runs, 100e6);
+        latencyPanel("Metered latency (full smoothing), " + at + " [ms]",
+                     runs, 0.0);
+    }
+}
+
+} // namespace capo::bench
+
+#endif // CAPO_BENCH_LATENCY_FIGURE_HH

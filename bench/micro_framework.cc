@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Microbenchmarks of the framework itself (google-benchmark): the
+ * paper stresses that recording latency events must be cheap and that
+ * characterization is computationally non-trivial; these benchmarks
+ * quantify the cost of capo's hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "metrics/latency.hh"
+#include "metrics/mmu.hh"
+#include "metrics/request_synth.hh"
+#include "sim/engine.hh"
+#include "stats/pca.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace capo;
+
+/** Cost of recording one latency event (the "careful engineering
+ *  ensures that the cost of recording these measurements is low"
+ *  claim). */
+void
+BM_LatencyRecord(benchmark::State &state)
+{
+    metrics::LatencyRecorder rec;
+    rec.reserve(1 << 20);
+    double t = 0.0;
+    for (auto _ : state) {
+        rec.record(t, t + 1.0);
+        t += 1.0;
+        benchmark::DoNotOptimize(rec.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyRecord);
+
+/** Metered-latency transform over n events. */
+void
+BM_MeteredLatency(benchmark::State &state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    support::Rng rng(1);
+    metrics::LatencyRecorder rec;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        t += rng.exponential(1000.0);
+        rec.record(t, t + rng.exponential(500.0));
+    }
+    for (auto _ : state) {
+        auto metered = rec.meteredLatencies(100e6);
+        benchmark::DoNotOptimize(metered.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MeteredLatency)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/** MMU queries over a large pause log. */
+void
+BM_MmuQuery(benchmark::State &state)
+{
+    support::Rng rng(2);
+    std::vector<std::pair<double, double>> pauses;
+    double t = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        t += rng.exponential(1e6);
+        const double end = t + rng.exponential(1e5);
+        pauses.emplace_back(t, end);
+        t = end;
+    }
+    metrics::Mmu mmu(pauses, 0.0, t + 1e6);
+    double window = 1e3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mmu.at(window));
+        window = window < 1e9 ? window * 1.5 : 1e3;
+    }
+}
+BENCHMARK(BM_MmuQuery);
+
+/** Discrete-event engine throughput (events per second). */
+void
+BM_EngineEvents(benchmark::State &state)
+{
+    class Churn : public sim::Agent
+    {
+      public:
+        std::string_view name() const override { return "churn"; }
+        sim::Action
+        resume(sim::Engine &) override
+        {
+            return sim::Action::compute(10.0, 1.0 + step_++ % 3);
+        }
+
+      private:
+        int step_ = 0;
+    };
+
+    for (auto _ : state) {
+        sim::Engine engine(8.0);
+        std::vector<Churn> agents(8);
+        for (auto &agent : agents)
+            engine.addAgent(&agent);
+        engine.run(1e5);
+        benchmark::DoNotOptimize(engine.dispatchCount());
+        state.SetItemsProcessed(state.items_processed() +
+                                engine.dispatchCount());
+    }
+}
+BENCHMARK(BM_EngineEvents);
+
+/** Full-suite PCA (standardize + covariance + Jacobi). */
+void
+BM_SuitePca(benchmark::State &state)
+{
+    const auto table = stats::shippedStats();
+    for (auto _ : state) {
+        auto pca = stats::runPca(table, 4);
+        benchmark::DoNotOptimize(pca.variance_fraction.data());
+    }
+}
+BENCHMARK(BM_SuitePca);
+
+/** Request synthesis over a long rate timeline. */
+void
+BM_RequestSynthesis(benchmark::State &state)
+{
+    std::vector<sim::RateSegment> timeline;
+    support::Rng rng(3);
+    double t = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        const double next = t + rng.exponential(2e5);
+        timeline.push_back({t, next, i % 7 ? 1.0 : 0.0});
+        t = next;
+    }
+    workloads::RequestProfile profile;
+    profile.enabled = true;
+    profile.count = 100000;
+    profile.lanes = 16;
+    for (auto _ : state) {
+        auto rec = metrics::synthesizeRequests(timeline, 1.0, profile,
+                                               0.0, t,
+                                               support::Rng(4));
+        benchmark::DoNotOptimize(rec.size());
+    }
+    state.SetItemsProcessed(state.iterations() * profile.count);
+}
+BENCHMARK(BM_RequestSynthesis);
+
+} // namespace
+
+BENCHMARK_MAIN();

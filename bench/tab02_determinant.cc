@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 2: the twelve most PCA-determinant nominal statistics and
+ * their values for each of the 22 workloads — each cell showing the
+ * benchmark's rank (1 = largest) and the concrete value.
+ */
+
+#include "bench/bench_common.hh"
+#include "stats/pca.hh"
+
+using namespace capo;
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Table 2: most determinant nominal statistics per workload");
+    flags.addBool("paper-selection", true,
+                  "use the paper's Table 2 metric list; pass "
+                  "--paper-selection=false to use our own PCA ranking");
+    flags.parse(argc, argv);
+
+    bench::banner("Twelve most determinant nominal statistics",
+                  "Table 2");
+
+    const auto table = stats::shippedStats();
+
+    std::vector<stats::MetricId> metrics;
+    if (flags.getBool("paper-selection")) {
+        for (const char *code : {"GLK", "GMU", "PET", "PFS", "PKP",
+                                 "PWU", "UAA", "UAI", "UBP", "UBR",
+                                 "UBS", "USF"}) {
+            metrics.push_back(stats::metricFromCode(code));
+        }
+    } else {
+        const auto pca = stats::runPca(table, 4);
+        const auto ranked = pca.determinantMetrics(4);
+        metrics.assign(ranked.begin(),
+                       ranked.begin() + std::min<std::size_t>(
+                                            12, ranked.size()));
+    }
+
+    support::TextTable out;
+    std::vector<std::string> header = {"Benchmark"};
+    for (auto id : metrics)
+        header.push_back(stats::metricCode(id));
+    std::vector<support::TextTable::Align> aligns(
+        header.size(), support::TextTable::Align::Right);
+    aligns[0] = support::TextTable::Align::Left;
+    out.columns(header, aligns);
+
+    for (const auto &workload : table.workloads()) {
+        std::vector<std::string> rank_row = {workload};
+        std::vector<std::string> value_row = {""};
+        for (auto id : metrics) {
+            const auto value = table.get(workload, id);
+            if (!value) {
+                rank_row.push_back("-");
+                value_row.push_back("");
+                continue;
+            }
+            const auto rs = table.rankScore(workload, id);
+            rank_row.push_back(std::to_string(rs.rank));
+            value_row.push_back(support::general(*value, 4));
+        }
+        out.row(rank_row);
+        out.row(value_row);
+    }
+    out.render(std::cout);
+
+    std::cout << "\nEach benchmark cell: rank (top line; 1 = largest) "
+                 "and value (bottom line),\nas in the paper's Table "
+                 "2.\n";
+    return 0;
+}

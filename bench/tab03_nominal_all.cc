@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Appendix Tables 3-22: complete nominal statistics for each
+ * workload — DaCapo's `-p` output: Score, Value, Rank, and the
+ * suite-wide Min/Median/Max for every available metric, plus the
+ * workload's description.
+ */
+
+#include "bench/bench_common.hh"
+#include "stats/stat_table.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+namespace {
+
+void
+printWorkloadTable(const stats::StatTable &table,
+                   const workloads::Descriptor &workload)
+{
+    std::cout << "\n## " << workload.name
+              << (workload.is_new ? " (new in Chopin)" : "") << "\n"
+              << workload.summary << "\n\n";
+
+    support::TextTable out;
+    out.columns({"Metric", "Score", "Value", "Rank", "Min", "Median",
+                 "Max", "Description"},
+                {support::TextTable::Align::Left,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Left});
+    for (const auto &info : stats::catalog()) {
+        const auto value = table.get(workload.name, info.id);
+        if (!value)
+            continue;
+        const auto rs = table.rankScore(workload.name, info.id);
+        const auto range = table.range(info.id);
+        std::string desc = info.description;
+        if (desc.size() > 48)
+            desc = desc.substr(0, 45) + "...";
+        out.row({info.code, std::to_string(rs.score),
+                 support::general(*value, 4), std::to_string(rs.rank),
+                 support::general(range.min, 4),
+                 support::general(range.median, 4),
+                 support::general(range.max, 4), desc});
+    }
+    out.render(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Appendix: complete nominal statistics per workload (-p)");
+    flags.parse(argc, argv);
+
+    bench::banner("Complete nominal statistics (the -p output)",
+                  "appendix Tables 3-22");
+
+    const auto table = stats::shippedStats();
+    if (!flags.positionals().empty()) {
+        for (const auto &name : flags.positionals())
+            printWorkloadTable(table, workloads::byName(name));
+        return 0;
+    }
+    for (const auto &workload : workloads::suite())
+        printWorkloadTable(table, workload);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Section 6.4: architectural sensitivity. The paper analyzes four
+ * workloads through their microarchitectural nominal statistics —
+ * biojava and jython (high IPC, for different reasons) against h2o
+ * and xalan (low IPC, memory-bound) — and cross-checks with
+ * machine-knob sensitivity experiments (PMS, PLS, PFS). This binary
+ * reproduces that analysis: shipped profile, measured counters from a
+ * real (simulated) run, and measured sensitivity experiments.
+ */
+
+#include "bench/bench_common.hh"
+#include "counters/perf_session.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+namespace {
+
+const char *kFocus[] = {"biojava", "jython", "xalan", "h2o"};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Section 6.4: architectural sensitivity of four workloads");
+    flags.parse(argc, argv);
+
+    bench::banner("Architectural sensitivity case studies",
+                  "Section 6.4");
+
+    auto options = bench::optionsFromFlags(flags, 1, 2);
+    options.invocations = 1;
+    harness::Runner runner(options);
+
+    support::TextTable table;
+    table.columns({"workload", "IPC", "UDC", "ULL", "UDT", "USB",
+                   "USF", "UBS", "PMS%", "PLS%", "PFS%"},
+                  {support::TextTable::Align::Left,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right});
+
+    for (const char *name : kFocus) {
+        const auto &workload = workloads::byName(name);
+
+        // Measured counters from a run at 2x with the default G1.
+        const auto set = runner.run(workload, gc::Algorithm::G1, 2.0);
+        if (!set.allCompleted()) {
+            table.row({name, "-", "-", "-", "-", "-", "-", "-", "-",
+                       "-", "-"});
+            continue;
+        }
+        const auto counters = counters::readCounters(
+            set.runs.front(), workload, options.machine);
+
+        // Sensitivity experiments: slow memory, small LLC, boost.
+        auto timed = [&](counters::MachineConfig machine) {
+            harness::ExperimentOptions vary = options;
+            vary.machine = machine;
+            harness::Runner vary_runner(vary);
+            const auto runs =
+                vary_runner.run(workload, gc::Algorithm::G1, 2.0);
+            return runs.allCompleted()
+                ? runs.runs.front().timed.wall
+                : 0.0;
+        };
+        const double base_wall = set.runs.front().timed.wall;
+        counters::MachineConfig m;
+        m.slow_memory = true;
+        const double pms =
+            100.0 * (timed(m) / base_wall - 1.0);
+        m = counters::MachineConfig::baseline();
+        m.small_llc = true;
+        const double pls = 100.0 * (timed(m) / base_wall - 1.0);
+        m = counters::MachineConfig::baseline();
+        m.freq_boost = true;
+        const double pfs = 100.0 * (base_wall / timed(m) - 1.0);
+
+        table.row({name, support::fixed(counters.uip() / 100.0, 2),
+                   support::fixed(counters.udc(), 1),
+                   support::fixed(counters.ull(), 0),
+                   support::fixed(counters.udt(), 0),
+                   support::fixed(counters.usb(), 1),
+                   support::fixed(counters.usf(), 1),
+                   support::fixed(counters.ubp(), 1),
+                   support::fixed(pms, 1), support::fixed(pls, 1),
+                   support::fixed(pfs, 1)});
+    }
+    table.render(std::cout);
+
+    std::cout <<
+        "\nPaper reference (Section 6.4): biojava is compute-bound —\n"
+        "top IPC (4.76), lowest cache misses, frequency-sensitive but\n"
+        "memory-insensitive. jython's high IPC comes with heavy bad\n"
+        "speculation (interpreter loop). xalan and h2o sit at the\n"
+        "bottom of the IPC range with high cache/DTLB miss rates and\n"
+        "memory-speed sensitivity. (Counters blend in the collector's\n"
+        "memory-bound profile, so measured IPC sits slightly below the\n"
+        "pure-application UIP statistic.)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimum-heap determination (methodology recommendation H2 and the
+ * GMD/GMS/GML/GMU statistics): bisect the smallest heap in which each
+ * workload completes, per collector, and compare the G1 result with
+ * the shipped GMD.
+ */
+
+#include "bench/bench_common.hh"
+#include "harness/minheap.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Minimum heap per workload and collector (bisection)");
+    flags.parse(argc, argv);
+
+    bench::banner("Minimum heap sizes by collector",
+                  "Section 4.2 / the GMD statistic");
+
+    auto options = bench::optionsFromFlags(flags, 1, 2);
+
+    support::TextTable table;
+    std::vector<std::string> header = {"workload", "GMD (shipped)"};
+    for (auto algorithm : gc::productionCollectors())
+        header.push_back(gc::algorithmName(algorithm));
+    header.push_back("ZGC*/G1");
+    std::vector<support::TextTable::Align> aligns(
+        header.size(), support::TextTable::Align::Right);
+    aligns[0] = support::TextTable::Align::Left;
+    table.columns(header, aligns);
+
+    std::vector<std::string> selection = flags.positionals();
+    if (selection.empty())
+        selection = workloads::names();
+
+    for (const auto &name : selection) {
+        const auto &workload = workloads::byName(name);
+        std::cerr << "  bisecting " << name << "...\n";
+        std::vector<std::string> row = {
+            name, support::fixed(workload.gc.gmd_mb, 0) + " MB"};
+        double g1 = 0.0, zgc = 0.0;
+        for (auto algorithm : gc::productionCollectors()) {
+            const auto found =
+                harness::findMinHeapMb(workload, algorithm, options);
+            row.push_back(found.converged
+                              ? support::fixed(found.min_heap_mb, 1)
+                              : "?");
+            if (algorithm == gc::Algorithm::G1)
+                g1 = found.min_heap_mb;
+            if (algorithm == gc::Algorithm::Zgc)
+                zgc = found.min_heap_mb;
+        }
+        row.push_back(g1 > 0.0 ? support::fixed(zgc / g1, 2) : "-");
+        table.row(row);
+    }
+    table.render(std::cout);
+    std::cout << "\nZGC runs without compressed pointers, so its "
+                 "minimum heap exceeds G1's\nby roughly the workload's "
+                 "GMU/GMD ratio.\n";
+    return 0;
+}

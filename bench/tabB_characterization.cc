@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Integrated workload characterization (Section 5.1): re-measure the
+ * measurable nominal statistics from actual experiment runs —
+ * min-heap bisection, GC telemetry at 2x, sensitivity experiments,
+ * counter sessions — and compare against the shipped values, exactly
+ * the cross-check the DaCapo maintainers run when refreshing the
+ * stats folder.
+ */
+
+#include "bench/bench_common.hh"
+#include "harness/characterize.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+namespace {
+
+using stats::MetricId;
+
+/** The measured metrics worth comparing side by side. */
+const MetricId kCompared[] = {
+    MetricId::GMD, MetricId::GMU, MetricId::GCC, MetricId::GCA,
+    MetricId::GCM, MetricId::GCP, MetricId::GTO, MetricId::GSS,
+    MetricId::PET, MetricId::PWU, MetricId::PSD, MetricId::PMS,
+    MetricId::PLS, MetricId::PIN, MetricId::PPE, MetricId::UIP,
+    MetricId::PKP,
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto flags = bench::standardFlags(
+        "Section 5.1: measured vs shipped nominal statistics");
+    flags.parse(argc, argv);
+
+    bench::banner("Integrated workload characterization",
+                  "Section 5.1 (the stats folder)");
+
+    harness::CharacterizeOptions options;
+    options.base = bench::optionsFromFlags(flags, 1, 2);
+    options.base.invocations = 1;
+    options.psd_invocations = 3;
+    options.warmup_iterations = 8;
+
+    std::vector<std::string> selection = flags.positionals();
+    if (selection.empty())
+        selection = {"fop", "lusearch", "h2", "cassandra", "xalan"};
+
+    const auto shipped = stats::shippedStats();
+
+    for (const auto &name : selection) {
+        std::cerr << "  characterizing " << name << "...\n";
+        const auto &workload = workloads::byName(name);
+        stats::StatTable measured;
+        harness::measureWorkloadStats(workload, options, measured);
+
+        std::cout << "\n## " << name << "\n";
+        support::TextTable table;
+        table.columns({"metric", "shipped", "measured", "ratio"},
+                      {support::TextTable::Align::Left,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right});
+        for (auto id : kCompared) {
+            const auto ship = shipped.get(name, id);
+            const auto meas = measured.get(name, id);
+            table.row(
+                {stats::metricCode(id),
+                 ship ? support::general(*ship, 4) : "-",
+                 meas ? support::general(*meas, 4) : "-",
+                 (ship && meas && *ship != 0.0)
+                     ? support::fixed(*meas / *ship, 2)
+                     : "-"});
+        }
+        table.render(std::cout);
+    }
+
+    std::cout <<
+        "\nShipped values come from the paper's appendix; measured "
+        "values from\ncapo's own experiment machinery. Ratios near 1 "
+        "confirm the simulated\nsuite behaves like its published "
+        "characterization (see EXPERIMENTS.md\nfor expected "
+        "deviations).\n";
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * A DaCapo-style command line for the simulated suite:
+ *
+ *   $ dacapo lusearch -n 5 --gc g1 --heap-factor 2
+ *   $ dacapo h2 -p                # print nominal statistics and exit
+ *   $ dacapo cassandra --latency-csv out.csv
+ *
+ * Mirrors the harness conventions the paper describes: n iterations
+ * with the last one timed, a PASSED line with the timed duration, and
+ * the `-p` flag for the per-workload nominal-statistics report.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "metrics/export.hh"
+#include "runtime/gc_log.hh"
+#include "metrics/request_synth.hh"
+#include "stats/stat_table.hh"
+#include "support/flags.hh"
+#include "support/logging.hh"
+#include "support/strfmt.hh"
+#include "support/table.hh"
+#include "workloads/plans.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+namespace {
+
+void
+printNominalStats(const workloads::Descriptor &workload)
+{
+    const auto table = stats::shippedStats();
+    std::cout << workload.name << ": " << workload.summary << "\n\n";
+    support::TextTable out;
+    out.columns({"Metric", "Score", "Value", "Rank", "Description"},
+                {support::TextTable::Align::Left,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Right,
+                 support::TextTable::Align::Left});
+    for (const auto &info : stats::catalog()) {
+        const auto value = table.get(workload.name, info.id);
+        if (!value)
+            continue;
+        const auto rs = table.rankScore(workload.name, info.id);
+        std::string desc = info.description;
+        if (desc.size() > 52)
+            desc = desc.substr(0, 49) + "...";
+        out.row({info.code, std::to_string(rs.score),
+                 support::general(*value, 4), std::to_string(rs.rank),
+                 desc});
+    }
+    out.render(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::Flags flags("dacapo-style runner for the simulated suite");
+    flags.addInt("n", 5, "iterations (the last is timed)");
+    flags.addString("gc", "g1", "collector");
+    flags.addDouble("heap-factor", 2.0,
+                    "heap as a multiple of the minimum (GMD)");
+    flags.addDouble("heap-mb", 0.0, "explicit -Xmx in MB (overrides "
+                                    "--heap-factor)");
+    flags.addString("size", "default",
+                    "input size: small | default | large | vlarge");
+    flags.addBool("p", false, "print nominal statistics and exit");
+    flags.addString("latency-csv", "",
+                    "save raw request latencies to this CSV file");
+    flags.addBool("verbose-gc", false,
+                  "print an -Xlog:gc style collector log");
+    flags.addInt("seed", 0x5eed, "random seed");
+    flags.parse(argc, argv);
+
+    if (flags.positionals().size() != 1) {
+        std::cerr << "usage: dacapo <benchmark> [flags]\nbenchmarks:";
+        for (const auto &name : workloads::names())
+            std::cerr << ' ' << name;
+        std::cerr << "\n";
+        return 2;
+    }
+    const auto &workload = workloads::byName(flags.positionals()[0]);
+
+    if (flags.getBool("p")) {
+        printNominalStats(workload);
+        return 0;
+    }
+
+    harness::ExperimentOptions options;
+    options.iterations = static_cast<int>(flags.getInt("n"));
+    options.invocations = 1;
+    options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    options.trace_rate = workload.latency_sensitive;
+
+    const std::string size = flags.getString("size");
+    options.size = size == "small" ? workloads::SizeConfig::Small
+        : size == "large"          ? workloads::SizeConfig::Large
+        : size == "vlarge"         ? workloads::SizeConfig::VLarge
+                                   : workloads::SizeConfig::Default;
+    if (!workloads::sizeAvailable(workload, options.size))
+        support::fatal(workload.name, " has no ", size, " size");
+
+    const auto algorithm = gc::algorithmFromName(flags.getString("gc"));
+    harness::Runner runner(options);
+
+    std::cout << "===== DaCapo-sim " << workload.name << " starting ("
+              << size << ", " << gc::algorithmName(algorithm)
+              << ") =====\n";
+
+    const auto set =
+        flags.getDouble("heap-mb") > 0.0
+            ? runner.runAtHeapMb(workload, algorithm,
+                                 flags.getDouble("heap-mb"))
+            : runner.run(workload, algorithm,
+                         flags.getDouble("heap-factor"));
+    const auto &run = set.runs.front();
+
+    for (std::size_t i = 0; i < run.iterations.size(); ++i) {
+        std::cout << "===== DaCapo-sim " << workload.name
+                  << " iteration " << i + 1 << " in "
+                  << support::fixed(run.iterations[i].wall() / 1e6, 0)
+                  << " msec =====\n";
+    }
+
+    if (!run.usable()) {
+        std::cout << "===== DaCapo-sim " << workload.name
+                  << " FAILED ("
+                  << (run.oom ? "OutOfMemoryError" : "timeout")
+                  << ") =====\n";
+        return 1;
+    }
+
+    if (flags.getBool("verbose-gc")) {
+        const double capacity =
+            (flags.getDouble("heap-mb") > 0.0
+                 ? flags.getDouble("heap-mb")
+                 : flags.getDouble("heap-factor") * workload.gc.gmd_mb) *
+            1024.0 * 1024.0;
+        runtime::formatGcLog(run.log, capacity, std::cout);
+    }
+
+    std::cout << "===== DaCapo-sim " << workload.name << " PASSED in "
+              << support::fixed(run.timed.wall / 1e6, 0)
+              << " msec =====\n";
+
+    if (workload.latency_sensitive) {
+        const auto &timed = run.iterations.back();
+        const auto requests = metrics::synthesizeRequests(
+            run.rate_timeline, run.baseline_rate, workload.requests,
+            timed.wall_begin, timed.wall_end,
+            support::Rng(options.base_seed));
+        auto simple = requests.simpleLatencies();
+        auto metered = requests.meteredLatencies(100e6);
+        std::cout << "===== DaCapo-sim simple latency: p50 "
+                  << support::fixed(metrics::quantile(simple, 0.5) / 1e3,
+                                    0)
+                  << " usec, p99.9 "
+                  << support::fixed(
+                         metrics::quantile(simple, 0.999) / 1e3, 0)
+                  << " usec =====\n"
+                  << "===== DaCapo-sim metered latency (100ms): p50 "
+                  << support::fixed(metrics::quantile(metered, 0.5) / 1e3,
+                                    0)
+                  << " usec, p99.9 "
+                  << support::fixed(
+                         metrics::quantile(metered, 0.999) / 1e3, 0)
+                  << " usec =====\n";
+
+        const std::string csv = flags.getString("latency-csv");
+        if (!csv.empty()) {
+            metrics::writeCsvFile(csv, [&](std::ostream &out) {
+                metrics::exportLatencyCsv(requests, 100e6, out);
+            });
+            std::cout << "saved raw latency data to " << csv << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * runbms: execute an experiment definition file, the way the paper's
+ * artifact drives running-ng ("running runbms ./results
+ * ./experiments/lbo.yml"). Results print as tables and, with
+ * --csv <dir>, also land as CSV files for offline analysis.
+ *
+ *   $ runbms myplan.capo [--csv results/]
+ *
+ * Example definition (see harness/plan_file.hh for the format):
+ *
+ *     experiment   = lbo
+ *     workloads    = lusearch, cassandra
+ *     collectors   = production
+ *     heap_factors = 1.5, 2, 3, 6
+ *     invocations  = 3
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "harness/lbo_experiment.hh"
+#include "harness/minheap.hh"
+#include "harness/plan_file.hh"
+#include "metrics/export.hh"
+#include "metrics/request_synth.hh"
+#include "support/flags.hh"
+#include "support/strfmt.hh"
+#include "support/table.hh"
+#include "workloads/registry.hh"
+
+using namespace capo;
+
+namespace {
+
+void
+runLbo(const harness::ExperimentPlan &plan, const std::string &csv_dir)
+{
+    harness::LboSweepOptions sweep;
+    sweep.factors = plan.heap_factors;
+    sweep.collectors = plan.collectors;
+    sweep.base = plan.options;
+
+    for (const auto &name : plan.workloads) {
+        std::cerr << "  lbo sweep: " << name << "\n";
+        const auto result =
+            harness::runLboSweep(workloads::byName(name), sweep);
+
+        std::cout << "\n## " << name << " (wall / cpu LBO)\n";
+        support::TextTable table;
+        std::vector<std::string> header = {"collector"};
+        for (double f : sweep.factors)
+            header.push_back(support::fixed(f, 2) + "x");
+        std::vector<support::TextTable::Align> aligns(
+            header.size(), support::TextTable::Align::Right);
+        aligns[0] = support::TextTable::Align::Left;
+        table.columns(header, aligns);
+        for (auto algorithm : sweep.collectors) {
+            const std::string collector = gc::algorithmName(algorithm);
+            std::vector<std::string> row = {collector};
+            for (double f : sweep.factors) {
+                if (!result.completedAt(collector, f)) {
+                    row.push_back("DNF");
+                    continue;
+                }
+                const auto o = result.analysis.overhead(collector, f);
+                row.push_back(support::fixed(o.wall, 2) + "/" +
+                              support::fixed(o.cpu, 2));
+            }
+            table.row(row);
+        }
+        table.render(std::cout);
+
+        if (!csv_dir.empty()) {
+            metrics::writeCsvFile(
+                csv_dir + "/lbo_" + name + ".csv",
+                [&](std::ostream &out) {
+                    metrics::exportLboCsv(result.analysis, out);
+                });
+        }
+    }
+}
+
+void
+runLatency(const harness::ExperimentPlan &plan,
+           const std::string &csv_dir)
+{
+    harness::ExperimentOptions options = plan.options;
+    options.invocations = 1;
+    options.trace_rate = true;
+    harness::Runner runner(options);
+
+    for (const auto &name : plan.workloads) {
+        const auto &workload = workloads::byName(name);
+        for (double factor : plan.heap_factors) {
+            std::cout << "\n## " << name << " at "
+                      << support::fixed(factor, 1) << "x [ms]\n";
+            support::TextTable table;
+            table.columns({"collector", "p50", "p99", "p99.9",
+                           "p50(met)", "p99.9(met)"},
+                          {support::TextTable::Align::Left,
+                           support::TextTable::Align::Right,
+                           support::TextTable::Align::Right,
+                           support::TextTable::Align::Right,
+                           support::TextTable::Align::Right,
+                           support::TextTable::Align::Right});
+            for (auto algorithm : plan.collectors) {
+                const auto set = runner.run(workload, algorithm, factor);
+                if (!set.allCompleted()) {
+                    table.row({gc::algorithmName(algorithm), "DNF", "-",
+                               "-", "-", "-"});
+                    continue;
+                }
+                const auto &run = set.runs.front();
+                const auto &timed = run.iterations.back();
+                const auto requests = metrics::synthesizeRequests(
+                    run.rate_timeline, run.baseline_rate,
+                    workload.requests, timed.wall_begin, timed.wall_end,
+                    support::Rng(options.base_seed));
+                auto simple = requests.simpleLatencies();
+                auto metered = requests.meteredLatencies(100e6);
+                table.row({gc::algorithmName(algorithm),
+                           support::fixed(
+                               metrics::quantile(simple, 0.5) / 1e6, 3),
+                           support::fixed(
+                               metrics::quantile(simple, 0.99) / 1e6, 3),
+                           support::fixed(
+                               metrics::quantile(simple, 0.999) / 1e6, 3),
+                           support::fixed(
+                               metrics::quantile(metered, 0.5) / 1e6, 3),
+                           support::fixed(
+                               metrics::quantile(metered, 0.999) / 1e6,
+                               3)});
+
+                if (!csv_dir.empty()) {
+                    metrics::writeCsvFile(
+                        csv_dir + "/latency_" + name + "_" +
+                            gc::algorithmName(algorithm) + "_" +
+                            support::fixed(factor, 1) + "x.csv",
+                        [&](std::ostream &out) {
+                            metrics::exportLatencyCsv(requests, 100e6,
+                                                      out);
+                        });
+                }
+            }
+            table.render(std::cout);
+        }
+    }
+}
+
+void
+runMinHeap(const harness::ExperimentPlan &plan,
+           const std::string &csv_dir)
+{
+    support::TextTable table;
+    std::vector<std::string> header = {"workload"};
+    for (auto algorithm : plan.collectors)
+        header.push_back(gc::algorithmName(algorithm));
+    std::vector<support::TextTable::Align> aligns(
+        header.size(), support::TextTable::Align::Right);
+    aligns[0] = support::TextTable::Align::Left;
+    table.columns(header, aligns);
+
+    std::string csv_rows = "workload,collector,min_heap_mb\n";
+    for (const auto &name : plan.workloads) {
+        std::cerr << "  minheap: " << name << "\n";
+        std::vector<std::string> row = {name};
+        for (auto algorithm : plan.collectors) {
+            const auto found = harness::findMinHeapMb(
+                workloads::byName(name), algorithm, plan.options);
+            row.push_back(support::fixed(found.min_heap_mb, 1));
+            csv_rows += name;
+            csv_rows += ",";
+            csv_rows += gc::algorithmName(algorithm);
+            csv_rows += ",";
+            csv_rows += support::fixed(found.min_heap_mb, 2) + "\n";
+        }
+        table.row(row);
+    }
+    table.render(std::cout);
+
+    if (!csv_dir.empty()) {
+        metrics::writeCsvFile(csv_dir + "/minheap.csv",
+                              [&](std::ostream &out) { out << csv_rows; });
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::Flags flags("capo runbms: execute an experiment "
+                         "definition file (running-ng equivalent)");
+    flags.addString("csv", "", "directory for CSV result files "
+                               "(must exist; empty = tables only)");
+    flags.parse(argc, argv);
+
+    if (flags.positionals().size() != 1) {
+        std::cerr << "usage: runbms <plan-file> [--csv dir]\n";
+        return 2;
+    }
+    const auto plan = harness::loadPlan(flags.positionals()[0]);
+    std::cout << "# runbms: " << harness::planKindName(plan.kind)
+              << " over " << plan.workloads.size() << " workload(s), "
+              << plan.collectors.size() << " collector(s)\n";
+
+    const std::string csv_dir = flags.getString("csv");
+    switch (plan.kind) {
+      case harness::ExperimentPlan::Kind::Lbo:
+        runLbo(plan, csv_dir);
+        break;
+      case harness::ExperimentPlan::Kind::Latency:
+        runLatency(plan, csv_dir);
+        break;
+      case harness::ExperimentPlan::Kind::MinHeap:
+        runMinHeap(plan, csv_dir);
+        break;
+    }
+    return 0;
+}

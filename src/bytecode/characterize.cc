@@ -1,0 +1,80 @@
+#include "bytecode/characterize.hh"
+
+#include <algorithm>
+
+#include "metrics/summary.hh"
+#include "support/logging.hh"
+
+namespace capo::bytecode {
+
+BytecodeStats
+characterizeBytecode(const workloads::Descriptor &workload,
+                     const CharacterizeOptions &options)
+{
+    CAPO_ASSERT(workloads::available(workload.bytecode.bub),
+                workload.name,
+                " does not support bytecode instrumentation");
+
+    const auto profile = Program::profileFor(workload);
+    support::Rng rng(options.seed);
+    const auto program = Program::synthesize(profile, rng.fork(1));
+
+    const auto sizes = ObjectSizeModel::forWorkload(workload);
+    Interpreter interpreter(program, sizes, rng.fork(2));
+    auto report = interpreter.run(options.instruction_budget);
+
+    // Simulated wall time of this instruction stream on the
+    // reference machine (usec): per-thread IPC x clock x effective
+    // parallelism, matching the normalization in profileFor().
+    const double instr_per_usec = workload.uarch.uip / 100.0 * 4500.0 *
+                                  workload.effectiveParallelism();
+    const double usec =
+        static_cast<double>(report.instructions) / instr_per_usec;
+
+    BytecodeStats stats;
+    stats.bal = report.count(Opcode::AALoad) / usec;
+    stats.bas = report.count(Opcode::AAStore) / usec;
+    stats.bgf = report.count(Opcode::GetField) / usec;
+    stats.bpf = report.count(Opcode::PutField) / usec;
+    stats.bub = static_cast<double>(report.unique_instructions) / 1000.0;
+    stats.buf = static_cast<double>(report.unique_methods) / 1000.0;
+    // Invert the profile's BEF -> hot-fraction mapping.
+    stats.bef = std::max(1.0, (report.hotFraction() - 0.40) * 32.0);
+
+    stats.ara = report.bytes_allocated / usec;
+    if (!report.size_sample.empty()) {
+        auto sample = report.size_sample;
+        std::sort(sample.begin(), sample.end());
+        stats.aos = metrics::quantileSorted(sample, 0.10);
+        stats.aom = metrics::quantileSorted(sample, 0.50);
+        stats.aol = metrics::quantileSorted(sample, 0.90);
+        // Mean from the exact totals: reservoir means are unstable
+        // under the heavy-tailed size distributions (luindex).
+        stats.aoa = report.bytes_allocated /
+                    static_cast<double>(report.objects_allocated);
+    }
+    stats.report = std::move(report);
+    return stats;
+}
+
+void
+fillBytecodeStats(const workloads::Descriptor &workload,
+                  const BytecodeStats &measured, stats::StatTable &out)
+{
+    using stats::MetricId;
+    const auto &w = workload.name;
+    out.set(w, MetricId::AOA, measured.aoa);
+    out.set(w, MetricId::AOL, measured.aol);
+    out.set(w, MetricId::AOM, measured.aom);
+    out.set(w, MetricId::AOS, measured.aos);
+    out.set(w, MetricId::ARA, measured.ara);
+    out.set(w, MetricId::BAL, measured.bal);
+    out.set(w, MetricId::BAS, measured.bas);
+    out.set(w, MetricId::BEF, measured.bef);
+    out.set(w, MetricId::BGF, measured.bgf);
+    out.set(w, MetricId::BPF, measured.bpf);
+    out.set(w, MetricId::BUB, measured.bub);
+    out.set(w, MetricId::BUF, measured.buf);
+}
+
+} // namespace capo::bytecode

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Computing the A- and B-group nominal statistics from instrumented
+ * execution — the pipeline the suite ships as its bytecode-
+ * instrumentation tools.
+ */
+
+#ifndef CAPO_BYTECODE_CHARACTERIZE_HH
+#define CAPO_BYTECODE_CHARACTERIZE_HH
+
+#include <cstdint>
+
+#include "bytecode/interpreter.hh"
+#include "stats/stat_table.hh"
+
+namespace capo::bytecode {
+
+/** Options for a characterization execution. */
+struct CharacterizeOptions
+{
+    std::uint64_t instruction_budget = 20'000'000;
+    std::uint64_t seed = 0xb17ec0de;
+};
+
+/** The measured A/B statistics for one workload. */
+struct BytecodeStats
+{
+    double aoa = 0.0, aol = 0.0, aom = 0.0, aos = 0.0, ara = 0.0;
+    double bal = 0.0, bas = 0.0, bgf = 0.0, bpf = 0.0;
+    double bef = 0.0, bub = 0.0, buf = 0.0;
+
+    /** The raw report the statistics were derived from. */
+    InstrumentationReport report;
+};
+
+/**
+ * Synthesize the workload's program, execute it under instrumentation
+ * and derive the A/B statistics. Requires the workload to ship a
+ * bytecode profile (tradebeans/tradesoap do not — the same workloads
+ * the real instrumentation cannot run on).
+ */
+BytecodeStats characterizeBytecode(
+    const workloads::Descriptor &workload,
+    const CharacterizeOptions &options = {});
+
+/** Merge measured A/B statistics into a stat table. */
+void fillBytecodeStats(const workloads::Descriptor &workload,
+                       const BytecodeStats &measured,
+                       stats::StatTable &out);
+
+} // namespace capo::bytecode
+
+#endif // CAPO_BYTECODE_CHARACTERIZE_HH

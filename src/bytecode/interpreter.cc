@@ -1,0 +1,177 @@
+#include "bytecode/interpreter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::bytecode {
+
+namespace {
+
+constexpr std::size_t kMaxCallDepth = 16;
+constexpr std::size_t kSizeSampleCap = 32768;
+
+} // namespace
+
+ObjectSizeModel::ObjectSizeModel(double p10, double p50, double p90,
+                                 double mean)
+    : p10_(p10), p50_(p50), p90_(p90)
+{
+    CAPO_ASSERT(p10 >= min_ - 1e-9 && p10 <= p50 && p50 <= p90,
+                "object-size quantiles must be ordered");
+    // Segment means under piecewise-linear interpolation of the
+    // quantile function; the tail (top decile) absorbs the remainder
+    // of the published mean.
+    const double body = 0.10 * 0.5 * (min_ + p10) +
+                        0.40 * 0.5 * (p10 + p50) +
+                        0.40 * 0.5 * (p50 + p90);
+    const double tail_mean = (mean - body) / 0.10;
+    if (tail_mean <= p90 * 1.001) {
+        flat_tail_ = true;
+    } else {
+        // Uniform tail on [p90, 2*tail_mean - p90]: matches the
+        // published mean exactly and converges with thousands of
+        // samples, unlike a near-alpha-1 Pareto whose empirical mean
+        // needs millions of draws (luindex's 211-byte mean over an
+        // 88-byte p90 would otherwise never reproduce).
+        tail_max_ = 2.0 * tail_mean - p90;
+    }
+}
+
+ObjectSizeModel
+ObjectSizeModel::forWorkload(const workloads::Descriptor &workload)
+{
+    using workloads::available;
+    const auto &a = workload.alloc;
+    const double p10 = available(a.aos) ? a.aos : 16.0;
+    const double p50 = available(a.aom) ? std::max(a.aom, p10) : 32.0;
+    const double p90 = available(a.aol) ? std::max(a.aol, p50) : 64.0;
+    const double mean = available(a.aoa)
+        ? std::max(a.aoa, 0.3 * p50)
+        : 0.5 * (p50 + p90);
+    return ObjectSizeModel(p10, p50, p90, mean);
+}
+
+double
+ObjectSizeModel::sample(support::Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto lerp = [](double a, double b, double t) {
+        return a + (b - a) * t;
+    };
+    if (u < 0.10)
+        return lerp(min_, p10_, u / 0.10);
+    if (u < 0.50)
+        return lerp(p10_, p50_, (u - 0.10) / 0.40);
+    if (u < 0.90)
+        return lerp(p50_, p90_, (u - 0.50) / 0.40);
+    if (flat_tail_)
+        return p90_;
+    const double v = (u - 0.90) / 0.10;
+    return lerp(p90_, tail_max_, v);
+}
+
+Interpreter::Interpreter(const Program &program,
+                         const ObjectSizeModel &sizes, support::Rng rng)
+    : program_(program), sizes_(sizes), rng_(rng)
+{
+    CAPO_ASSERT(!program.methods().empty(), "empty program");
+}
+
+InstrumentationReport
+Interpreter::run(std::uint64_t instruction_budget)
+{
+    InstrumentationReport report;
+
+    const auto &methods = program_.methods();
+    std::vector<std::vector<bool>> touched(methods.size());
+    std::vector<bool> invoked(methods.size(), false);
+    for (std::size_t i = 0; i < methods.size(); ++i)
+        touched[i].assign(methods[i].body.size(), false);
+
+    struct Frame {
+        std::uint32_t method;
+        std::uint32_t pc;
+    };
+    std::vector<Frame> stack;
+    stack.reserve(kMaxCallDepth);
+
+    auto enter = [&](std::uint32_t m) {
+        stack.push_back(Frame{m, 0});
+        if (!invoked[m]) {
+            invoked[m] = true;
+            ++report.unique_methods;
+        }
+    };
+
+    auto pick_toplevel = [&]() {
+        const bool hot =
+            rng_.uniform() < program_.entryHotProbability() &&
+            !program_.hotMethods().empty();
+        const auto &pool =
+            hot ? program_.hotMethods() : program_.coldMethods();
+        if (pool.empty())
+            return static_cast<std::uint32_t>(0);
+        return pool[rng_.uniformInt(pool.size())];
+    };
+
+    while (report.instructions < instruction_budget) {
+        if (stack.empty())
+            enter(pick_toplevel());
+        Frame &frame = stack.back();
+        const auto &method = methods[frame.method];
+        if (frame.pc >= method.body.size()) {
+            stack.pop_back();
+            continue;
+        }
+
+        const Instruction instr = method.body[frame.pc];
+        ++report.instructions;
+        ++report.opcode_counts[static_cast<std::size_t>(instr.op)];
+        if (method.hot)
+            ++report.hot_instructions;
+        if (!touched[frame.method][frame.pc]) {
+            touched[frame.method][frame.pc] = true;
+            ++report.unique_instructions;
+        }
+        ++frame.pc;
+
+        switch (instr.op) {
+          case Opcode::New: {
+            const double size = sizes_.sample(rng_);
+            ++report.objects_allocated;
+            report.bytes_allocated += size;
+            if (report.size_sample.size() < kSizeSampleCap) {
+                report.size_sample.push_back(size);
+            } else {
+                // Reservoir sampling keeps the sample unbiased.
+                const auto slot =
+                    rng_.uniformInt(report.objects_allocated);
+                if (slot < kSizeSampleCap)
+                    report.size_sample[slot] = size;
+            }
+            break;
+          }
+          case Opcode::Branch:
+            // Branches are counted but not taken: loops are modelled
+            // by repeated method execution rather than intra-method
+            // back-edges, which keeps opcode-rate estimates free of
+            // the variance a re-executed window would inject into
+            // sparse opcodes.
+            break;
+          case Opcode::Invoke:
+            if (stack.size() < kMaxCallDepth)
+                enter(instr.operand % methods.size());
+            break;
+          case Opcode::Return:
+            stack.pop_back();
+            break;
+          default:
+            break;
+        }
+    }
+    return report;
+}
+
+} // namespace capo::bytecode

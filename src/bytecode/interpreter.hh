@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The instrumenting interpreter.
+ *
+ * Executes a synthesized Program while counting everything the
+ * suite's bytecode-instrumentation tools count: per-opcode totals,
+ * unique static instructions touched, unique methods invoked, the
+ * hot-code execution share, and the allocation stream (object count,
+ * bytes, and a sample of object sizes for the demographic
+ * statistics).
+ */
+
+#ifndef CAPO_BYTECODE_INTERPRETER_HH
+#define CAPO_BYTECODE_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/program.hh"
+
+namespace capo::bytecode {
+
+/**
+ * Object-size distribution reconstructed from the demographic
+ * quantile statistics (AOS = p10, AOM = p50, AOL = p90) with a
+ * Pareto tail calibrated so the sample mean matches AOA.
+ */
+class ObjectSizeModel
+{
+  public:
+    /** Build from explicit quantiles and mean (bytes). */
+    ObjectSizeModel(double p10, double p50, double p90, double mean);
+
+    /** Model for a workload's shipped statistics (defaults applied
+     *  when the workload lacks the A group). */
+    static ObjectSizeModel forWorkload(
+        const workloads::Descriptor &workload);
+
+    /** Draw one object size. */
+    double sample(support::Rng &rng) const;
+
+    double tailMax() const { return tail_max_; }
+
+  private:
+    double min_ = 16.0;
+    double p10_;
+    double p50_;
+    double p90_;
+    double tail_max_ = 0.0;   ///< Upper edge of the uniform tail.
+    bool flat_tail_ = false;  ///< Tail degenerate (mean <= p90).
+};
+
+/** Everything the instrumented execution observed. */
+struct InstrumentationReport
+{
+    std::uint64_t instructions = 0;
+    std::array<std::uint64_t, kOpcodeCount> opcode_counts{};
+
+    std::uint64_t unique_instructions = 0;
+    std::uint64_t unique_methods = 0;
+    std::uint64_t hot_instructions = 0;
+
+    std::uint64_t objects_allocated = 0;
+    double bytes_allocated = 0.0;
+    std::vector<double> size_sample;  ///< Reservoir of object sizes.
+
+    std::uint64_t count(Opcode op) const
+    {
+        return opcode_counts[static_cast<std::size_t>(op)];
+    }
+
+    double
+    hotFraction() const
+    {
+        return instructions
+            ? static_cast<double>(hot_instructions) / instructions
+            : 0.0;
+    }
+};
+
+/**
+ * Interpreter with instrumentation hooks.
+ */
+class Interpreter
+{
+  public:
+    Interpreter(const Program &program, const ObjectSizeModel &sizes,
+                support::Rng rng);
+
+    /**
+     * Execute approximately @p instruction_budget instructions
+     * (top-level methods are chosen hot/cold per the program profile;
+     * Invoke pushes frames up to a depth limit).
+     */
+    InstrumentationReport run(std::uint64_t instruction_budget);
+
+  private:
+    const Program &program_;
+    const ObjectSizeModel &sizes_;
+    support::Rng rng_;
+};
+
+} // namespace capo::bytecode
+
+#endif // CAPO_BYTECODE_INTERPRETER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The miniature bytecode ISA used by the instrumentation substrate.
+ *
+ * DaCapo's nominal statistics include per-usec rates of specific JVM
+ * bytecodes (aaload, aastore, getfield, putfield), the number of
+ * unique bytecodes and functions executed, and the concentration of
+ * hot code; the suite ships the bytecode-instrumentation tools that
+ * compute them. Capo reproduces that pipeline over a deliberately
+ * small abstract ISA: enough opcode variety to make instrumentation
+ * counts meaningful, with the four statistically-tracked opcodes
+ * modelled explicitly.
+ */
+
+#ifndef CAPO_BYTECODE_ISA_HH
+#define CAPO_BYTECODE_ISA_HH
+
+#include <cstdint>
+
+namespace capo::bytecode {
+
+/** Opcodes of the abstract machine. */
+enum class Opcode : std::uint8_t {
+    Nop,
+    IAdd,        ///< Integer arithmetic (filler compute).
+    IMul,
+    ILoad,       ///< Local variable access.
+    IStore,
+    AALoad,      ///< Array reference load  (the BAL statistic).
+    AAStore,     ///< Array reference store (the BAS statistic).
+    GetField,    ///< Object field load     (the BGF statistic).
+    PutField,    ///< Object field store    (the BPF statistic).
+    New,         ///< Allocation (drives the A-group statistics).
+    Branch,      ///< Conditional branch within the method.
+    Invoke,      ///< Call another method.
+    Return,      ///< Return to the caller.
+};
+
+constexpr int kOpcodeCount = 13;
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** One instruction: an opcode plus a generic operand.
+ *
+ * The operand's meaning depends on the opcode: target method index
+ * for Invoke, branch offset for Branch, allocation-site id for New,
+ * and unused otherwise.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint32_t operand = 0;
+};
+
+} // namespace capo::bytecode
+
+#endif // CAPO_BYTECODE_ISA_HH

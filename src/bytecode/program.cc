@@ -1,0 +1,237 @@
+#include "bytecode/program.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::bytecode {
+
+namespace {
+
+/** Instructions executed per usec of wall time on the reference
+ *  machine: the workload's IPC x 4.5 GHz per hardware thread, times
+ *  its effective parallelism (the shipped per-usec B rates are
+ *  process-wide, like the perf counters they pair with). */
+double
+instructionsPerUsec(const workloads::Descriptor &workload)
+{
+    return workload.uarch.uip / 100.0 * 4500.0 *
+           workload.effectiveParallelism();
+}
+
+Opcode
+drawFiller(support::Rng &rng)
+{
+    switch (rng.uniformInt(4)) {
+      case 0:
+        return Opcode::IAdd;
+      case 1:
+        return Opcode::IMul;
+      case 2:
+        return Opcode::ILoad;
+      default:
+        return Opcode::IStore;
+    }
+}
+
+} // namespace
+
+Program::Profile
+Program::profileFor(const workloads::Descriptor &workload)
+{
+    Profile profile;
+    const double instr_rate = instructionsPerUsec(workload);
+
+    // Structure first: the opcode-probability compensation below
+    // depends on it.
+    if (workloads::available(workload.bytecode.bub)) {
+        profile.unique_bytecodes = static_cast<std::uint32_t>(
+            std::max(1.0, workload.bytecode.bub) * 1000.0);
+    }
+    if (workloads::available(workload.bytecode.buf)) {
+        profile.unique_methods = static_cast<std::uint32_t>(
+            std::max(1.0, workload.bytecode.buf) * 1000.0);
+    }
+    profile.unique_methods =
+        std::max(1u, std::min(profile.unique_methods,
+                              profile.unique_bytecodes / 4));
+    if (workloads::available(workload.bytecode.bef)) {
+        profile.hot_fraction = std::clamp(
+            0.40 + workload.bytecode.bef / 32.0, 0.40, 0.97);
+    }
+
+    // Every method ends in an undrawn Return, diluting the drawn
+    // mix. The executed Return share weights hot and cold code by
+    // their execution frequency and per-region method sizes (hot
+    // methods are ~9x larger, so their Return density is lower).
+    const double n = profile.unique_methods;
+    const double total = profile.unique_bytecodes;
+    const double hot_count = std::max(1.0, n / 10.0);
+    const double hot_share = profile.hot_fraction;
+    const double return_share =
+        hot_share * hot_count / (0.5 * total) +
+        (1.0 - hot_share) * (n - hot_count) / (0.5 * total);
+    const double mix_share = std::clamp(1.0 - return_share, 0.5, 1.0);
+    auto rate_to_p = [&](double per_usec) {
+        if (!workloads::available(per_usec) || per_usec <= 0.0)
+            return 0.0;
+        return std::min(per_usec / instr_rate / mix_share, 0.20);
+    };
+    profile.p_aaload = rate_to_p(workload.bytecode.bal);
+    profile.p_aastore = rate_to_p(workload.bytecode.bas);
+    profile.p_getfield = rate_to_p(workload.bytecode.bgf);
+    profile.p_putfield = rate_to_p(workload.bytecode.bpf);
+
+    // Allocation probability: bytes/usec over mean object size gives
+    // objects/usec; normalize by the instruction rate.
+    const double aoa = workloads::available(workload.alloc.aoa)
+        ? workload.alloc.aoa
+        : 48.0;
+    const double ara = workloads::available(workload.alloc.ara)
+        ? workload.alloc.ara
+        : workload.sim_ara;
+    if (workloads::available(ara) && ara > 0.0)
+        profile.p_new = std::min(ara / aoa / instr_rate / mix_share,
+                                 0.10);
+    return profile;
+}
+
+Program
+Program::synthesize(const Profile &profile, support::Rng rng)
+{
+    CAPO_ASSERT(profile.unique_methods >= 1, "need at least one method");
+    CAPO_ASSERT(profile.unique_bytecodes >= profile.unique_methods,
+                "fewer instructions than methods");
+    const double p_tracked = profile.p_aaload + profile.p_aastore +
+                             profile.p_getfield + profile.p_putfield +
+                             profile.p_new + profile.p_invoke +
+                             profile.p_branch;
+    CAPO_ASSERT(p_tracked <= 1.0, "opcode probabilities exceed 1");
+
+    Program program;
+    program.profile_ = profile;
+
+    // Spread the instruction budget over methods: a few big hot
+    // methods, many small cold ones (the classic execution shape).
+    const std::uint32_t n = profile.unique_methods;
+    const std::uint32_t hot_count = std::max(1u, n / 10);
+
+    // hot_fraction is an *instruction* share; invert the size
+    // weighting to get the per-entry hot probability.
+    if (hot_count >= n) {
+        program.entry_hot_p_ = 1.0;
+    } else {
+        const double s_h = 0.5 * profile.unique_bytecodes / hot_count;
+        const double s_c =
+            0.5 * profile.unique_bytecodes / (n - hot_count);
+        const double h = profile.hot_fraction;
+        program.entry_hot_p_ =
+            h * s_c / (s_h * (1.0 - h) + h * s_c);
+    }
+    std::vector<std::uint32_t> sizes(n, 0);
+    const std::uint32_t total = profile.unique_bytecodes;
+    // Hot methods get half the static code, cold methods the rest.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const bool hot = i < hot_count;
+        const double share =
+            hot ? 0.5 / hot_count : 0.5 / std::max(1u, n - hot_count);
+        sizes[i] = std::max<std::uint32_t>(
+            2, static_cast<std::uint32_t>(share * total));
+    }
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Method method;
+        method.hot = i < hot_count;
+        method.body.reserve(sizes[i]);
+        for (std::uint32_t k = 0; k + 1 < sizes[i]; ++k) {
+            const double u = rng.uniform();
+            Instruction instr;
+            double acc = profile.p_aaload;
+            if (u < acc) {
+                instr.op = Opcode::AALoad;
+            } else if (u < (acc += profile.p_aastore)) {
+                instr.op = Opcode::AAStore;
+            } else if (u < (acc += profile.p_getfield)) {
+                instr.op = Opcode::GetField;
+            } else if (u < (acc += profile.p_putfield)) {
+                instr.op = Opcode::PutField;
+            } else if (u < (acc += profile.p_new)) {
+                instr.op = Opcode::New;
+                instr.operand = static_cast<std::uint32_t>(
+                    rng.uniformInt(1u << 16));
+            } else if (u < (acc += profile.p_invoke)) {
+                // Hot code predominantly calls hot code; without this
+                // bias, call trees would drag execution into the cold
+                // region and destroy the BEF concentration.
+                instr.op = Opcode::Invoke;
+                const bool to_hot =
+                    rng.uniform() < program.entry_hot_p_ ||
+                    hot_count == n;
+                instr.operand = to_hot
+                    ? static_cast<std::uint32_t>(
+                          rng.uniformInt(hot_count))
+                    : hot_count +
+                          static_cast<std::uint32_t>(
+                              rng.uniformInt(n - hot_count));
+            } else if (u < (acc += profile.p_branch)) {
+                instr.op = Opcode::Branch;
+            } else {
+                instr.op = drawFiller(rng);
+            }
+            method.body.push_back(instr);
+        }
+        method.body.push_back(Instruction{Opcode::Return, 0});
+        program.methods_.push_back(std::move(method));
+        if (i < hot_count)
+            program.hot_methods_.push_back(i);
+        else
+            program.cold_methods_.push_back(i);
+    }
+    return program;
+}
+
+std::size_t
+Program::instructionCount() const
+{
+    std::size_t total = 0;
+    for (const auto &method : methods_)
+        total += method.body.size();
+    return total;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return "nop";
+      case Opcode::IAdd:
+        return "iadd";
+      case Opcode::IMul:
+        return "imul";
+      case Opcode::ILoad:
+        return "iload";
+      case Opcode::IStore:
+        return "istore";
+      case Opcode::AALoad:
+        return "aaload";
+      case Opcode::AAStore:
+        return "aastore";
+      case Opcode::GetField:
+        return "getfield";
+      case Opcode::PutField:
+        return "putfield";
+      case Opcode::New:
+        return "new";
+      case Opcode::Branch:
+        return "branch";
+      case Opcode::Invoke:
+        return "invoke";
+      case Opcode::Return:
+        return "return";
+    }
+    return "?";
+}
+
+} // namespace capo::bytecode

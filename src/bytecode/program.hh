@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthetic programs matching a workload's bytecode profile.
+ *
+ * A Program is a set of methods whose instruction mix, size, and
+ * call structure are synthesized so that *executing* it (see
+ * interpreter.hh) reproduces the workload's published B-group
+ * statistics: opcode rates (BAL/BAS/BGF/BPF), unique bytecode and
+ * function counts (BUB/BUF), and hot-code concentration (BEF).
+ */
+
+#ifndef CAPO_BYTECODE_PROGRAM_HH
+#define CAPO_BYTECODE_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/isa.hh"
+#include "support/rng.hh"
+#include "workloads/descriptor.hh"
+
+namespace capo::bytecode {
+
+/** One method: a straight-line body the interpreter loops over. */
+struct Method
+{
+    std::vector<Instruction> body;
+    bool hot = false;  ///< Part of the hot region.
+};
+
+/**
+ * A synthesized program.
+ */
+class Program
+{
+  public:
+    /** Opcode-mix and structure parameters. */
+    struct Profile {
+        /** Relative execution frequency of the tracked opcodes
+         *  (probabilities; the remainder becomes filler compute). */
+        double p_aaload = 0.0;
+        double p_aastore = 0.0;
+        double p_getfield = 0.0;
+        double p_putfield = 0.0;
+        double p_new = 0.0;      ///< Allocation probability.
+        double p_invoke = 0.02;  ///< Call density.
+        double p_branch = 0.10;
+
+        std::uint32_t unique_bytecodes = 1000;  ///< Total instructions.
+        std::uint32_t unique_methods = 10;      ///< Method count.
+
+        /**
+         * Fraction of execution concentrated in the hot tenth of the
+         * code (the BEF statistic's driver); 0.9 = very focused.
+         */
+        double hot_fraction = 0.7;
+    };
+
+    /** Synthesize a program. Deterministic for a given seed. */
+    static Program synthesize(const Profile &profile, support::Rng rng);
+
+    /**
+     * Profile derived from a workload's shipped statistics: opcode
+     * probabilities from the per-usec rates (normalized by the
+     * workload's instruction rate), structure from BUB/BUF/BEF, and
+     * allocation probability from ARA and the mean object size.
+     */
+    static Profile profileFor(const workloads::Descriptor &workload);
+
+    const std::vector<Method> &methods() const { return methods_; }
+    const Profile &profile() const { return profile_; }
+
+    /** Total instructions across all methods. */
+    std::size_t instructionCount() const;
+
+    /**
+     * Probability that a method *entry* (top-level pick or call)
+     * targets the hot region. Derived at synthesis so that the
+     * executed instruction share of hot code equals the profile's
+     * hot_fraction despite hot methods being larger.
+     */
+    double entryHotProbability() const { return entry_hot_p_; }
+
+    /** Indices of hot methods. */
+    const std::vector<std::uint32_t> &hotMethods() const
+    {
+        return hot_methods_;
+    }
+    const std::vector<std::uint32_t> &coldMethods() const
+    {
+        return cold_methods_;
+    }
+
+  private:
+    Profile profile_;
+    double entry_hot_p_ = 1.0;
+    std::vector<Method> methods_;
+    std::vector<std::uint32_t> hot_methods_;
+    std::vector<std::uint32_t> cold_methods_;
+};
+
+} // namespace capo::bytecode
+
+#endif // CAPO_BYTECODE_PROGRAM_HH

@@ -1,0 +1,64 @@
+#include "counters/machine.hh"
+
+#include <algorithm>
+
+namespace capo::counters {
+
+double
+steadyWorkMultiplier(const MachineConfig &machine,
+                     const workloads::Descriptor &workload)
+{
+    const auto &p = workload.perf;
+    double mult = 1.0;
+
+    if (machine.freq_boost) {
+        // PFS is the percentage *speedup* from enabling boost.
+        mult /= 1.0 + std::max(p.pfs, -50.0) / 100.0;
+    }
+    if (machine.slow_memory)
+        mult *= 1.0 + std::max(p.pms, 0.0) / 100.0;
+    if (machine.small_llc)
+        mult *= 1.0 + std::max(p.pls, -10.0) / 100.0;
+
+    switch (machine.compiler) {
+      case MachineConfig::Compiler::Tiered:
+        break;
+      case MachineConfig::Compiler::ForcedC2:
+        // Steady-state C2 code matches tiered peak; the cost is paid
+        // during warmup (see warmupExtraMultiplier).
+        break;
+      case MachineConfig::Compiler::Worst:
+        mult *= 1.0 + std::max(p.pcs, 0.0) / 100.0;
+        break;
+      case MachineConfig::Compiler::Interpreter:
+        mult *= 1.0 + std::max(p.pin, 0.0) / 100.0;
+        break;
+    }
+
+    switch (machine.arch) {
+      case MachineConfig::Arch::Zen4:
+        break;
+      case MachineConfig::Arch::GoldenCove:
+        mult *= 1.0 + workload.uarch.uai / 100.0;
+        break;
+      case MachineConfig::Arch::NeoverseN1:
+        mult *= 1.0 + workload.uarch.uaa / 100.0;
+        break;
+    }
+
+    // Clock scaling relative to the 4.5 GHz baseline.
+    mult *= 4.5 / machine.freq_ghz;
+
+    return mult;
+}
+
+double
+warmupExtraMultiplier(const MachineConfig &machine,
+                      const workloads::Descriptor &workload)
+{
+    if (machine.compiler == MachineConfig::Compiler::ForcedC2)
+        return 1.0 + std::max(workload.perf.pcc, 0.0) / 100.0;
+    return 1.0;
+}
+
+} // namespace capo::counters

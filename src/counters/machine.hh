@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The measurement machine model.
+ *
+ * The paper's experiments run on a fixed baseline machine (AMD Ryzen 9
+ * 7950X Zen4, 16C/32T, 4.5 GHz, frequency scaling off, DDR5-4800) and
+ * vary one knob at a time: enabling frequency boost (PFS), slowing
+ * DRAM to DDR5-2000 (PMS), restricting the LLC to 1/16 via PQOS (PLS),
+ * forcing compiler configurations (PCC/PCS/PIN), or moving to an
+ * entirely different microarchitecture (UAI/UAA). MachineConfig
+ * captures those knobs; the workload's published sensitivity profile
+ * determines how much each knob stretches its work.
+ */
+
+#ifndef CAPO_COUNTERS_MACHINE_HH
+#define CAPO_COUNTERS_MACHINE_HH
+
+#include "workloads/descriptor.hh"
+
+namespace capo::counters {
+
+/**
+ * One hardware/software measurement configuration.
+ */
+struct MachineConfig
+{
+    enum class Compiler {
+        Tiered,       ///< Default multi-tier JIT.
+        ForcedC2,     ///< -comp: everything through C2 up front.
+        Worst,        ///< Worst compiler configuration (PCS).
+        Interpreter,  ///< Interpreter only (PIN).
+    };
+
+    enum class Arch {
+        Zen4,        ///< AMD Ryzen 9 7950X (baseline).
+        GoldenCove,  ///< Intel i9-12900KF (UAI).
+        NeoverseN1,  ///< Ampere Altra Q80-30 (UAA).
+    };
+
+    double cpus = 32.0;      ///< Hardware threads.
+    double freq_ghz = 4.5;   ///< Base clock.
+    bool freq_boost = false; ///< Core Performance Boost enabled.
+    bool slow_memory = false; ///< DDR5-2000 instead of DDR5-4800.
+    bool small_llc = false;   ///< LLC restricted to 1/16 capacity.
+    Compiler compiler = Compiler::Tiered;
+    Arch arch = Arch::Zen4;
+
+    /** The paper's baseline configuration (Section 6.1.3). */
+    static MachineConfig baseline() { return MachineConfig{}; }
+};
+
+/**
+ * Steady-state (warmed-up) work multiplier this machine configuration
+ * imposes on @p workload, relative to the baseline machine.
+ */
+double steadyWorkMultiplier(const MachineConfig &machine,
+                            const workloads::Descriptor &workload);
+
+/**
+ * Extra first-iteration work multiplier (compile cost) for the
+ * configuration, e.g.\ forced C2 compilation (PCC).
+ */
+double warmupExtraMultiplier(const MachineConfig &machine,
+                             const workloads::Descriptor &workload);
+
+} // namespace capo::counters
+
+#endif // CAPO_COUNTERS_MACHINE_HH

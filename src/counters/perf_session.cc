@@ -1,0 +1,166 @@
+#include "counters/perf_session.hh"
+
+#include <algorithm>
+
+namespace capo::counters {
+
+namespace {
+
+/** Generic microarchitectural profile of collector code: tracing is
+ *  pointer-chasing and memory-bound, with moderate IPC. */
+constexpr double kGcUip = 95.0;
+constexpr double kGcUdc = 19.0;
+constexpr double kGcUdt = 320.0;
+constexpr double kGcUll = 4800.0;
+constexpr double kGcUsf = 12.0;
+constexpr double kGcUsb = 48.0;
+constexpr double kGcUbp = 25.0;
+constexpr double kGcUbr = 900.0;
+constexpr double kGcKernelFraction = 0.06;
+
+struct Contribution {
+    double cpu_ns;
+    double freq_ghz;
+    double uip, udc, udt, ull, usf, usb, ubp, ubr, usc;
+    double kernel_fraction;
+};
+
+void
+accumulate(CounterReadings &r, const Contribution &c)
+{
+    const double cycles = c.cpu_ns * c.freq_ghz;
+    const double instructions = cycles * c.uip / 100.0;
+    r.task_clock_ns += c.cpu_ns;
+    r.cycles += cycles;
+    r.instructions += instructions;
+    r.dcache_misses += instructions / 1e3 * c.udc;
+    r.dtlb_misses += instructions / 1e6 * c.udt;
+    r.llc_misses += instructions / 1e6 * c.ull;
+    r.branch_mispredicts += instructions / 1e3 * c.ubp;
+    r.pipeline_restarts += instructions / 1e6 * c.ubr;
+    r.frontend_stall_cycles += cycles * c.usf / 100.0;
+    r.backend_stall_cycles += cycles * c.usb / 100.0;
+    r.smt_contention_cycles += cycles * c.usc / 1000.0;
+    r.kernel_ns += c.cpu_ns * c.kernel_fraction;
+    r.user_ns += c.cpu_ns * (1.0 - c.kernel_fraction);
+}
+
+} // namespace
+
+double
+CounterReadings::uip() const
+{
+    return cycles > 0.0 ? 100.0 * instructions / cycles : 0.0;
+}
+
+double
+CounterReadings::udc() const
+{
+    return instructions > 0.0 ? dcache_misses / (instructions / 1e3) : 0.0;
+}
+
+double
+CounterReadings::udt() const
+{
+    return instructions > 0.0 ? dtlb_misses / (instructions / 1e6) : 0.0;
+}
+
+double
+CounterReadings::ull() const
+{
+    return instructions > 0.0 ? llc_misses / (instructions / 1e6) : 0.0;
+}
+
+double
+CounterReadings::usf() const
+{
+    return cycles > 0.0 ? 100.0 * frontend_stall_cycles / cycles : 0.0;
+}
+
+double
+CounterReadings::usb() const
+{
+    return cycles > 0.0 ? 100.0 * backend_stall_cycles / cycles : 0.0;
+}
+
+double
+CounterReadings::usc() const
+{
+    return cycles > 0.0 ? 1000.0 * smt_contention_cycles / cycles : 0.0;
+}
+
+double
+CounterReadings::ubp() const
+{
+    return instructions > 0.0
+        ? branch_mispredicts / (instructions / 1e3)
+        : 0.0;
+}
+
+double
+CounterReadings::ubr() const
+{
+    return instructions > 0.0
+        ? pipeline_restarts / (instructions / 1e6)
+        : 0.0;
+}
+
+double
+CounterReadings::pkp() const
+{
+    const double total = kernel_ns + user_ns;
+    return total > 0.0 ? 100.0 * kernel_ns / total : 0.0;
+}
+
+CounterReadings
+readCounters(const runtime::ExecutionResult &result,
+             const workloads::Descriptor &workload,
+             const MachineConfig &machine)
+{
+    const auto &u = workload.uarch;
+    const double freq =
+        machine.freq_ghz * (machine.freq_boost ? 1.12 : 1.0);
+
+    CounterReadings readings;
+
+    // Mutator contribution: the workload's own profile. Restricting
+    // the LLC and slowing memory raise miss costs (visible as extra
+    // backend-bound cycles at unchanged instruction count).
+    Contribution app;
+    app.cpu_ns = result.mutator_cpu;
+    app.freq_ghz = freq;
+    app.uip = u.uip;
+    app.udc = u.udc;
+    app.udt = u.udt;
+    app.ull = u.ull * (machine.small_llc ? 2.2 : 1.0);
+    app.usf = u.usf;
+    app.usb = u.usb * (machine.slow_memory ? 1.25 : 1.0);
+    app.ubp = u.ubp;
+    app.ubr = u.ubr;
+    app.usc = u.usc;
+    app.kernel_fraction =
+        std::clamp(workload.perf.pkp / 100.0, 0.0, 0.9);
+    if (machine.small_llc)
+        app.uip = u.uip / (1.0 + std::max(workload.perf.pls, 0.0) / 100.0);
+    accumulate(readings, app);
+
+    // Collector contribution: generic GC profile.
+    Contribution collector;
+    collector.cpu_ns = result.gc_cpu;
+    collector.freq_ghz = freq;
+    collector.uip = kGcUip;
+    collector.udc = kGcUdc;
+    collector.udt = kGcUdt;
+    collector.ull = kGcUll;
+    collector.usf = kGcUsf;
+    collector.usb = kGcUsb;
+    collector.ubp = kGcUbp;
+    collector.ubr = kGcUbr;
+    collector.usc = u.usc;
+    collector.kernel_fraction = kGcKernelFraction;
+    accumulate(readings, collector);
+
+    return readings;
+}
+
+} // namespace capo::counters

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Simulated perf_event_open: hardware-counter readings for a run.
+ *
+ * The paper measures total computational cost with Linux perf's
+ * TASK_CLOCK (summing the running time of every thread in the
+ * process) and characterizes workloads with PMU counters (IPC, cache
+ * and TLB miss rates, stall and speculation breakdowns). PerfSession
+ * reproduces those counter semantics over the simulated runtime: task
+ * clock comes from the scheduler's exact per-agent CPU accounting,
+ * and event counts are synthesized from the workload's published
+ * microarchitectural profile plus a generic collector profile (GC
+ * code is memory-bound and cache-hostile), so collector choice
+ * perturbs the measured rates just as it does on real hardware.
+ */
+
+#ifndef CAPO_COUNTERS_PERF_SESSION_HH
+#define CAPO_COUNTERS_PERF_SESSION_HH
+
+#include "counters/machine.hh"
+#include "runtime/execution.hh"
+#include "workloads/descriptor.hh"
+
+namespace capo::counters {
+
+/**
+ * Counter totals for one execution (perf's view of the process).
+ */
+struct CounterReadings
+{
+    double task_clock_ns = 0.0;  ///< TASK_CLOCK.
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double dcache_misses = 0.0;
+    double dtlb_misses = 0.0;
+    double llc_misses = 0.0;
+    double branch_mispredicts = 0.0;
+    double pipeline_restarts = 0.0;
+    double frontend_stall_cycles = 0.0;
+    double backend_stall_cycles = 0.0;
+    double smt_contention_cycles = 0.0;
+    double kernel_ns = 0.0;
+    double user_ns = 0.0;
+
+    /** @{ Derived rates in the units of the nominal statistics. */
+    double uip() const;  ///< 100 x instructions per cycle.
+    double udc() const;  ///< D-cache misses per K instructions.
+    double udt() const;  ///< DTLB misses per M instructions.
+    double ull() const;  ///< LLC misses per M instructions.
+    double usf() const;  ///< 100 x front-end bound.
+    double usb() const;  ///< 100 x back-end bound.
+    double usc() const;  ///< 1000 x SMT contention.
+    double ubp() const;  ///< 1000 x bad speculation (mispredicts).
+    double ubr() const;  ///< 1e6 x bad speculation (restarts).
+    double pkp() const;  ///< Kernel time percentage.
+    /** @} */
+};
+
+/**
+ * Synthesize the counters perf would have read for one execution.
+ */
+CounterReadings readCounters(const runtime::ExecutionResult &result,
+                             const workloads::Descriptor &workload,
+                             const MachineConfig &machine);
+
+} // namespace capo::counters
+
+#endif // CAPO_COUNTERS_PERF_SESSION_HH

@@ -1,0 +1,45 @@
+#include "gc/collector_base.hh"
+
+#include "support/logging.hh"
+
+namespace capo::gc {
+
+CollectorBase::CollectorBase(std::string name, int year,
+                             const GcTuning &tuning, double footprint)
+    : name_(std::move(name)), year_(year), tuning_(tuning),
+      footprint_(footprint)
+{
+    CAPO_ASSERT(footprint >= 1.0, "footprint factor must be >= 1");
+}
+
+void
+CollectorBase::attach(const runtime::CollectorContext &context)
+{
+    CAPO_ASSERT(context.engine && context.heap && context.log &&
+                context.world, "incomplete collector context");
+    ctx_ = context;
+    wake_cond_ = engine().makeCondition(name_ + ".wake");
+    stall_cond_ = engine().makeCondition(name_ + ".stall");
+    onAttach();
+}
+
+void
+CollectorBase::shutdown()
+{
+    shutdown_requested_ = true;
+    engine().notifyAll(wake_cond_);
+}
+
+double
+CollectorBase::effectiveCapacity() const
+{
+    return ctx_.heap->capacity() * (1.0 - tuning_.reserve_fraction);
+}
+
+void
+CollectorBase::kickController()
+{
+    engine().notifyAll(wake_cond_);
+}
+
+} // namespace capo::gc

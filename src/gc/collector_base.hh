@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared plumbing for concrete collector implementations.
+ *
+ * CollectorBase owns the wiring every collector needs: the execution
+ * context, the controller wake condition, the mutator stall condition,
+ * shutdown handling, and small helpers shared by the cost models.
+ */
+
+#ifndef CAPO_GC_COLLECTOR_BASE_HH
+#define CAPO_GC_COLLECTOR_BASE_HH
+
+#include <string>
+
+#include "gc/tuning.hh"
+#include "runtime/collector_runtime.hh"
+
+namespace capo::gc {
+
+/**
+ * Base class for the concrete collectors in this module.
+ */
+class CollectorBase : public runtime::CollectorRuntime
+{
+  public:
+    std::string_view name() const override { return name_; }
+    int introducedYear() const override { return year_; }
+    double barrierFactor() const override
+    {
+        return tuning_.barrier_factor;
+    }
+    double footprintFactor() const override { return footprint_; }
+
+    void attach(const runtime::CollectorContext &context) override;
+    void shutdown() override;
+
+    const GcTuning &tuning() const { return tuning_; }
+
+  protected:
+    /**
+     * @param footprint Physical/logical byte ratio for this collector
+     *        on this workload (ZGC: the workload's GMU/GMD ratio).
+     */
+    CollectorBase(std::string name, int year, const GcTuning &tuning,
+                  double footprint);
+
+    /** Register agents etc.; called at the end of attach(). */
+    virtual void onAttach() = 0;
+
+    /** @{ Context shorthand (valid after attach()). The context holds
+     *  non-owning pointers, so const collectors may still drive them. */
+    sim::Engine &engine() const { return *ctx_.engine; }
+    heap::HeapSpace &heap() const { return *ctx_.heap; }
+    runtime::GcEventLog &log() const { return *ctx_.log; }
+    runtime::World &world() const { return *ctx_.world; }
+    /** @} */
+
+    /** Capacity minus the collector's reserved headroom. */
+    double effectiveCapacity() const;
+
+    /** Wake the controller (called from allocation requests). */
+    void kickController();
+
+    bool shutdownRequested() const { return shutdown_requested_; }
+
+    sim::CondId wakeCond() const { return wake_cond_; }
+    sim::CondId stallCond() const { return stall_cond_; }
+
+  private:
+    std::string name_;
+    int year_;
+    GcTuning tuning_;
+    double footprint_;
+
+    runtime::CollectorContext ctx_;
+    sim::CondId wake_cond_ = sim::kInvalidCond;
+    sim::CondId stall_cond_ = sim::kInvalidCond;
+    bool shutdown_requested_ = false;
+};
+
+} // namespace capo::gc
+
+#endif // CAPO_GC_COLLECTOR_BASE_HH

@@ -1,0 +1,195 @@
+#include "gc/concurrent_collector.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::gc {
+
+ConcurrentCollector::ConcurrentCollector(std::string name, int year,
+                                         const GcTuning &tuning,
+                                         double footprint)
+    : CollectorBase(std::move(name), year, tuning, footprint)
+{
+    CAPO_ASSERT(tuning.conc_width > 0.0,
+                "concurrent collector needs concurrent threads");
+}
+
+void
+ConcurrentCollector::onAttach()
+{
+    self_ = engine().addAgent(this);
+}
+
+void
+ConcurrentCollector::startCycle()
+{
+    if (cycle_active_)
+        return;
+    cycle_active_ = true;
+    trigger_ = true;
+    stalled_in_cycle_ = false;
+
+    // Generational: young cycles while debris is modest, major cycles
+    // when mature garbage accumulates — or when the previous young
+    // cycle freed almost nothing (heap pressure the nursery cannot
+    // relieve must escalate rather than spin).
+    const bool young_unproductive =
+        last_was_young_ && last_reclaimed_ >= 0.0 &&
+        last_reclaimed_ < 0.02 * heap().capacity();
+    young_cycle_ = tuning().generational && !young_unproductive &&
+                   heap().oldDebris() <
+                       tuning().debris_trigger * heap().capacity();
+    kickController();
+}
+
+void
+ConcurrentCollector::updatePacing()
+{
+    if (!tuning().pacing)
+        return;
+    double speed = 1.0;
+    if (cycle_active_) {
+        const double free_frac =
+            std::max(0.0, heap().freeBytes()) / heap().capacity();
+        speed = std::clamp(free_frac / tuning().pace_free_threshold,
+                           tuning().pace_floor, 1.0);
+    }
+    world().setMutatorSpeed(speed);
+}
+
+runtime::AllocResponse
+ConcurrentCollector::request(double bytes)
+{
+    auto &h = heap();
+    const double eff = effectiveCapacity();
+
+    if (h.occupied() + bytes <= eff) {
+        h.fill(bytes);
+        if (!cycle_active_ &&
+            h.occupied() >= tuning().trigger_fraction * h.capacity()) {
+            startCycle();
+        }
+        updatePacing();
+        return runtime::AllocResponse::granted();
+    }
+
+    if (cycle_active_) {
+        // Allocation failure while collecting: the mutator stalls
+        // until reclamation completes (ZGC allocation stall; for
+        // Shenandoah this degenerates the cycle).
+        stalled_in_cycle_ = true;
+        return runtime::AllocResponse::stall(stallCond());
+    }
+
+    if (h.predictPostFullGc() + bytes > eff)
+        return runtime::AllocResponse::oom();
+
+    startCycle();
+    return runtime::AllocResponse::stall(stallCond());
+}
+
+sim::Action
+ConcurrentCollector::resume(sim::Engine &engine)
+{
+    const auto &t = tuning();
+    while (true) {
+        switch (state_) {
+          case State::Idle:
+            if (shutdownRequested())
+                return sim::Action::exit();
+            if (!trigger_)
+                return sim::Action::wait(wakeCond());
+            trigger_ = false;
+
+            cycle_begin_ = engine.now();
+            world().stopTheWorld();
+            pause_begin_ = engine.now();
+            phase_token_ = log().beginPhase(pause_begin_,
+                                            runtime::GcPhase::InitPause);
+            phase_cpu_mark_ = engine.cpuTime(self_);
+            state_ = State::InitSafepoint;
+            return sim::Action::sleepUntil(engine.now() + t.ttsp_ns);
+
+          case State::InitSafepoint:
+            state_ = State::InitWork;
+            return sim::Action::compute(
+                t.init_pause_wall_ns * t.stw_width, t.stw_width);
+
+          case State::InitWork: {
+            log().endPhase(phase_token_, engine.now(),
+                           engine.cpuTime(self_) - phase_cpu_mark_);
+            world().resumeTheWorld();
+            updatePacing();
+
+            // Concurrent phase: trace (and evacuate) the live data. A
+            // generational young cycle only processes the young region
+            // plus a slice of mature metadata.
+            double to_process = heap().live() + heap().oldDebris() +
+                                0.25 * heap().fresh();
+            if (young_cycle_) {
+                // Young cycles only copy survivors and scan remembered
+                // sets: a small fraction of the nursery and live set.
+                to_process = t.young_cycle_cost_scale *
+                             (heap().fresh() + 0.2 * heap().live());
+            }
+            conc_work_ = std::max(to_process, 0.01 * heap().capacity()) *
+                         t.conc_ns_per_byte;
+            phase_token_ = log().beginPhase(engine.now(),
+                                            runtime::GcPhase::Concurrent);
+            phase_cpu_mark_ = engine.cpuTime(self_);
+            state_ = State::ConcurrentWork;
+            return sim::Action::compute(conc_work_, t.conc_width);
+          }
+
+          case State::ConcurrentWork:
+            log().endPhase(phase_token_, engine.now(),
+                           engine.cpuTime(self_) - phase_cpu_mark_);
+            world().stopTheWorld();
+            pause_begin_ = engine.now();
+            phase_token_ = log().beginPhase(pause_begin_,
+                                            runtime::GcPhase::FinalPause);
+            phase_cpu_mark_ = engine.cpuTime(self_);
+            state_ = State::FinalSafepoint;
+            return sim::Action::sleepUntil(engine.now() + t.ttsp_ns);
+
+          case State::FinalSafepoint: {
+            // A degenerated cycle (mutators hit the wall while we were
+            // collecting) finishes work inside the pause.
+            const double degen_scale = stalled_in_cycle_ ? 2.0 : 1.0;
+            state_ = State::FinalWork;
+            return sim::Action::compute(
+                t.final_pause_wall_ns * t.stw_width * degen_scale,
+                t.stw_width);
+          }
+
+          case State::FinalWork: {
+            const auto collection = young_cycle_ ? heap().collectYoung()
+                                                 : heap().collectFull();
+            log().endPhase(phase_token_, engine.now(),
+                           engine.cpuTime(self_) - phase_cpu_mark_);
+
+            runtime::CycleRecord cycle;
+            cycle.begin = cycle_begin_;
+            cycle.end = engine.now();
+            cycle.kind = young_cycle_ ? runtime::GcPhase::YoungPause
+                                      : runtime::GcPhase::Concurrent;
+            cycle.traced = collection.traced;
+            cycle.reclaimed = collection.reclaimed;
+            cycle.post_gc_bytes = collection.post_gc;
+            log().recordCycle(cycle);
+
+            last_was_young_ = young_cycle_;
+            last_reclaimed_ = collection.reclaimed;
+            cycle_active_ = false;
+            world().resumeTheWorld();
+            updatePacing();
+            engine.notifyAll(stallCond());
+            state_ = State::Idle;
+            continue;
+          }
+        }
+    }
+}
+
+} // namespace capo::gc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mostly-concurrent collectors: Shenandoah (2014), ZGC (2018) and the
+ * Generational ZGC extension (2023).
+ *
+ * These designs do almost all collection work concurrently with the
+ * application, bracketed by short STW init/final pauses. They buy
+ * latency with CPU: every cycle traces (and evacuates) the whole live
+ * set, and cycles must start early enough that reclamation finishes
+ * before the application exhausts the heap. When it does not,
+ * Shenandoah *paces* (throttles) mutator threads, while ZGC lets
+ * allocating threads *stall* until the cycle completes — the two
+ * mechanisms behind the paper's lusearch analysis (Figure 5c/d).
+ * ZGC runs without compressed pointers, which inflates its footprint
+ * (the per-workload GMU/GMD ratio) and effectively shifts its heap
+ * axis left in every LBO plot.
+ */
+
+#ifndef CAPO_GC_CONCURRENT_COLLECTOR_HH
+#define CAPO_GC_CONCURRENT_COLLECTOR_HH
+
+#include "gc/collector_base.hh"
+#include "sim/agent.hh"
+
+namespace capo::gc {
+
+/**
+ * Single-controller concurrent collector with optional pacing and
+ * optional generational (young/major cycle) behaviour.
+ */
+class ConcurrentCollector : public CollectorBase, private sim::Agent
+{
+  public:
+    ConcurrentCollector(std::string name, int year,
+                        const GcTuning &tuning, double footprint = 1.0);
+
+    std::string_view
+    name() const override
+    {
+        return CollectorBase::name();
+    }
+
+    runtime::AllocResponse request(double bytes) override;
+
+  protected:
+    void onAttach() override;
+
+  private:
+    sim::Action resume(sim::Engine &engine) override;
+
+    /** Begin a cycle if one is not already running. */
+    void startCycle();
+
+    /** Recompute and apply the pacing speed factor (Shenandoah). */
+    void updatePacing();
+
+    enum class State {
+        Idle,
+        InitSafepoint,
+        InitWork,
+        ConcurrentWork,
+        FinalSafepoint,
+        FinalWork,
+    };
+
+    State state_ = State::Idle;
+    bool trigger_ = false;
+    bool cycle_active_ = false;
+    bool young_cycle_ = false;    ///< Generational: young-only cycle.
+    bool stalled_in_cycle_ = false;
+    bool last_was_young_ = false;
+    double last_reclaimed_ = -1.0;  ///< < 0 until a cycle completes.
+
+    runtime::GcEventLog::PhaseToken phase_token_ = 0;
+    double phase_cpu_mark_ = 0.0;
+    sim::Time cycle_begin_ = 0.0;
+    sim::Time pause_begin_ = 0.0;
+    double conc_work_ = 0.0;
+    sim::AgentId self_ = sim::kInvalidAgent;
+};
+
+} // namespace capo::gc
+
+#endif // CAPO_GC_CONCURRENT_COLLECTOR_HH

@@ -1,0 +1,206 @@
+#include "gc/g1_collector.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::gc {
+
+G1Collector::G1Collector(const GcTuning &tuning, double footprint)
+    : CollectorBase("G1", 2009, tuning, footprint)
+{
+}
+
+void
+G1Collector::shutdown()
+{
+    CollectorBase::shutdown();
+    engine().notifyAll(mark_cond_);
+}
+
+void
+G1Collector::onAttach()
+{
+    mark_cond_ = engine().makeCondition("g1.mark");
+    controller_.self_ = engine().addAgent(&controller_);
+    marker_.self_ = engine().addAgent(&marker_);
+}
+
+double
+G1Collector::youngTarget() const
+{
+    const auto &h = heap();
+    const double mature = h.live() + h.oldDebris();
+    const double free_for_young = effectiveCapacity() - mature;
+    return std::max(tuning().young_fraction * free_for_young,
+                    0.02 * h.capacity());
+}
+
+runtime::AllocResponse
+G1Collector::request(double bytes)
+{
+    auto &h = heap();
+    const double eff = effectiveCapacity();
+
+    const bool fits = h.occupied() + bytes <= eff;
+    // Trigger on accumulated fresh bytes only (see StwCollector).
+    const bool young_full = h.fresh() >= youngTarget();
+
+    if (fits && !young_full) {
+        h.fill(bytes);
+        // Initiate concurrent marking above the IHOP threshold.
+        if (!marking_ && !mark_requested_ && mixed_credits_ == 0 &&
+            h.occupied() >= tuning().ihop_fraction * h.capacity()) {
+            mark_requested_ = true;
+            engine().notifyAll(mark_cond_);
+        }
+        return runtime::AllocResponse::granted();
+    }
+
+    // Young pause by default; mixed while credits from a completed
+    // marking cycle remain; full as the fallback when evacuation
+    // cannot make room.
+    const double survivors = h.predictPostFullGc() - h.live();
+    const double post_young = h.live() + h.oldDebris() + survivors;
+    const bool young_insufficient = post_young + bytes > eff;
+
+    if (young_insufficient && mixed_credits_ == 0) {
+        if (h.predictPostFullGc() + bytes > eff)
+            return runtime::AllocResponse::oom();
+        pending_kind_ = runtime::GcPhase::FullPause;
+    } else if (mixed_credits_ > 0) {
+        pending_kind_ = runtime::GcPhase::MixedPause;
+    } else {
+        pending_kind_ = runtime::GcPhase::YoungPause;
+    }
+
+    trigger_ = true;
+    kickController();
+    return runtime::AllocResponse::stall(stallCond());
+}
+
+sim::Action
+G1Collector::Controller::resume(sim::Engine &engine)
+{
+    auto &gc = owner_;
+    while (true) {
+        switch (state_) {
+          case State::Idle: {
+            if (gc.shutdownRequested())
+                return sim::Action::exit();
+            if (!gc.trigger_)
+                return sim::Action::wait(gc.wakeCond());
+            gc.trigger_ = false;
+
+            gc.world().stopTheWorld();
+            pause_begin_ = engine.now();
+            phase_kind_ = gc.pending_kind_;
+            phase_token_ = gc.log().beginPhase(pause_begin_, phase_kind_);
+            pause_cpu_mark_ = engine.cpuTime(self_);
+
+            switch (phase_kind_) {
+              case runtime::GcPhase::YoungPause:
+                current_ = gc.heap().collectYoung();
+                break;
+              case runtime::GcPhase::MixedPause: {
+                const double frac =
+                    1.0 / std::max(1, gc.mixed_credits_);
+                current_ = gc.heap().collectMixed(frac);
+                --gc.mixed_credits_;
+                break;
+              }
+              case runtime::GcPhase::FullPause:
+                current_ = gc.heap().collectFull();
+                gc.mixed_credits_ = 0;
+                break;
+              default:
+                CAPO_PANIC("unexpected G1 pause kind");
+            }
+            state_ = State::Safepoint;
+            return sim::Action::sleepUntil(engine.now() +
+                                           gc.tuning().ttsp_ns);
+          }
+
+          case State::Safepoint: {
+            const auto &t = gc.tuning();
+            double fixed_scale = 1.0;
+            double cost_scale = 1.0;
+            double width = t.stw_width;
+            if (phase_kind_ == runtime::GcPhase::FullPause) {
+                // G1's full GC is a slow, poorly-parallelized
+                // fallback: long pauses that evaluations should never
+                // mistake for normal operation.
+                fixed_scale = 2.0;
+                cost_scale = 1.8;
+                width = std::max(1.0, t.stw_width * 0.25);
+            }
+            const double work =
+                t.fixed_pause_wall_ns * width * fixed_scale +
+                cost_scale * (current_.traced * t.trace_ns_per_byte +
+                              current_.evacuated * t.copy_ns_per_byte) +
+                current_.fresh_processed * t.young_sweep_ns_per_byte;
+            state_ = State::Work;
+            return sim::Action::compute(work, width);
+          }
+
+          case State::Work: {
+            const double cpu = engine.cpuTime(self_) - pause_cpu_mark_;
+            gc.log().endPhase(phase_token_, engine.now(), cpu);
+
+            runtime::CycleRecord cycle;
+            cycle.begin = pause_begin_;
+            cycle.end = engine.now();
+            cycle.kind = phase_kind_;
+            cycle.traced = current_.traced;
+            cycle.reclaimed = current_.reclaimed;
+            cycle.post_gc_bytes = current_.post_gc;
+            gc.log().recordCycle(cycle);
+
+            gc.world().resumeTheWorld();
+            engine.notifyAll(gc.stallCond());
+            state_ = State::Idle;
+            continue;
+          }
+        }
+    }
+}
+
+sim::Action
+G1Collector::Marker::resume(sim::Engine &engine)
+{
+    auto &gc = owner_;
+    while (true) {
+        switch (state_) {
+          case State::Idle: {
+            if (gc.shutdownRequested())
+                return sim::Action::exit();
+            if (!gc.mark_requested_)
+                return sim::Action::wait(gc.mark_cond_);
+            gc.mark_requested_ = false;
+            gc.marking_ = true;
+
+            phase_token_ = gc.log().beginPhase(
+                engine.now(), runtime::GcPhase::Concurrent);
+            cpu_mark_ = engine.cpuTime(self_);
+
+            const auto &t = gc.tuning();
+            const double to_mark =
+                gc.heap().live() + gc.heap().oldDebris();
+            state_ = State::Marking;
+            return sim::Action::compute(to_mark * t.mark_ns_per_byte,
+                                        t.mark_width);
+          }
+
+          case State::Marking: {
+            const double cpu = engine.cpuTime(self_) - cpu_mark_;
+            gc.log().endPhase(phase_token_, engine.now(), cpu);
+            gc.marking_ = false;
+            gc.mixed_credits_ = gc.tuning().mixed_pause_count;
+            state_ = State::Idle;
+            continue;
+          }
+        }
+    }
+}
+
+} // namespace capo::gc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The G1 collector model (2009).
+ *
+ * G1 is generational and region-based: frequent young STW pauses,
+ * concurrent whole-heap marking started when occupancy crosses the
+ * initiating threshold (IHOP), and a sequence of mixed STW pauses that
+ * evacuate the most-garbage-rich old regions after marking completes.
+ * A serial-ish full collection is the fallback when evacuation cannot
+ * keep up. Compared with Parallel, G1 pays more fixed cost per pause
+ * (remembered sets, region management) and extra concurrent CPU — the
+ * task-clock regression visible in the paper's Figure 1(b).
+ */
+
+#ifndef CAPO_GC_G1_COLLECTOR_HH
+#define CAPO_GC_G1_COLLECTOR_HH
+
+#include "gc/collector_base.hh"
+#include "sim/agent.hh"
+
+namespace capo::gc {
+
+/**
+ * Region-based generational collector with concurrent marking.
+ */
+class G1Collector : public CollectorBase
+{
+  public:
+    explicit G1Collector(const GcTuning &tuning, double footprint = 1.0);
+
+    runtime::AllocResponse request(double bytes) override;
+
+    /** Also wakes the marker so it can exit. */
+    void shutdown() override;
+
+  protected:
+    void onAttach() override;
+
+  private:
+    /** STW pause controller agent. */
+    class Controller : public sim::Agent
+    {
+      public:
+        explicit Controller(G1Collector &owner) : owner_(owner) {}
+        std::string_view name() const override { return "g1-ctrl"; }
+        sim::Action resume(sim::Engine &engine) override;
+
+      private:
+        enum class State { Idle, Safepoint, Work };
+        G1Collector &owner_;
+        State state_ = State::Idle;
+        runtime::GcPhase phase_kind_ = runtime::GcPhase::YoungPause;
+        runtime::GcEventLog::PhaseToken phase_token_ = 0;
+        heap::HeapSpace::Collection current_;
+        double pause_cpu_mark_ = 0.0;
+        sim::Time pause_begin_ = 0.0;
+        sim::AgentId self_ = sim::kInvalidAgent;
+
+        friend class G1Collector;
+    };
+
+    /** Concurrent marking agent. */
+    class Marker : public sim::Agent
+    {
+      public:
+        explicit Marker(G1Collector &owner) : owner_(owner) {}
+        std::string_view name() const override { return "g1-marker"; }
+        sim::Action resume(sim::Engine &engine) override;
+
+      private:
+        enum class State { Idle, Marking };
+        G1Collector &owner_;
+        State state_ = State::Idle;
+        runtime::GcEventLog::PhaseToken phase_token_ = 0;
+        double cpu_mark_ = 0.0;
+        sim::AgentId self_ = sim::kInvalidAgent;
+
+        friend class G1Collector;
+    };
+
+    double youngTarget() const;
+
+    Controller controller_{*this};
+    Marker marker_{*this};
+    sim::CondId mark_cond_ = sim::kInvalidCond;
+
+    bool trigger_ = false;
+    runtime::GcPhase pending_kind_ = runtime::GcPhase::YoungPause;
+    bool mark_requested_ = false;
+    bool marking_ = false;
+    int mixed_credits_ = 0;
+};
+
+} // namespace capo::gc
+
+#endif // CAPO_GC_G1_COLLECTOR_HH

@@ -1,0 +1,137 @@
+#include "gc/stw_collector.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::gc {
+
+StwCollector::StwCollector(std::string name, int year,
+                           const GcTuning &tuning, double footprint)
+    : CollectorBase(std::move(name), year, tuning, footprint)
+{
+}
+
+void
+StwCollector::onAttach()
+{
+    self_ = engine().addAgent(this);
+}
+
+double
+StwCollector::youngTarget() const
+{
+    const auto &h = heap();
+    const double mature = h.live() + h.oldDebris();
+    const double free_for_young = effectiveCapacity() - mature;
+    return std::max(tuning().young_fraction * free_for_young,
+                    0.02 * h.capacity());
+}
+
+runtime::AllocResponse
+StwCollector::request(double bytes)
+{
+    auto &h = heap();
+    const double eff = effectiveCapacity();
+
+    const bool fits = h.occupied() + bytes <= eff;
+    // Trigger on *accumulated* fresh bytes only: a freshly-emptied
+    // nursery always grants, guaranteeing mutator progress even when
+    // one allocation chunk exceeds the nursery target.
+    const bool young_full = h.fresh() >= youngTarget();
+
+    if (fits && !young_full) {
+        h.fill(bytes);
+        return runtime::AllocResponse::granted();
+    }
+
+    // A collection is needed; pick its kind. A young collection frees
+    // dead fresh bytes but promotes survivors; if that would still not
+    // make room (or debris has piled up), escalate to a full GC.
+    const double post_young = h.predictPostFullGc() + h.oldDebris();
+    const bool debris_heavy =
+        h.oldDebris() >= tuning().debris_trigger * h.capacity();
+    const bool young_insufficient = post_young + bytes > eff;
+
+    pending_full_ = debris_heavy || young_insufficient;
+    if (pending_full_ && h.predictPostFullGc() + bytes > eff)
+        return runtime::AllocResponse::oom();
+
+    trigger_ = true;
+    kickController();
+    return runtime::AllocResponse::stall(stallCond());
+}
+
+double
+StwCollector::pauseWork(const heap::HeapSpace::Collection &c,
+                        bool full) const
+{
+    const auto &t = tuning();
+    const double fixed_scale = full ? 1.6 : 1.0;
+    return t.fixed_pause_wall_ns * t.stw_width * fixed_scale +
+           c.traced * t.trace_ns_per_byte +
+           c.evacuated * t.copy_ns_per_byte +
+           c.fresh_processed * t.young_sweep_ns_per_byte;
+}
+
+sim::Action
+StwCollector::resume(sim::Engine &engine)
+{
+    while (true) {
+        switch (state_) {
+          case State::Idle: {
+            if (shutdownRequested())
+                return sim::Action::exit();
+            if (!trigger_)
+                return sim::Action::wait(wakeCond());
+            trigger_ = false;
+
+            // Safepoint: stop the world, then pay time-to-safepoint.
+            world().stopTheWorld();
+            pause_begin_ = engine.now();
+            phase_kind_ = pending_full_ ? runtime::GcPhase::FullPause
+                                        : runtime::GcPhase::YoungPause;
+            phase_token_ = log().beginPhase(pause_begin_, phase_kind_);
+            pause_cpu_mark_ = engine.cpuTime(self_);
+            // Collect at pause start: mutators are stopped, so the
+            // space is unobservable until the stall wakeup anyway.
+            current_ = pending_full_ ? heap().collectFull()
+                                     : heap().collectYoung();
+            state_ = State::Safepoint;
+            return sim::Action::sleepUntil(engine.now() +
+                                           tuning().ttsp_ns);
+          }
+
+          case State::Safepoint:
+            state_ = State::Work;
+            return sim::Action::compute(
+                pauseWork(current_,
+                          phase_kind_ == runtime::GcPhase::FullPause),
+                tuning().stw_width);
+
+          case State::Work: {
+            const double cpu = engine.cpuTime(self_) - pause_cpu_mark_;
+            log().endPhase(phase_token_, engine.now(), cpu);
+
+            runtime::CycleRecord cycle;
+            cycle.begin = pause_begin_;
+            cycle.end = engine.now();
+            cycle.kind = phase_kind_;
+            cycle.traced = current_.traced;
+            cycle.reclaimed = current_.reclaimed;
+            cycle.post_gc_bytes = current_.post_gc;
+            log().recordCycle(cycle);
+
+            world().resumeTheWorld();
+            engine.notifyAll(stallCond());
+            state_ = State::Idle;
+            continue;
+          }
+
+          case State::Finish:
+            return sim::Action::exit();
+        }
+    }
+}
+
+} // namespace capo::gc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stop-the-world generational collectors: Serial (1998) and
+ * Parallel/throughput (2005).
+ *
+ * Both designs collect entirely inside safepoints: a nursery
+ * collection when the young allocation target fills, and a full
+ * collection when mature debris accumulates or a young collection
+ * would not make enough room. They differ in the parallelism of their
+ * pauses (Serial uses one thread; Parallel uses them all, at imperfect
+ * efficiency) and in fixed synchronization costs — which is precisely
+ * the wall-clock vs task-clock divergence the paper's Figure 1 shows.
+ */
+
+#ifndef CAPO_GC_STW_COLLECTOR_HH
+#define CAPO_GC_STW_COLLECTOR_HH
+
+#include "gc/collector_base.hh"
+#include "sim/agent.hh"
+
+namespace capo::gc {
+
+/**
+ * A generational collector performing all work in STW pauses.
+ */
+class StwCollector : public CollectorBase, private sim::Agent
+{
+  public:
+    StwCollector(std::string name, int year, const GcTuning &tuning,
+                 double footprint = 1.0);
+
+    /** Both base classes declare name(); one override serves both. */
+    std::string_view
+    name() const override
+    {
+        return CollectorBase::name();
+    }
+
+    runtime::AllocResponse request(double bytes) override;
+
+  protected:
+    void onAttach() override;
+
+  private:
+    sim::Action resume(sim::Engine &engine) override;
+
+    /** Nursery target: how much fresh allocation before a young GC. */
+    double youngTarget() const;
+
+    /** Pause CPU work for the completed collection @p c. */
+    double pauseWork(const heap::HeapSpace::Collection &c,
+                     bool full) const;
+
+    enum class State { Idle, Safepoint, Work, Finish };
+    State state_ = State::Idle;
+    bool trigger_ = false;
+    bool pending_full_ = false;
+
+    runtime::GcPhase phase_kind_ = runtime::GcPhase::YoungPause;
+    runtime::GcEventLog::PhaseToken phase_token_ = 0;
+    heap::HeapSpace::Collection current_;
+    double pause_cpu_mark_ = 0.0;
+    sim::Time pause_begin_ = 0.0;
+    sim::AgentId self_ = sim::kInvalidAgent;
+};
+
+} // namespace capo::gc
+
+#endif // CAPO_GC_STW_COLLECTOR_HH

@@ -1,0 +1,108 @@
+#include "gc/tuning.hh"
+
+namespace capo::gc {
+
+GcTuning
+serialTuning()
+{
+    GcTuning t;
+    t.stw_width = 1.0;
+    t.fixed_pause_wall_ns = 55e3;
+    t.trace_ns_per_byte = 1.0;
+    t.copy_ns_per_byte = 1.1;
+    t.young_sweep_ns_per_byte = 0.11;
+    t.ttsp_ns = 12e3;
+    t.young_fraction = 0.85;
+    t.debris_trigger = 0.35;
+    t.reserve_fraction = 0.03;
+    t.barrier_factor = 1.010;
+    return t;
+}
+
+GcTuning
+parallelTuning()
+{
+    GcTuning t;
+    // 14 GC threads with ~60 % parallel efficiency.
+    t.stw_width = 8.5;
+    t.fixed_pause_wall_ns = 140e3;
+    t.trace_ns_per_byte = 1.0;
+    t.copy_ns_per_byte = 1.15;
+    t.young_sweep_ns_per_byte = 0.13;
+    t.ttsp_ns = 15e3;
+    t.young_fraction = 0.85;
+    t.debris_trigger = 0.35;
+    t.reserve_fraction = 0.04;
+    t.barrier_factor = 1.015;
+    return t;
+}
+
+GcTuning
+g1Tuning()
+{
+    GcTuning t;
+    t.stw_width = 8.0;
+    t.fixed_pause_wall_ns = 110e3;
+    t.trace_ns_per_byte = 1.1;
+    t.copy_ns_per_byte = 1.45;  // region evacuation + remembered sets
+    t.young_sweep_ns_per_byte = 0.13;
+    t.ttsp_ns = 15e3;
+    t.young_fraction = 0.60;
+    t.debris_trigger = 0.40;
+    t.reserve_fraction = 0.10;
+    t.barrier_factor = 1.045;
+    t.ihop_fraction = 0.60;
+    t.mark_width = 3.0;
+    t.mark_ns_per_byte = 1.0;
+    t.mixed_pause_count = 4;
+    return t;
+}
+
+GcTuning
+shenandoahTuning()
+{
+    GcTuning t;
+    t.stw_width = 8.0;
+    t.ttsp_ns = 15e3;
+    t.reserve_fraction = 0.08;
+    t.barrier_factor = 1.080;
+    t.trigger_fraction = 0.72;
+    t.conc_width = 8.0;
+    t.conc_ns_per_byte = 1.1;  // mark + evacuate + update references
+    t.init_pause_wall_ns = 60e3;
+    t.final_pause_wall_ns = 90e3;
+    t.pacing = true;
+    t.pace_free_threshold = 0.30;
+    t.pace_floor = 0.05;
+    return t;
+}
+
+GcTuning
+zgcTuning()
+{
+    GcTuning t;
+    t.stw_width = 8.0;
+    t.ttsp_ns = 12e3;
+    t.reserve_fraction = 0.08;
+    t.barrier_factor = 1.060;
+    t.trigger_fraction = 0.62;
+    t.conc_width = 8.0;
+    t.conc_ns_per_byte = 1.3;  // mark + relocate + remap
+    t.init_pause_wall_ns = 40e3;
+    t.final_pause_wall_ns = 60e3;
+    t.pacing = false;  // ZGC stalls allocations instead of pacing
+    return t;
+}
+
+GcTuning
+genZgcTuning()
+{
+    GcTuning t = zgcTuning();
+    t.barrier_factor = 1.075;   // extra generational barriers
+    t.generational = true;
+    t.young_cycle_cost_scale = 0.30;
+    t.trigger_fraction = 0.65;
+    return t;
+}
+
+} // namespace capo::gc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Collector cost models and policy constants.
+ *
+ * Each production collector is described by a GcTuning record: how
+ * parallel its pauses are, what tracing/copying cost per byte it pays,
+ * when it triggers, how it behaves under allocation pressure. The
+ * defaults are calibrated so the suite-wide behaviours reported by the
+ * paper *emerge* from the simulation (see DESIGN.md §4): the cost
+ * ordering Serial < Parallel < G1 < Shenandoah/ZGC on task clock, the
+ * wall-clock advantage of parallel and concurrent designs, pacing
+ * throttle on fast allocators, and allocation-stall collapse of
+ * concurrent collectors in small heaps.
+ *
+ * Cost magnitudes are anchored to real-world GC throughput: a single
+ * collector thread traces roughly 1 GB/s (~1 ns/byte) and evacuates at
+ * a similar order, and parallel phases scale imperfectly.
+ */
+
+#ifndef CAPO_GC_TUNING_HH
+#define CAPO_GC_TUNING_HH
+
+namespace capo::gc {
+
+/**
+ * Numeric model of one collector design.
+ */
+struct GcTuning
+{
+    /** @{ Parallelism. */
+    double stw_width = 1.0;    ///< Effective parallel width of pauses.
+    double conc_width = 0.0;   ///< Effective width of concurrent work.
+    /** @} */
+
+    /** @{ Pause cost model (CPU-ns). A pause costs
+     *  fixed_pause_wall_ns x stw_width (synchronization and root work
+     *  keep every GC thread busy) plus per-byte tracing/copy terms. */
+    double fixed_pause_wall_ns = 50e3;
+    double trace_ns_per_byte = 0.9;
+    double copy_ns_per_byte = 1.1;
+
+    /** Per-byte cost of processing the collected nursery (card/root
+     *  scanning, sweeping): applied to the fresh bytes examined. */
+    double young_sweep_ns_per_byte = 0.08;
+    /** @} */
+
+    /** Time-to-safepoint added to the front of every pause (wall ns). */
+    double ttsp_ns = 15e3;
+
+    /** @{ Generational policy (STW and G1 families). */
+    double young_fraction = 0.85;  ///< Nursery as a fraction of free.
+    double debris_trigger = 0.30;  ///< Full/mark trigger on debris/capacity.
+    /** @} */
+
+    /** Fraction of capacity withheld as collector headroom. */
+    double reserve_fraction = 0.05;
+
+    /** Mutator work multiplier from barriers/alloc paths. */
+    double barrier_factor = 1.01;
+
+    /** @{ Concurrent-cycle model (Shenandoah/ZGC families). */
+    double trigger_fraction = 0.70;  ///< Cycle starts at this occupancy.
+    double conc_ns_per_byte = 2.8;   ///< Concurrent cost per live byte.
+    double init_pause_wall_ns = 60e3;
+    double final_pause_wall_ns = 80e3;
+    bool pacing = false;             ///< Shenandoah-style pacing.
+    double pace_free_threshold = 0.30;  ///< Pace when free/capacity below.
+    double pace_floor = 0.05;        ///< Lowest pacing speed factor.
+    /** @} */
+
+    /** G1: number of mixed pauses that follow one marking cycle. */
+    int mixed_pause_count = 4;
+
+    /** G1: occupancy fraction starting concurrent marking (IHOP). */
+    double ihop_fraction = 0.60;
+
+    /** G1: effective width of concurrent marking threads. */
+    double mark_width = 3.0;
+
+    /** G1: marking cost per live byte (CPU-ns). */
+    double mark_ns_per_byte = 0.9;
+
+    /**
+     * Generational concurrent collectors (GenZGC): fraction of cycles
+     * that are young-only, and their relative cost.
+     */
+    bool generational = false;
+    double young_cycle_cost_scale = 0.25;
+};
+
+/** @{ Default tunings for the five production collectors (plus the
+ *  Generational ZGC extension). Years are when the design entered the
+ *  JVM, matching the paper's Figure 1 legend. */
+GcTuning serialTuning();      ///< 1998
+GcTuning parallelTuning();    ///< 2005
+GcTuning g1Tuning();          ///< 2009
+GcTuning shenandoahTuning();  ///< 2014
+GcTuning zgcTuning();         ///< 2018
+GcTuning genZgcTuning();      ///< 2023 (extension)
+/** @} */
+
+} // namespace capo::gc
+
+#endif // CAPO_GC_TUNING_HH

@@ -1,0 +1,62 @@
+#include "harness/lbo_experiment.hh"
+
+#include "metrics/summary.hh"
+#include "support/logging.hh"
+
+namespace capo::harness {
+
+WorkloadLbo
+runLboSweep(const workloads::Descriptor &workload,
+            const LboSweepOptions &options)
+{
+    Runner runner(options.base);
+    WorkloadLbo result;
+    result.workload = workload.name;
+
+    for (auto algorithm : options.collectors) {
+        const std::string name = gc::algorithmName(algorithm);
+        for (double factor : options.factors) {
+            const auto set = runner.run(workload, algorithm, factor);
+            const bool ok = set.allCompleted();
+            result.completed[{name, factor}] = ok;
+            if (ok)
+                result.analysis.add(name, factor, set.meanTimedCost());
+        }
+    }
+    return result;
+}
+
+std::vector<SuiteLboPoint>
+aggregateSuiteLbo(const std::vector<WorkloadLbo> &per_workload,
+                  const LboSweepOptions &options)
+{
+    std::vector<SuiteLboPoint> points;
+    for (auto algorithm : options.collectors) {
+        const std::string name = gc::algorithmName(algorithm);
+        for (double factor : options.factors) {
+            SuiteLboPoint point;
+            point.collector = name;
+            point.factor = factor;
+
+            std::vector<double> walls, cpus;
+            for (const auto &w : per_workload) {
+                if (!w.completedAt(name, factor))
+                    continue;
+                const auto o = w.analysis.overhead(name, factor);
+                walls.push_back(o.wall);
+                cpus.push_back(o.cpu);
+            }
+            point.completed = walls.size();
+            point.plotted = point.completed == per_workload.size() &&
+                            !per_workload.empty();
+            if (!walls.empty()) {
+                point.wall_geomean = metrics::geomean(walls);
+                point.cpu_geomean = metrics::geomean(cpus);
+            }
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+} // namespace capo::harness

@@ -1,0 +1,61 @@
+#include "harness/minheap.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::harness {
+
+MinHeapResult
+findMinHeapMb(const workloads::Descriptor &workload,
+              gc::Algorithm algorithm, const ExperimentOptions &options,
+              double tolerance)
+{
+    // Probe runs: one invocation, few iterations, tight time cap so
+    // thrashing configurations fail fast instead of crawling.
+    ExperimentOptions probe = options;
+    probe.invocations = 1;
+    probe.iterations = std::min(options.iterations, 2);
+    probe.trace_rate = false;
+    Runner runner(probe);
+
+    const double reference =
+        workloads::sizeMinHeapMb(workload, options.size);
+
+    MinHeapResult result;
+    auto completes = [&](double heap_mb) {
+        ++result.probes;
+        const auto run = runner.runOnce(workload, algorithm, heap_mb, 0);
+        return run.usable();
+    };
+
+    // Bracket: grow upward from a clearly-too-small start.
+    double lo = reference * 0.25;
+    double hi = reference * 0.5;
+    while (!completes(hi)) {
+        lo = hi;
+        hi *= 2.0;
+        if (hi > reference * 64.0) {
+            support::warn("min-heap search for ", workload.name, "/",
+                          gc::algorithmName(algorithm),
+                          " failed to bracket");
+            result.min_heap_mb = hi;
+            return result;
+        }
+    }
+
+    // Bisect.
+    while ((hi - lo) / hi > tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (completes(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    result.min_heap_mb = hi;
+    result.converged = true;
+    return result;
+}
+
+} // namespace capo::harness

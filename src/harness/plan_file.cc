@@ -1,0 +1,218 @@
+#include "harness/plan_file.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "workloads/plans.hh"
+#include "workloads/registry.hh"
+
+namespace capo::harness {
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+lower(std::string text)
+{
+    for (auto &c : text)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return text;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+std::vector<std::string>
+resolveWorkloads(const std::string &value)
+{
+    const std::string spec = lower(trim(value));
+    if (spec == "all")
+        return workloads::names();
+    if (spec == "latency") {
+        std::vector<std::string> out;
+        for (const auto *d : workloads::latencySensitive())
+            out.push_back(d->name);
+        return out;
+    }
+    std::vector<std::string> out;
+    for (const auto &name : splitList(value)) {
+        if (!workloads::contains(name))
+            support::fatal("plan file: unknown workload '", name, "'");
+        out.push_back(name);
+    }
+    if (out.empty())
+        support::fatal("plan file: empty workload list");
+    return out;
+}
+
+std::vector<gc::Algorithm>
+resolveCollectors(const std::string &value)
+{
+    const std::string spec = lower(trim(value));
+    if (spec == "production")
+        return gc::productionCollectors();
+    if (spec == "all")
+        return gc::allCollectors();
+    std::vector<gc::Algorithm> out;
+    for (const auto &name : splitList(value))
+        out.push_back(gc::algorithmFromName(name));
+    if (out.empty())
+        support::fatal("plan file: empty collector list");
+    return out;
+}
+
+workloads::SizeConfig
+resolveSize(const std::string &value)
+{
+    const std::string spec = lower(trim(value));
+    if (spec == "small")
+        return workloads::SizeConfig::Small;
+    if (spec == "default")
+        return workloads::SizeConfig::Default;
+    if (spec == "large")
+        return workloads::SizeConfig::Large;
+    if (spec == "vlarge")
+        return workloads::SizeConfig::VLarge;
+    support::fatal("plan file: unknown size '", value, "'");
+}
+
+} // namespace
+
+const char *
+planKindName(ExperimentPlan::Kind kind)
+{
+    switch (kind) {
+      case ExperimentPlan::Kind::Lbo:
+        return "lbo";
+      case ExperimentPlan::Kind::Latency:
+        return "latency";
+      case ExperimentPlan::Kind::MinHeap:
+        return "minheap";
+    }
+    return "?";
+}
+
+ExperimentPlan
+parsePlan(const std::string &text)
+{
+    ExperimentPlan plan;
+    plan.workloads = workloads::names();
+    plan.collectors = gc::productionCollectors();
+
+    std::stringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            support::fatal("plan file line ", line_no,
+                           ": expected key = value, got '", line, "'");
+        }
+        const std::string key = lower(trim(line.substr(0, eq)));
+        const std::string value = trim(line.substr(eq + 1));
+
+        if (key == "experiment") {
+            const std::string kind = lower(value);
+            if (kind == "lbo")
+                plan.kind = ExperimentPlan::Kind::Lbo;
+            else if (kind == "latency")
+                plan.kind = ExperimentPlan::Kind::Latency;
+            else if (kind == "minheap")
+                plan.kind = ExperimentPlan::Kind::MinHeap;
+            else
+                support::fatal("plan file: unknown experiment '", value,
+                               "'");
+        } else if (key == "workloads") {
+            plan.workloads = resolveWorkloads(value);
+        } else if (key == "collectors") {
+            plan.collectors = resolveCollectors(value);
+        } else if (key == "heap_factors") {
+            plan.heap_factors.clear();
+            for (const auto &item : splitList(value)) {
+                try {
+                    plan.heap_factors.push_back(std::stod(item));
+                } catch (...) {
+                    support::fatal("plan file: bad heap factor '", item,
+                                   "'");
+                }
+            }
+            if (plan.heap_factors.empty())
+                support::fatal("plan file: empty heap_factors");
+        } else if (key == "iterations") {
+            plan.options.iterations = std::stoi(value);
+        } else if (key == "invocations") {
+            plan.options.invocations = std::stoi(value);
+        } else if (key == "size") {
+            plan.options.size = resolveSize(value);
+        } else if (key == "seed") {
+            plan.options.base_seed = std::stoull(value);
+        } else {
+            support::fatal("plan file line ", line_no,
+                           ": unknown key '", key, "'");
+        }
+    }
+
+    // Latency experiments only make sense on latency-sensitive
+    // workloads; filter silently so "workloads = all" works.
+    if (plan.kind == ExperimentPlan::Kind::Latency) {
+        std::vector<std::string> filtered;
+        for (const auto &name : plan.workloads) {
+            if (workloads::byName(name).latency_sensitive)
+                filtered.push_back(name);
+        }
+        if (filtered.empty())
+            support::fatal("plan file: latency experiment with no "
+                           "latency-sensitive workloads");
+        plan.workloads = filtered;
+        plan.options.trace_rate = true;
+    }
+    return plan;
+}
+
+ExperimentPlan
+loadPlan(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        support::fatal("cannot read plan file '", path, "'");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parsePlan(buffer.str());
+}
+
+} // namespace capo::harness

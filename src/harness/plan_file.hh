@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment definition files: capo's running-ng equivalent.
+ *
+ * The paper's artifact automates experiments with running-ng and
+ * composable YAML definitions ("runbms ./results ./experiments/
+ * lbo.yml"). Capo provides the same workflow with a deliberately
+ * small line-oriented format:
+ *
+ *     # comments and blank lines are ignored
+ *     experiment   = lbo            # lbo | latency | minheap
+ *     workloads    = lusearch, h2   # names, or "all" / "latency"
+ *     collectors   = serial, g1, zgc  # or "production" / "all"
+ *     heap_factors = 1.5, 2, 3, 6
+ *     iterations   = 5
+ *     invocations  = 10
+ *     size         = default        # small | default | large | vlarge
+ *     seed         = 1234
+ *
+ * See `examples/runbms.cpp` for the executor.
+ */
+
+#ifndef CAPO_HARNESS_PLAN_FILE_HH
+#define CAPO_HARNESS_PLAN_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "gc/factory.hh"
+#include "harness/runner.hh"
+
+namespace capo::harness {
+
+/** What a definition file asks capo to run. */
+struct ExperimentPlan
+{
+    enum class Kind { Lbo, Latency, MinHeap };
+
+    Kind kind = Kind::Lbo;
+    std::vector<std::string> workloads;     ///< Resolved names.
+    std::vector<gc::Algorithm> collectors;  ///< Resolved algorithms.
+    std::vector<double> heap_factors = {2.0};
+    ExperimentOptions options;
+};
+
+/** Parse a definition from text; fatal on malformed input. */
+ExperimentPlan parsePlan(const std::string &text);
+
+/** Load and parse a definition file; fatal if unreadable. */
+ExperimentPlan loadPlan(const std::string &path);
+
+/** Printable name of an experiment kind. */
+const char *planKindName(ExperimentPlan::Kind kind);
+
+} // namespace capo::harness
+
+#endif // CAPO_HARNESS_PLAN_FILE_HH

@@ -1,0 +1,125 @@
+#include "harness/runner.hh"
+
+#include "support/logging.hh"
+
+namespace capo::harness {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+} // namespace
+
+bool
+InvocationSet::allCompleted() const
+{
+    if (runs.empty())
+        return false;
+    for (const auto &r : runs) {
+        if (!r.usable())
+            return false;
+    }
+    return true;
+}
+
+metrics::RunCost
+InvocationSet::meanTimedCost() const
+{
+    metrics::RunCost cost;
+    std::size_t n = 0;
+    for (const auto &r : runs) {
+        if (!r.usable())
+            continue;
+        cost.wall += r.timed.wall;
+        cost.cpu += r.timed.cpu;
+        cost.stw_wall += r.timed.stw_wall;
+        cost.stw_cpu += r.timed.stw_cpu;
+        ++n;
+    }
+    CAPO_ASSERT(n > 0, "no completed invocations to average");
+    cost.wall /= n;
+    cost.cpu /= n;
+    cost.stw_wall /= n;
+    cost.stw_cpu /= n;
+    return cost;
+}
+
+std::vector<double>
+InvocationSet::timedWalls() const
+{
+    std::vector<double> out;
+    for (const auto &r : runs) {
+        if (r.usable())
+            out.push_back(r.timed.wall);
+    }
+    return out;
+}
+
+std::vector<double>
+InvocationSet::timedCpus() const
+{
+    std::vector<double> out;
+    for (const auto &r : runs) {
+        if (r.usable())
+            out.push_back(r.timed.cpu);
+    }
+    return out;
+}
+
+Runner::Runner(const ExperimentOptions &options)
+    : options_(options)
+{
+    CAPO_ASSERT(options.iterations >= 1, "need at least one iteration");
+    CAPO_ASSERT(options.invocations >= 1,
+                "need at least one invocation");
+}
+
+runtime::ExecutionResult
+Runner::runOnce(const workloads::Descriptor &workload,
+                gc::Algorithm algorithm, double heap_mb,
+                int invocation) const
+{
+    const auto setup = workloads::makeSetup(
+        workload, options_.machine, options_.size, options_.iterations);
+
+    auto collector =
+        gc::makeCollector(algorithm, setup.pointer_footprint);
+
+    runtime::ExecutionConfig config;
+    config.cpus = options_.machine.cpus;
+    config.heap_bytes = heap_mb * kMb;
+    config.survivor_fraction = setup.survivor_fraction;
+    // Reference nursery for survival scaling: what a young collection
+    // examines at the calibration point (2x min heap).
+    config.survivor_reference_bytes =
+        0.95 * setup.reference_min_heap_bytes;
+    config.seed = options_.base_seed +
+                  0x9e3779b9ULL * static_cast<std::uint64_t>(invocation);
+    config.trace_rate = options_.trace_rate;
+    config.time_limit_sec = options_.time_limit_sec;
+
+    return runtime::runExecution(config, setup.plan, setup.live,
+                                 *collector);
+}
+
+InvocationSet
+Runner::runAtHeapMb(const workloads::Descriptor &workload,
+                    gc::Algorithm algorithm, double heap_mb) const
+{
+    InvocationSet set;
+    for (int inv = 0; inv < options_.invocations; ++inv)
+        set.runs.push_back(runOnce(workload, algorithm, heap_mb, inv));
+    return set;
+}
+
+InvocationSet
+Runner::run(const workloads::Descriptor &workload,
+            gc::Algorithm algorithm, double heap_factor) const
+{
+    CAPO_ASSERT(heap_factor > 0.0, "heap factor must be positive");
+    const double min_mb =
+        workloads::sizeMinHeapMb(workload, options_.size);
+    return runAtHeapMb(workload, algorithm, heap_factor * min_mb);
+}
+
+} // namespace capo::harness

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment runner: DaCapo/running-ng style invocation management.
+ *
+ * The paper's methodology (Section 6.1): run n iterations per
+ * invocation timing the last, repeat for several invocations, report
+ * means with 95 % confidence intervals, and express heap sizes as
+ * multiples of each benchmark's nominal minimum heap (GMD).
+ */
+
+#ifndef CAPO_HARNESS_RUNNER_HH
+#define CAPO_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "counters/machine.hh"
+#include "gc/factory.hh"
+#include "metrics/lbo.hh"
+#include "metrics/summary.hh"
+#include "runtime/execution.hh"
+#include "workloads/plans.hh"
+#include "workloads/registry.hh"
+
+namespace capo::harness {
+
+/** Options shared by every experiment. */
+struct ExperimentOptions
+{
+    int iterations = 5;    ///< DaCapo -n (time the last).
+    int invocations = 5;   ///< Repeats for confidence intervals.
+    counters::MachineConfig machine;
+    workloads::SizeConfig size = workloads::SizeConfig::Default;
+    std::uint64_t base_seed = 0x5eed;
+    bool trace_rate = false;       ///< Needed for latency synthesis.
+    double time_limit_sec = 2000;  ///< Per-invocation sim-time cap.
+};
+
+/** Results of all invocations of one configuration. */
+struct InvocationSet
+{
+    std::vector<runtime::ExecutionResult> runs;
+
+    /** Did every invocation complete (no OOM/timeout)? */
+    bool allCompleted() const;
+
+    /** Mean timed-iteration costs over completed runs (LBO input). */
+    metrics::RunCost meanTimedCost() const;
+
+    /** Timed-iteration wall times of completed runs. */
+    std::vector<double> timedWalls() const;
+
+    /** Timed-iteration task clocks of completed runs. */
+    std::vector<double> timedCpus() const;
+};
+
+/**
+ * Runs workload/collector/heap configurations.
+ */
+class Runner
+{
+  public:
+    explicit Runner(const ExperimentOptions &options);
+
+    /**
+     * Run all invocations of one configuration.
+     *
+     * @param heap_factor -Xmx as a multiple of the workload's nominal
+     *        minimum heap for the chosen size configuration (paper
+     *        recommendation H2).
+     */
+    InvocationSet run(const workloads::Descriptor &workload,
+                      gc::Algorithm algorithm, double heap_factor) const;
+
+    /** Run with an explicit -Xmx in MB. */
+    InvocationSet runAtHeapMb(const workloads::Descriptor &workload,
+                              gc::Algorithm algorithm,
+                              double heap_mb) const;
+
+    /** Single invocation with an explicit heap and invocation index. */
+    runtime::ExecutionResult
+    runOnce(const workloads::Descriptor &workload,
+            gc::Algorithm algorithm, double heap_mb,
+            int invocation) const;
+
+    const ExperimentOptions &options() const { return options_; }
+
+  private:
+    ExperimentOptions options_;
+};
+
+} // namespace capo::harness
+
+#endif // CAPO_HARNESS_RUNNER_HH

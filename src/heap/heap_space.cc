@@ -1,0 +1,120 @@
+#include "heap/heap_space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::heap {
+
+HeapSpace::HeapSpace(const Config &config, const LiveSetModel &model)
+    : config_(config), model_(model)
+{
+    CAPO_ASSERT(config.max_bytes > 0.0, "heap needs a positive limit");
+    CAPO_ASSERT(config.footprint_factor >= 1.0,
+                "footprint factor must be >= 1");
+    CAPO_ASSERT(config.survivor_fraction >= 0.0 &&
+                config.survivor_fraction < 1.0,
+                "survivor fraction must be in [0, 1)");
+    capacity_ = config.max_bytes / config.footprint_factor;
+    live_ = model_.liveAt(0.0);
+}
+
+void
+HeapSpace::setProgress(double iterations)
+{
+    live_ = model_.liveAt(iterations);
+}
+
+void
+HeapSpace::fill(double bytes)
+{
+    CAPO_ASSERT(bytes >= 0.0, "negative allocation");
+    // Tolerate tiny floating-point overshoot; anything real is a
+    // collector-policy bug (it granted an allocation that cannot fit).
+    CAPO_ASSERT(bytes <= freeBytes() + 1e-3,
+                "heap overfill: ", bytes, " bytes requested, ",
+                freeBytes(), " free");
+    fresh_ += bytes;
+    total_allocated_ += bytes;
+}
+
+double
+HeapSpace::effectiveSurvivorFraction() const
+{
+    double sf = config_.survivor_fraction;
+    if (config_.survivor_reference_bytes > 0.0 && fresh_ > 0.0) {
+        const double scale = std::sqrt(
+            config_.survivor_reference_bytes / fresh_);
+        sf *= std::clamp(scale, 0.6, 6.0);
+    }
+    return std::min(sf, 0.9);
+}
+
+HeapSpace::Collection
+HeapSpace::collectYoung()
+{
+    Collection c;
+    c.fresh_processed = fresh_;
+    c.survivors = effectiveSurvivorFraction() * fresh_;
+    c.traced = c.survivors;
+    c.evacuated = c.survivors;
+    const double decayed = config_.transient_decay * old_debris_;
+    const double promoted = config_.promotion_fraction * c.survivors;
+    c.reclaimed = (fresh_ - c.survivors) + decayed;
+    old_debris_ += (c.survivors - promoted) - decayed;
+    promoted_ += promoted;
+    fresh_ = 0.0;
+    c.post_gc = occupied();
+    ++collections_;
+    return c;
+}
+
+HeapSpace::Collection
+HeapSpace::collectFull()
+{
+    Collection c;
+    c.fresh_processed = fresh_;
+    c.survivors = effectiveSurvivorFraction() * fresh_;
+    c.traced = live_ + c.survivors;
+    c.evacuated = live_ + c.survivors;
+    c.reclaimed = (fresh_ - c.survivors) + old_debris_ + promoted_;
+    old_debris_ = c.survivors;
+    promoted_ = 0.0;
+    fresh_ = 0.0;
+    c.post_gc = occupied();
+    ++collections_;
+    return c;
+}
+
+HeapSpace::Collection
+HeapSpace::collectMixed(double debris_fraction)
+{
+    CAPO_ASSERT(debris_fraction >= 0.0 && debris_fraction <= 1.0,
+                "debris fraction must be in [0, 1]");
+    Collection c;
+    c.fresh_processed = fresh_;
+    c.survivors = effectiveSurvivorFraction() * fresh_;
+    const double debris_out =
+        debris_fraction * (old_debris_ + promoted_);
+    // A mixed pause copies young survivors and the live portion of the
+    // chosen old regions; debris being dead, the dominant copy cost is
+    // region live data, approximated by the reclaimed debris volume.
+    c.traced = c.survivors + debris_out;
+    c.evacuated = c.survivors + 0.5 * debris_out;
+    c.reclaimed = (fresh_ - c.survivors) + debris_out;
+    old_debris_ += c.survivors - debris_fraction * old_debris_;
+    promoted_ -= debris_fraction * promoted_;
+    fresh_ = 0.0;
+    c.post_gc = occupied();
+    ++collections_;
+    return c;
+}
+
+double
+HeapSpace::predictPostFullGc() const
+{
+    return live_ + effectiveSurvivorFraction() * fresh_;
+}
+
+} // namespace capo::heap

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Aggregate heap accounting for the simulated managed runtime.
+ *
+ * HeapSpace tracks heap occupancy at the granularity the garbage
+ * collector models need: the structural live set (driven by a
+ * LiveSetModel), bytes freshly allocated since the last collection, and
+ * "old debris" (transients that survived a young collection, plus
+ * floating garbage awaiting an old-generation or full collection).
+ *
+ * All byte quantities are logical (compressed-pointer) bytes; a
+ * footprint factor > 1 models running without compressed pointers
+ * (ZGC), shrinking the effective capacity of a given -Xmx.
+ */
+
+#ifndef CAPO_HEAP_HEAP_SPACE_HH
+#define CAPO_HEAP_HEAP_SPACE_HH
+
+#include <cstdint>
+
+#include "heap/live_set.hh"
+
+namespace capo::heap {
+
+/**
+ * Heap occupancy model shared by the mutator and collector sides.
+ */
+class HeapSpace
+{
+  public:
+    struct Config {
+        /** -Xmx: physical heap limit, bytes. */
+        double max_bytes = 0.0;
+
+        /**
+         * Physical bytes per logical byte (1.0 with compressed
+         * pointers; ~1.3-1.6 without, per the paper's GMU/GMD ratios).
+         */
+        double footprint_factor = 1.0;
+
+        /**
+         * Fraction of freshly-allocated bytes that survive the
+         * collection that first examines them (transient survivors).
+         */
+        double survivor_fraction = 0.1;
+
+        /**
+         * Fraction of old debris that turns out dead and is dropped
+         * at each young collection (transients keep dying after
+         * promotion), bounding steady-state debris at roughly
+         * survivors / transient_decay.
+         */
+        double transient_decay = 0.5;
+
+        /**
+         * Fraction of young survivors that are genuinely long-lived:
+         * they promote to the mature space and can only be reclaimed
+         * by an old-generation collection (mixed/full/concurrent
+         * cycle), never by nursery self-cleaning.
+         */
+        double promotion_fraction = 0.3;
+
+        /**
+         * Reference nursery size for survival scaling (0 disables).
+         * When collections examine less fresh data than this, objects
+         * had less time to die, so the effective survivor fraction
+         * rises as sqrt(reference/fresh) — the mechanism that steepens
+         * the time-space tradeoff in small heaps.
+         */
+        double survivor_reference_bytes = 0.0;
+    };
+
+    /** Outcome of one collection, for cost models and telemetry. */
+    struct Collection {
+        double traced = 0.0;     ///< Bytes traced/scanned.
+        double evacuated = 0.0;  ///< Bytes copied/compacted.
+        double reclaimed = 0.0;  ///< Bytes freed.
+        double survivors = 0.0;  ///< Fresh bytes newly retained.
+        double fresh_processed = 0.0;  ///< Nursery bytes examined.
+        double post_gc = 0.0;    ///< Occupied bytes after.
+    };
+
+    HeapSpace(const Config &config, const LiveSetModel &model);
+
+    /** Advance benchmark progress; updates the structural live set. */
+    void setProgress(double iterations);
+
+    /** @{ Occupancy accessors (logical bytes). */
+    double capacity() const { return capacity_; }
+    double
+    occupied() const
+    {
+        return live_ + fresh_ + old_debris_ + promoted_;
+    }
+    double freeBytes() const { return capacity_ - occupied(); }
+    double live() const { return live_; }
+    double fresh() const { return fresh_; }
+    /** Mature garbage awaiting an old collection (debris + promoted). */
+    double oldDebris() const { return old_debris_ + promoted_; }
+    /** @} */
+
+    /** Would an allocation of @p bytes fit right now? */
+    bool canFit(double bytes) const { return bytes <= freeBytes(); }
+
+    /**
+     * Account an allocation. The caller must have checked canFit();
+     * over-filling panics (collector policy bug).
+     */
+    void fill(double bytes);
+
+    /**
+     * Young (nursery) collection: reclaims dead fresh bytes, promotes
+     * survivors to old debris. Cost drivers are in the returned record.
+     */
+    Collection collectYoung();
+
+    /**
+     * Full collection: examines everything, clears all debris, and
+     * retains only the structural live set plus fresh survivors.
+     */
+    Collection collectFull();
+
+    /**
+     * Mixed collection (G1): a young collection plus reclamation of
+     * @p debris_fraction of the old debris.
+     */
+    Collection collectMixed(double debris_fraction);
+
+    /**
+     * Occupancy expected immediately after a hypothetical full
+     * collection, used by collectors for out-of-memory detection.
+     */
+    double predictPostFullGc() const;
+
+    /** Survivor fraction after nursery-residence scaling. */
+    double effectiveSurvivorFraction() const;
+
+    /** Peak structural live set over a run of @p iterations (from the
+     *  live model; used for allocation-chunk sizing). */
+    double peakLive(double iterations) const
+    {
+        return model_.peak(iterations);
+    }
+
+    /** Total collections performed (any kind). */
+    std::uint64_t collections() const { return collections_; }
+
+    /** Cumulative bytes allocated into this heap. */
+    double totalAllocated() const { return total_allocated_; }
+
+  private:
+    Config config_;
+    LiveSetModel model_;
+    double capacity_;
+    double live_;
+    double fresh_ = 0.0;
+    double old_debris_ = 0.0;  ///< Transient survivors (self-cleaning).
+    double promoted_ = 0.0;    ///< Long-lived garbage (needs old GC).
+    double total_allocated_ = 0.0;
+    std::uint64_t collections_ = 0;
+};
+
+} // namespace capo::heap
+
+#endif // CAPO_HEAP_HEAP_SPACE_HH

@@ -1,0 +1,30 @@
+#include "heap/live_set.hh"
+
+#include <algorithm>
+
+namespace capo::heap {
+
+double
+LiveSetModel::liveAt(double iterations) const
+{
+    double live;
+    if (buildup_fraction <= 0.0 || iterations >= buildup_fraction) {
+        live = base_bytes;
+    } else {
+        const double ramp = iterations / buildup_fraction;
+        live = base_bytes * (startup_fraction +
+                             (1.0 - startup_fraction) * ramp);
+    }
+    if (leak_bytes_per_iteration > 0.0 && iterations > 0.0)
+        live += leak_bytes_per_iteration * iterations;
+    return live;
+}
+
+double
+LiveSetModel::peak(double iterations) const
+{
+    // Monotone non-decreasing model: the peak is at the end.
+    return liveAt(std::max(iterations, buildup_fraction));
+}
+
+} // namespace capo::heap

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Live-set models: how much reachable data a workload holds over time.
+ *
+ * The structural live set is the driver of the garbage-collection
+ * time-space tradeoff: collection cost is proportional to live data,
+ * while collection frequency is inversely proportional to the headroom
+ * between the live set and the heap limit. Each workload describes its
+ * live set with a small parametric model: a steady base, an optional
+ * build-up ramp during the first iteration (e.g.\ h2 constructing its
+ * in-memory database before querying it), and an optional per-iteration
+ * leak (the paper's GLK statistic; e.g.\ cassandra and zxing).
+ */
+
+#ifndef CAPO_HEAP_LIVE_SET_HH
+#define CAPO_HEAP_LIVE_SET_HH
+
+namespace capo::heap {
+
+/**
+ * Parametric model of a workload's reachable bytes over its execution.
+ *
+ * Progress is measured in fractional benchmark iterations (2.25 means a
+ * quarter of the way through the third iteration).
+ */
+struct LiveSetModel
+{
+    /** Steady structural live set, bytes. */
+    double base_bytes = 0.0;
+
+    /**
+     * Fraction of the first iteration over which the live set ramps
+     * from startup_fraction x base to base (0 = instant).
+     */
+    double buildup_fraction = 0.1;
+
+    /** Fraction of base_bytes live at time zero (boot heap). */
+    double startup_fraction = 0.2;
+
+    /** Permanent growth per completed iteration, bytes (leakage). */
+    double leak_bytes_per_iteration = 0.0;
+
+    /**
+     * Structural live bytes at the given progress point.
+     *
+     * @param iterations Fractional iterations completed (>= 0).
+     */
+    double liveAt(double iterations) const;
+
+    /** Largest structural live set over a run of @p iterations. */
+    double peak(double iterations) const;
+};
+
+} // namespace capo::heap
+
+#endif // CAPO_HEAP_LIVE_SET_HH

@@ -1,0 +1,67 @@
+#include "metrics/footprint.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::metrics {
+
+FootprintSummary
+integrateFootprint(const runtime::GcEventLog &log, double from,
+                   double to)
+{
+    CAPO_ASSERT(to > from, "empty footprint window");
+
+    // Collect (time, floor, pre-GC level) samples inside the window.
+    struct Sample {
+        double t;
+        double floor;
+        double pre;
+    };
+    std::vector<Sample> samples;
+    for (const auto &cycle : log.cycles()) {
+        if (cycle.end < from || cycle.end > to)
+            continue;
+        samples.push_back(Sample{cycle.end, cycle.post_gc_bytes,
+                                 cycle.post_gc_bytes + cycle.reclaimed});
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample &a, const Sample &b) { return a.t < b.t; });
+
+    FootprintSummary summary;
+    summary.span_seconds = (to - from) / 1e9;
+    summary.samples = samples.size();
+    if (samples.empty())
+        return summary;
+
+    summary.peak_bytes = samples.front().pre;
+    summary.trough_bytes = samples.front().floor;
+
+    // Between consecutive collections, occupancy climbs from the
+    // previous floor to the next pre-GC level: a trapezoid.
+    double integral = 0.0;
+    double prev_t = from;
+    double prev_level = samples.front().floor;  // best guess at start
+    for (const auto &s : samples) {
+        const double dt = (s.t - prev_t) / 1e9;
+        integral += 0.5 * (prev_level + s.pre) * std::max(dt, 0.0);
+        prev_t = s.t;
+        prev_level = s.floor;
+        summary.peak_bytes = std::max(summary.peak_bytes, s.pre);
+        summary.trough_bytes = std::min(summary.trough_bytes, s.floor);
+    }
+    // Tail: from the last collection to the end of the window the
+    // heap climbs again; approximate with the mean pre-GC level.
+    double mean_pre = 0.0;
+    for (const auto &s : samples)
+        mean_pre += s.pre;
+    mean_pre /= static_cast<double>(samples.size());
+    integral += 0.5 * (prev_level + mean_pre) *
+                std::max((to - prev_t) / 1e9, 0.0);
+
+    summary.byte_seconds = integral;
+    summary.average_bytes = integral / summary.span_seconds;
+    return summary;
+}
+
+} // namespace capo::metrics

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Heap-footprint metrics beyond -Xmx (paper Section 4.2, the
+ * suggested extension).
+ *
+ * The paper notes that controlling memory via -Xmx "does not
+ * necessarily provide a clear measure of how efficiently a collector
+ * reclaims space", because the minimum heap reflects *peak* usage,
+ * and suggests that "a metric which reflected the 'area under the
+ * memory use curve' might better reflect the net memory footprint of
+ * a workload". This module implements that suggestion: integrate the
+ * post-collection heap occupancy over time to obtain byte-seconds and
+ * the average footprint, so collectors can be compared by the memory
+ * they actually hold, not just the limit they were given.
+ */
+
+#ifndef CAPO_METRICS_FOOTPRINT_HH
+#define CAPO_METRICS_FOOTPRINT_HH
+
+#include "runtime/gc_event_log.hh"
+
+namespace capo::metrics {
+
+/** Area-under-the-memory-curve summary for one execution. */
+struct FootprintSummary
+{
+    double byte_seconds = 0.0;  ///< Integral of occupancy over time.
+    double average_bytes = 0.0; ///< byte_seconds / observed span.
+    double peak_bytes = 0.0;    ///< Highest sample.
+    double trough_bytes = 0.0;  ///< Lowest sample (post-GC floor).
+    double span_seconds = 0.0;  ///< Observation span.
+    std::size_t samples = 0;    ///< Collections contributing.
+};
+
+/**
+ * Integrate the post-GC heap occupancy curve from a collector log.
+ *
+ * Each collection contributes a sample (its end time, its post-GC
+ * occupancy); between samples the occupancy ramps linearly back up
+ * with allocation, so the trapezoid between consecutive post-GC
+ * floors, topped by the pre-GC occupancy, is approximated by
+ * integrating the midpoint of floor and the next collection's
+ * pre-collection level (floor + reclaimed).
+ *
+ * @param log The execution's collector log.
+ * @param from Start of the observation window (ns).
+ * @param to End of the observation window (ns); must exceed @p from.
+ */
+FootprintSummary integrateFootprint(const runtime::GcEventLog &log,
+                                    double from, double to);
+
+} // namespace capo::metrics
+
+#endif // CAPO_METRICS_FOOTPRINT_HH

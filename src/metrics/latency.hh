@@ -1,0 +1,97 @@
+/**
+ * @file
+ * User-experienced latency: DaCapo Chopin's Simple and Metered
+ * latency metrics (paper Section 4.4).
+ *
+ * Simple latency is the observed duration of each event. Metered
+ * latency additionally models request queueing: each event is given a
+ * synthetic start time as if requests had arrived at a smoothed
+ * (window-averaged) rate, and its latency is measured from the
+ * *earlier* of its actual and synthetic starts — so a pause delays not
+ * only in-flight requests but also the backlog behind them. A window
+ * of ~0 reproduces simple latency; an arbitrarily large window yields
+ * uniformly-spaced synthetic arrivals over the whole execution
+ * ("full smoothing").
+ *
+ * Implementation: the synthetic arrival process is the inverse of the
+ * window-smoothed empirical cumulative arrival function. Each actual
+ * start contributes arrival density 1/W over [s - W/2, s + W/2],
+ * clipped to the observed span; the resulting piecewise-linear
+ * cumulative function is inverted at the normalized event ranks. This
+ * is exact, monotone, and has the two limits above.
+ */
+
+#ifndef CAPO_METRICS_LATENCY_HH
+#define CAPO_METRICS_LATENCY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace capo::metrics {
+
+/** One timed event (a request, query, or frame). Times in ns. */
+struct LatencyEvent
+{
+    double start = 0.0;
+    double end = 0.0;
+
+    double latency() const { return end - start; }
+};
+
+/**
+ * Records event start/end times and derives latency distributions.
+ */
+class LatencyRecorder
+{
+  public:
+    /** Record one event; @p end must be >= @p start. */
+    void record(double start, double end);
+
+    /** Reserve capacity (cheap recording matters; cf.\ the paper). */
+    void reserve(std::size_t n);
+
+    const std::vector<LatencyEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Simple latencies, one per event (unsorted). */
+    std::vector<double> simpleLatencies() const;
+
+    /**
+     * Metered latencies with the given smoothing window (ns).
+     * @p window_ns <= 0 selects full smoothing (uniform synthetic
+     * arrivals over the observed span).
+     */
+    std::vector<double> meteredLatencies(double window_ns) const;
+
+    /**
+     * Synthetic start times for the given window, in ascending order
+     * (paired with events sorted by actual start). Exposed for tests
+     * and offline analysis.
+     */
+    std::vector<double> syntheticStarts(double window_ns) const;
+
+    /** Observed span: [first start, last end]. */
+    double spanBegin() const;
+    double spanEnd() const;
+
+  private:
+    std::vector<LatencyEvent> events_;
+};
+
+/**
+ * The percentile points the paper plots (x-axis of Figures 3 and 6):
+ * 0, 50, 90, 99, 99.9, 99.99, 99.999, 99.9999 (as fractions).
+ */
+const std::vector<double> &paperPercentiles();
+
+/**
+ * Evaluate a latency sample at the paper's percentile points.
+ * Returns pairs of (percentile, latency_ns).
+ */
+std::vector<std::pair<double, double>>
+percentileCurve(std::vector<double> latencies);
+
+} // namespace capo::metrics
+
+#endif // CAPO_METRICS_LATENCY_HH

@@ -1,0 +1,86 @@
+#include "metrics/mmu.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::metrics {
+
+Mmu::Mmu(std::vector<std::pair<double, double>> pauses, double run_begin,
+         double run_end)
+    : begin_(run_begin), end_(run_end)
+{
+    CAPO_ASSERT(run_end >= run_begin, "invalid observation span");
+
+    // Clip to the span, sort, and merge overlaps.
+    std::vector<std::pair<double, double>> clipped;
+    for (auto [b, e] : pauses) {
+        b = std::max(b, run_begin);
+        e = std::min(e, run_end);
+        if (e > b)
+            clipped.emplace_back(b, e);
+    }
+    std::sort(clipped.begin(), clipped.end());
+    for (const auto &p : clipped) {
+        if (!pauses_.empty() && p.first <= pauses_.back().second) {
+            pauses_.back().second =
+                std::max(pauses_.back().second, p.second);
+        } else {
+            pauses_.push_back(p);
+        }
+    }
+
+    prefix_.resize(pauses_.size() + 1, 0.0);
+    for (std::size_t i = 0; i < pauses_.size(); ++i) {
+        const double len = pauses_[i].second - pauses_[i].first;
+        prefix_[i + 1] = prefix_[i] + len;
+        max_pause_ = std::max(max_pause_, len);
+    }
+    total_pause_ = prefix_.empty() ? 0.0 : prefix_.back();
+}
+
+double
+Mmu::pauseIn(double t, double w) const
+{
+    const double lo = t;
+    const double hi = t + w;
+    // O(log P) via the prefix sums, with edge pauses clipped.
+    auto first = std::lower_bound(
+        pauses_.begin(), pauses_.end(), lo,
+        [](const auto &p, double v) { return p.second <= v; });
+    auto last = std::lower_bound(
+        pauses_.begin(), pauses_.end(), hi,
+        [](const auto &p, double v) { return p.first < v; });
+    if (first >= last)
+        return 0.0;
+    const std::size_t i0 = first - pauses_.begin();
+    const std::size_t i1 = last - pauses_.begin();
+    double total = prefix_[i1] - prefix_[i0];
+    total -= std::max(0.0, lo - pauses_[i0].first);
+    total -= std::max(0.0, pauses_[i1 - 1].second - hi);
+    return std::max(0.0, total);
+}
+
+double
+Mmu::at(double window_ns) const
+{
+    CAPO_ASSERT(window_ns > 0.0, "window must be positive");
+    const double span = end_ - begin_;
+    if (span <= 0.0)
+        return 1.0;
+    const double w = std::min(window_ns, span);
+
+    // The minimizing window starts at a pause begin or ends at a
+    // pause end; checking both families is sufficient.
+    double worst_pause = 0.0;
+    for (const auto &p : pauses_) {
+        const double from_begin =
+            std::clamp(p.first, begin_, end_ - w);
+        worst_pause = std::max(worst_pause, pauseIn(from_begin, w));
+        const double from_end = std::clamp(p.second - w, begin_, end_ - w);
+        worst_pause = std::max(worst_pause, pauseIn(from_end, w));
+    }
+    return std::max(0.0, (w - worst_pause) / w);
+}
+
+} // namespace capo::metrics

@@ -1,0 +1,241 @@
+#include "metrics/request_synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::metrics {
+
+namespace {
+
+/** Normalized-rate segments clipped to [begin, end]. */
+struct Segment {
+    double begin, end, rate;
+};
+
+std::vector<Segment>
+clipTimeline(const std::vector<sim::RateSegment> &timeline,
+             double baseline_rate, double begin, double end)
+{
+    std::vector<Segment> out;
+    for (const auto &seg : timeline) {
+        const double b = std::max(seg.begin, begin);
+        const double e = std::min(seg.end, end);
+        if (e <= b)
+            continue;
+        out.push_back(Segment{b, e, seg.rate / baseline_rate});
+    }
+    return out;
+}
+
+/** Walks a lane's progress through the normalized-rate timeline. */
+class LaneCursor
+{
+  public:
+    LaneCursor(const std::vector<Segment> &segments, double start)
+        : segments_(segments), time_(start)
+    {
+        while (index_ < segments_.size() &&
+               segments_[index_].end <= time_) {
+            ++index_;
+        }
+    }
+
+    /** Consume @p demand nominal-ns of service; returns end time. */
+    double
+    advance(double demand)
+    {
+        while (demand > 0.0 && index_ < segments_.size()) {
+            const auto &seg = segments_[index_];
+            const double t = std::max(time_, seg.begin);
+            const double span = seg.end - t;
+            const double available = span * seg.rate;
+            if (available >= demand && seg.rate > 0.0) {
+                time_ = t + demand / seg.rate;
+                return time_;
+            }
+            demand -= available;
+            time_ = seg.end;
+            ++index_;
+        }
+        // Past the recorded timeline: the benchmark has effectively
+        // ended; finish remaining demand at full speed.
+        time_ += demand;
+        return time_;
+    }
+
+    /** Move forward to @p t without consuming service (idle lane). */
+    void
+    seek(double t)
+    {
+        if (t <= time_)
+            return;
+        time_ = t;
+        while (index_ < segments_.size() &&
+               segments_[index_].end <= time_) {
+            ++index_;
+        }
+    }
+
+    double now() const { return time_; }
+
+  private:
+    const std::vector<Segment> &segments_;
+    double time_;
+    std::size_t index_ = 0;
+};
+
+/** Draw one service demand from the body/tail mixture. */
+double
+drawDemand(double body_mean, double tail_scale, double f, double mu,
+           double sigma, support::Rng &rng)
+{
+    double demand = body_mean * rng.logNormal(mu, sigma);
+    if (rng.uniform() < f)
+        demand = body_mean * tail_scale * rng.heavyTail(1.0, 2.2);
+    return demand;
+}
+
+} // namespace
+
+LatencyRecorder
+synthesizeRequests(const std::vector<sim::RateSegment> &timeline,
+                   double baseline_rate,
+                   const workloads::RequestProfile &profile,
+                   double window_begin, double window_end,
+                   support::Rng rng)
+{
+    CAPO_ASSERT(profile.enabled, "workload has no request profile");
+    CAPO_ASSERT(profile.count > 0 && profile.lanes > 0,
+                "request profile needs counts and lanes");
+    CAPO_ASSERT(baseline_rate > 0.0, "baseline rate must be positive");
+    CAPO_ASSERT(window_end > window_begin, "empty request window");
+
+    const auto segments =
+        clipTimeline(timeline, baseline_rate, window_begin, window_end);
+
+    // Total per-lane processing capacity in the window. The requests
+    // *are* the iteration's work, so their mean demand is whatever
+    // fills that capacity (barrier-taxed runs process each request a
+    // little slower, exactly like real barrier overhead).
+    double capacity = 0.0;
+    for (const auto &seg : segments)
+        capacity += (seg.end - seg.begin) * seg.rate;
+    if (capacity <= 0.0)
+        capacity = window_end - window_begin;
+
+    const int per_lane = std::max(1, profile.count / profile.lanes);
+    const double mean_demand = capacity / per_lane;
+
+    // Split the mean between the log-normal body and the heavy tail.
+    const double f = std::clamp(profile.heavy_tail_fraction, 0.0, 0.5);
+    const double tail_scale = std::max(profile.heavy_tail_scale, 1.0);
+    const double body_mean =
+        mean_demand / (1.0 - f + f * tail_scale);
+    const double sigma = std::max(profile.service_sigma, 0.01);
+    // Log-normal with unit mean: mu = -sigma^2/2.
+    const double mu = -sigma * sigma / 2.0;
+
+    LatencyRecorder recorder;
+    recorder.reserve(static_cast<std::size_t>(per_lane) *
+                     profile.lanes);
+
+    for (int lane = 0; lane < profile.lanes; ++lane) {
+        support::Rng lane_rng = rng.fork(static_cast<std::uint64_t>(lane));
+        LaneCursor cursor(segments, window_begin);
+        double start = window_begin;
+        for (int i = 0; i < per_lane; ++i) {
+            const double demand = drawDemand(
+                body_mean, tail_scale, f, mu, sigma, lane_rng);
+            const double end = cursor.advance(demand);
+            recorder.record(start, end);
+            start = end;
+        }
+    }
+    return recorder;
+}
+
+LatencyRecorder
+synthesizeOpenLoopRequests(const std::vector<sim::RateSegment> &timeline,
+                           double baseline_rate,
+                           const workloads::RequestProfile &profile,
+                           double window_begin, double window_end,
+                           double injection_rate_per_sec,
+                           double service_mean_ns, support::Rng rng)
+{
+    CAPO_ASSERT(profile.lanes > 0, "open loop needs worker lanes");
+    CAPO_ASSERT(injection_rate_per_sec > 0.0 && service_mean_ns > 0.0,
+                "open loop needs positive rate and service time");
+    CAPO_ASSERT(window_end > window_begin, "empty request window");
+
+    const auto segments =
+        clipTimeline(timeline, baseline_rate, window_begin, window_end);
+
+    const double f = std::clamp(profile.heavy_tail_fraction, 0.0, 0.5);
+    const double tail_scale = std::max(profile.heavy_tail_scale, 1.0);
+    const double body_mean =
+        service_mean_ns / (1.0 - f + f * tail_scale);
+    const double sigma = std::max(profile.service_sigma, 0.01);
+    const double mu = -sigma * sigma / 2.0;
+
+    // One cursor per lane; arrivals go to the earliest-free lane
+    // (FIFO dispatch from a shared queue).
+    std::vector<LaneCursor> lanes(
+        profile.lanes, LaneCursor(segments, window_begin));
+
+    const double interarrival = 1e9 / injection_rate_per_sec;
+    const auto count = static_cast<std::size_t>(
+        (window_end - window_begin) / interarrival);
+
+    LatencyRecorder recorder;
+    recorder.reserve(count);
+    double arrival = window_begin;
+    for (std::size_t i = 0; i < count; ++i) {
+        arrival += interarrival;
+        auto &lane = *std::min_element(
+            lanes.begin(), lanes.end(),
+            [](const LaneCursor &a, const LaneCursor &b) {
+                return a.now() < b.now();
+            });
+        lane.seek(arrival);  // idle until the request arrives
+        const double demand =
+            drawDemand(body_mean, tail_scale, f, mu, sigma, rng);
+        const double end = lane.advance(demand);
+        recorder.record(arrival, end);  // latency includes queueing
+    }
+    return recorder;
+}
+
+double
+criticalJops(const std::function<double(double)> &evaluate_p99,
+             const std::vector<double> &slas_ns, double max_rate)
+{
+    CAPO_ASSERT(!slas_ns.empty(), "criticalJops needs SLAs");
+    CAPO_ASSERT(max_rate > 0.0, "criticalJops needs a rate bracket");
+
+    std::vector<double> critical_rates;
+    for (double sla : slas_ns) {
+        double lo = 0.0;
+        double hi = max_rate;
+        if (evaluate_p99(hi) <= sla) {
+            critical_rates.push_back(hi);
+            continue;
+        }
+        for (int step = 0; step < 24 && (hi - lo) / max_rate > 0.005;
+             ++step) {
+            const double mid = 0.5 * (lo + hi);
+            if (evaluate_p99(mid) <= sla)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        critical_rates.push_back(std::max(lo, max_rate * 1e-4));
+    }
+    double log_sum = 0.0;
+    for (double rate : critical_rates)
+        log_sum += std::log(rate);
+    return std::exp(log_sum / critical_rates.size());
+}
+
+} // namespace capo::metrics

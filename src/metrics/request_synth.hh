@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Request-latency synthesis over the mutator progress timeline.
+ *
+ * DaCapo's latency-sensitive workloads drive a fixed set of requests:
+ * each worker thread consumes consecutive requests, so a request
+ * starts when its predecessor completes. Capo reproduces this from
+ * the simulation's mutator rate timeline: a request with service
+ * demand d (nominal ns at full speed) completes once the integral of
+ * the normalized mutator rate since its start reaches d. GC pauses
+ * (rate 0), concurrent-GC CPU contention and pacing (rate < 1)
+ * stretch exactly the requests they overlap — which is what makes the
+ * measured distribution *user-experienced* latency rather than a
+ * pause-time proxy.
+ */
+
+#ifndef CAPO_METRICS_REQUEST_SYNTH_HH
+#define CAPO_METRICS_REQUEST_SYNTH_HH
+
+#include <functional>
+#include <vector>
+
+#include "metrics/latency.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "workloads/descriptor.hh"
+
+namespace capo::metrics {
+
+/**
+ * Synthesize request events for the timed window of an execution.
+ *
+ * @param timeline The traced per-width mutator rate segments.
+ * @param baseline_rate Rate observed on an idle machine (normalizer).
+ * @param profile The workload's request profile.
+ * @param window_begin Start of the timed iteration (ns).
+ * @param window_end End of the timed iteration (ns).
+ * @param rng Deterministic stream for service-demand sampling.
+ */
+LatencyRecorder
+synthesizeRequests(const std::vector<sim::RateSegment> &timeline,
+                   double baseline_rate,
+                   const workloads::RequestProfile &profile,
+                   double window_begin, double window_end,
+                   support::Rng rng);
+
+/**
+ * Open-loop variant (SPECjbb-style): requests *arrive* at a fixed
+ * injection rate regardless of completion, queue FIFO across the
+ * worker lanes, and latency is measured from arrival — so backlog
+ * from a pause cascades into every queued request without any
+ * metering transform. Used by the critical-jOPS extension.
+ *
+ * @param injection_rate_per_sec Arrival rate over the window.
+ * @param service_mean_ns Mean service demand per request (nominal ns
+ *        at full speed).
+ */
+LatencyRecorder
+synthesizeOpenLoopRequests(const std::vector<sim::RateSegment> &timeline,
+                           double baseline_rate,
+                           const workloads::RequestProfile &profile,
+                           double window_begin, double window_end,
+                           double injection_rate_per_sec,
+                           double service_mean_ns, support::Rng rng);
+
+/**
+ * critical-jOPS: the geometric mean, over the given SLA percentile
+ * bounds, of the highest injection rate whose p99 latency meets the
+ * SLA (evaluated by bisection over @p evaluate_p99).
+ *
+ * @param evaluate_p99 Callback: injection rate (req/s) -> p99 (ns).
+ * @param slas_ns p99 bounds to satisfy (SPECjbb uses 10..100 ms).
+ * @param max_rate Upper bracket for the search (req/s).
+ */
+double criticalJops(
+    const std::function<double(double)> &evaluate_p99,
+    const std::vector<double> &slas_ns, double max_rate);
+
+} // namespace capo::metrics
+
+#endif // CAPO_METRICS_REQUEST_SYNTH_HH

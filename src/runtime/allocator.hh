@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The allocation interface between mutators and garbage collectors.
+ *
+ * Mutators request heap space through this interface; the collector
+ * decides whether to grant it immediately, make the mutator wait
+ * (allocation stall / pacing), or declare the configuration infeasible
+ * (out of memory, i.e.\ the heap is below this workload's minimum for
+ * this collector).
+ */
+
+#ifndef CAPO_RUNTIME_ALLOCATOR_HH
+#define CAPO_RUNTIME_ALLOCATOR_HH
+
+#include "sim/agent.hh"
+
+namespace capo::runtime {
+
+/** Collector's answer to an allocation request. */
+enum class AllocVerdict {
+    Granted,  ///< Space accounted; mutator proceeds.
+    Stall,    ///< Mutator must wait on the returned condition and retry.
+    Oom,      ///< Heap cannot satisfy this workload; abort the run.
+};
+
+struct AllocResponse
+{
+    AllocVerdict verdict = AllocVerdict::Oom;
+    sim::CondId wait_on = sim::kInvalidCond;  ///< Valid when Stall.
+
+    static AllocResponse
+    granted()
+    {
+        return AllocResponse{AllocVerdict::Granted, sim::kInvalidCond};
+    }
+
+    static AllocResponse
+    stall(sim::CondId cond)
+    {
+        return AllocResponse{AllocVerdict::Stall, cond};
+    }
+
+    static AllocResponse
+    oom()
+    {
+        return AllocResponse{AllocVerdict::Oom, sim::kInvalidCond};
+    }
+};
+
+/** Minimal mutator-facing allocation interface. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /** Request @p bytes of heap; called from mutator agents. */
+    virtual AllocResponse request(double bytes) = 0;
+};
+
+} // namespace capo::runtime
+
+#endif // CAPO_RUNTIME_ALLOCATOR_HH

@@ -1,0 +1,86 @@
+#include "runtime/execution.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::runtime {
+
+ExecutionResult
+runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
+             const heap::LiveSetModel &live, CollectorRuntime &collector)
+{
+    CAPO_ASSERT(config.heap_bytes > 0.0, "execution needs a heap size");
+
+    sim::Engine engine(config.cpus);
+
+    heap::HeapSpace::Config heap_config;
+    heap_config.max_bytes = config.heap_bytes;
+    heap_config.footprint_factor = collector.footprintFactor();
+    heap_config.survivor_fraction = config.survivor_fraction;
+    heap_config.survivor_reference_bytes =
+        config.survivor_reference_bytes;
+    heap::HeapSpace heap(heap_config, live);
+
+    GcEventLog log;
+    World world(engine);
+
+    CollectorContext context;
+    context.engine = &engine;
+    context.heap = &heap;
+    context.log = &log;
+    context.world = &world;
+    collector.attach(context);
+
+    // Bake the collector's barrier tax into the mutator's work: the
+    // runtime cannot attribute it, which is what keeps LBO conservative.
+    MutatorPlan taxed_plan = plan;
+    taxed_plan.work_per_iteration *= collector.barrierFactor();
+
+    MutatorGroup mutator(taxed_plan, collector, heap, log,
+                         support::Rng(config.seed));
+    mutator.attach(engine, world);
+    mutator.setShutdownHook([&collector] { collector.shutdown(); });
+
+    if (config.trace_rate)
+        engine.tracePerWidthRate(mutator.agentId());
+
+    const auto reason =
+        engine.run(sim::fromSeconds(config.time_limit_sec));
+
+    ExecutionResult result;
+    result.oom = mutator.failedOom();
+    result.timed_out = reason == sim::Engine::StopReason::TimeLimit;
+    if (reason == sim::Engine::StopReason::Stalled) {
+        support::warn("execution stalled (", collector.name(),
+                      "): treating as failed run");
+    }
+    result.completed = mutator.done() &&
+                       reason == sim::Engine::StopReason::AllExited;
+
+    result.iterations = mutator.iterations();
+    result.wall = engine.now();
+    result.cpu = engine.totalCpuTime();
+    result.mutator_cpu = engine.cpuTime(mutator.agentId());
+    result.gc_cpu = result.cpu - result.mutator_cpu;
+    result.rate_timeline = engine.rateTimeline();
+    result.baseline_rate = std::min(1.0, config.cpus / taxed_plan.width);
+    result.total_allocated = heap.totalAllocated();
+    result.collections = heap.collections();
+    result.stall_count = mutator.stallCount();
+
+    if (result.completed && !result.iterations.empty()) {
+        const auto &timed = result.iterations.back();
+        result.timed.wall = timed.wall();
+        result.timed.cpu = timed.cpu();
+        result.timed.stw_wall = log.stwWall(timed.wall_begin,
+                                            timed.wall_end);
+        result.timed.stw_cpu = log.stwCpu(timed.wall_begin,
+                                          timed.wall_end);
+    }
+
+    result.log = std::move(log);
+    return result;
+}
+
+} // namespace capo::runtime

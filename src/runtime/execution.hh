@@ -1,0 +1,86 @@
+/**
+ * @file
+ * One benchmark execution: engine + heap + collector + mutator, wired
+ * together and run to completion (a single "invocation" in DaCapo
+ * terminology, containing n iterations).
+ */
+
+#ifndef CAPO_RUNTIME_EXECUTION_HH
+#define CAPO_RUNTIME_EXECUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/heap_space.hh"
+#include "heap/live_set.hh"
+#include "runtime/collector_runtime.hh"
+#include "runtime/gc_event_log.hh"
+#include "runtime/mutator.hh"
+#include "sim/engine.hh"
+
+namespace capo::runtime {
+
+/** Parameters of one invocation. */
+struct ExecutionConfig
+{
+    double cpus = 32.0;               ///< Hardware threads.
+    double heap_bytes = 0.0;          ///< -Xmx (physical bytes).
+    double survivor_fraction = 0.1;   ///< Workload transient survival.
+    double survivor_reference_bytes = 0.0;  ///< Survival scaling ref.
+    std::uint64_t seed = 1;           ///< Noise seed for this invocation.
+    bool trace_rate = false;          ///< Record mutator rate timeline.
+    double time_limit_sec = 3600.0;   ///< Simulated-time safety cap.
+};
+
+/** Everything measured during one invocation. */
+struct ExecutionResult
+{
+    bool completed = false;  ///< All iterations ran and exited cleanly.
+    bool oom = false;        ///< Collector declared out-of-memory.
+    bool timed_out = false;  ///< Hit the simulated-time safety cap.
+
+    std::vector<IterationRecord> iterations;
+
+    double wall = 0.0;         ///< Whole-invocation wall time (ns).
+    double cpu = 0.0;          ///< Whole-invocation task clock (cpu-ns).
+    double mutator_cpu = 0.0;  ///< Task clock consumed by mutators.
+    double gc_cpu = 0.0;       ///< Task clock consumed by the collector.
+
+    GcEventLog log;
+    std::vector<sim::RateSegment> rate_timeline;
+    double baseline_rate = 1.0;  ///< Per-width rate with an idle machine.
+
+    double total_allocated = 0.0;
+    std::uint64_t collections = 0;
+    std::size_t stall_count = 0;
+
+    /** Measurements over the timed (last completed) iteration. */
+    struct TimedSlice {
+        double wall = 0.0;
+        double cpu = 0.0;
+        double stw_wall = 0.0;  ///< JVMTI-attributable pause wall time.
+        double stw_cpu = 0.0;   ///< GC CPU inside pause windows.
+    };
+    TimedSlice timed;
+
+    /** Convenience: did the run produce a usable timed iteration? */
+    bool usable() const { return completed && !iterations.empty(); }
+};
+
+/**
+ * Run one invocation of a benchmark under the given collector.
+ *
+ * @param config Machine/heap/run parameters.
+ * @param plan The mutator's execution plan (work, allocation, warmup).
+ *             The collector's barrier factor is applied internally.
+ * @param live Live-set model for the workload at this size.
+ * @param collector Collector instance; attached to this execution.
+ */
+ExecutionResult runExecution(const ExecutionConfig &config,
+                             const MutatorPlan &plan,
+                             const heap::LiveSetModel &live,
+                             CollectorRuntime &collector);
+
+} // namespace capo::runtime
+
+#endif // CAPO_RUNTIME_EXECUTION_HH

@@ -1,0 +1,62 @@
+#include "runtime/gc_log.hh"
+
+#include "support/strfmt.hh"
+
+namespace capo::runtime {
+
+namespace {
+
+std::string
+mb(double bytes)
+{
+    return support::fixed(bytes / (1024.0 * 1024.0), 1) + "M";
+}
+
+const char *
+cycleLabel(GcPhase kind)
+{
+    switch (kind) {
+      case GcPhase::YoungPause:
+        return "Pause Young (Allocation)";
+      case GcPhase::MixedPause:
+        return "Pause Young (Mixed)";
+      case GcPhase::FullPause:
+        return "Pause Full (Allocation Failure)";
+      case GcPhase::Concurrent:
+        return "Concurrent Cycle";
+      case GcPhase::InitPause:
+        return "Pause Init Mark";
+      case GcPhase::FinalPause:
+        return "Pause Final Mark";
+    }
+    return "GC";
+}
+
+} // namespace
+
+std::string
+formatCycleLine(const CycleRecord &cycle, std::size_t index,
+                double heap_capacity_bytes)
+{
+    const double before = cycle.post_gc_bytes + cycle.reclaimed;
+    return support::concat(
+        "[", support::fixed(cycle.begin / 1e9, 3), "s] GC(", index,
+        ") ", cycleLabel(cycle.kind), " ", mb(before), "->",
+        mb(cycle.post_gc_bytes), "(", mb(heap_capacity_bytes), ") ",
+        support::fixed((cycle.end - cycle.begin) / 1e6, 3), "ms");
+}
+
+std::size_t
+formatGcLog(const GcEventLog &log, double heap_capacity_bytes,
+            std::ostream &out)
+{
+    std::size_t index = 0;
+    for (const auto &cycle : log.cycles()) {
+        out << formatCycleLine(cycle, index, heap_capacity_bytes)
+            << "\n";
+        ++index;
+    }
+    return index;
+}
+
+} // namespace capo::runtime

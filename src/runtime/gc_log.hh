@@ -1,0 +1,39 @@
+/**
+ * @file
+ * -Xlog:gc style textual GC logs.
+ *
+ * The paper's h2/Shenandoah analysis notes "we also confirm this by
+ * reviewing Shenandoah's GC log"; capo can emit the equivalent
+ * human-readable log from a GcEventLog so reviewers can do the same
+ * with simulated runs.
+ */
+
+#ifndef CAPO_RUNTIME_GC_LOG_HH
+#define CAPO_RUNTIME_GC_LOG_HH
+
+#include <ostream>
+#include <string>
+
+#include "runtime/gc_event_log.hh"
+
+namespace capo::runtime {
+
+/**
+ * Render the collector's cycles as HotSpot-style log lines:
+ *
+ *   [0.123s] GC(5) Pause Young (Allocation) 12M->3M(64M) 1.234ms
+ *   [0.456s] GC(6) Concurrent Cycle 48M->9M(64M) 35.1ms
+ *
+ * @param heap_capacity_bytes Printed as the committed size.
+ * @return Lines emitted.
+ */
+std::size_t formatGcLog(const GcEventLog &log,
+                        double heap_capacity_bytes, std::ostream &out);
+
+/** One formatted line for a single cycle (exposed for tests). */
+std::string formatCycleLine(const CycleRecord &cycle, std::size_t index,
+                            double heap_capacity_bytes);
+
+} // namespace capo::runtime
+
+#endif // CAPO_RUNTIME_GC_LOG_HH

@@ -1,0 +1,44 @@
+#include "runtime/world.hh"
+
+#include "support/logging.hh"
+
+namespace capo::runtime {
+
+World::World(sim::Engine &engine)
+    : engine_(engine)
+{
+}
+
+void
+World::addMutator(sim::AgentId id)
+{
+    mutators_.push_back(id);
+}
+
+void
+World::stopTheWorld()
+{
+    CAPO_ASSERT(!stopped_, "world already stopped");
+    for (auto id : mutators_)
+        engine_.freeze(id);
+    stopped_ = true;
+}
+
+void
+World::resumeTheWorld()
+{
+    CAPO_ASSERT(stopped_, "world not stopped");
+    for (auto id : mutators_)
+        engine_.unfreeze(id);
+    stopped_ = false;
+}
+
+void
+World::setMutatorSpeed(double factor)
+{
+    speed_ = factor;
+    for (auto id : mutators_)
+        engine_.setSpeedFactor(id, factor);
+}
+
+} // namespace capo::runtime

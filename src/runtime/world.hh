@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The "world" a collector can stop: the set of mutator agents.
+ *
+ * Collectors bring mutators to a safepoint (freeze), resume them, and
+ * apply pacing (speed scaling) through this façade rather than touching
+ * engine agent ids directly.
+ */
+
+#ifndef CAPO_RUNTIME_WORLD_HH
+#define CAPO_RUNTIME_WORLD_HH
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace capo::runtime {
+
+/**
+ * Mutator registry with stop-the-world and pacing controls.
+ */
+class World
+{
+  public:
+    explicit World(sim::Engine &engine);
+
+    /** Register a mutator agent (called by MutatorGroup on attach). */
+    void addMutator(sim::AgentId id);
+
+    /**
+     * Freeze every mutator (safepoint reached). Must not already be
+     * stopped; collectors coordinate so only one stops the world.
+     */
+    void stopTheWorld();
+
+    /** Resume all mutators. */
+    void resumeTheWorld();
+
+    bool stopped() const { return stopped_; }
+
+    /**
+     * Pacing: scale mutator execution speed (1 = full speed). Used by
+     * Shenandoah-style allocation pacing.
+     */
+    void setMutatorSpeed(double factor);
+
+    double mutatorSpeed() const { return speed_; }
+
+    const std::vector<sim::AgentId> &mutators() const { return mutators_; }
+
+    sim::Engine &engine() { return engine_; }
+
+  private:
+    sim::Engine &engine_;
+    std::vector<sim::AgentId> mutators_;
+    bool stopped_ = false;
+    double speed_ = 1.0;
+};
+
+} // namespace capo::runtime
+
+#endif // CAPO_RUNTIME_WORLD_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Agents: the unit of simulated concurrency.
+ *
+ * An Agent models one schedulable activity (a mutator thread group, a
+ * garbage-collection controller, a background service). Agents are
+ * cooperative state machines: the engine calls resume() whenever the
+ * agent's previous action completes, and the agent answers with its
+ * next action.
+ */
+
+#ifndef CAPO_SIM_AGENT_HH
+#define CAPO_SIM_AGENT_HH
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "sim/time.hh"
+
+namespace capo::sim {
+
+class Engine;
+
+/** Identifies an agent within one engine. */
+using AgentId = std::uint32_t;
+constexpr AgentId kInvalidAgent = std::numeric_limits<AgentId>::max();
+
+/** Identifies a condition variable within one engine. */
+using CondId = std::uint32_t;
+constexpr CondId kInvalidCond = std::numeric_limits<CondId>::max();
+
+/**
+ * The next thing an agent wants to do.
+ *
+ * Compute consumes CPU: @ref work is measured in CPU-nanoseconds summed
+ * over all lanes, and @ref width is the number of hardware threads the
+ * activity can occupy concurrently (fractional widths model imperfect
+ * parallel scaling). A Compute of work W and width w takes W/w
+ * wall-nanoseconds on an idle machine and accrues W nanoseconds of task
+ * clock.
+ */
+struct Action
+{
+    enum class Kind { Compute, SleepUntil, Wait, Exit };
+
+    Kind kind = Kind::Exit;
+    double work = 0.0;   ///< Compute: CPU-ns of work across lanes.
+    double width = 1.0;  ///< Compute: parallelism demand (> 0).
+    Time until = 0.0;    ///< SleepUntil: absolute wake time.
+    CondId cond = kInvalidCond;  ///< Wait: condition to block on.
+
+    static Action
+    compute(double work_cpu_ns, double width = 1.0)
+    {
+        Action a;
+        a.kind = Kind::Compute;
+        a.work = work_cpu_ns;
+        a.width = width;
+        return a;
+    }
+
+    static Action
+    sleepUntil(Time t)
+    {
+        Action a;
+        a.kind = Kind::SleepUntil;
+        a.until = t;
+        return a;
+    }
+
+    static Action
+    wait(CondId cond)
+    {
+        Action a;
+        a.kind = Kind::Wait;
+        a.cond = cond;
+        return a;
+    }
+
+    static Action
+    exit()
+    {
+        Action a;
+        a.kind = Kind::Exit;
+        return a;
+    }
+};
+
+/**
+ * Base class for all simulated activities.
+ */
+class Agent
+{
+  public:
+    virtual ~Agent() = default;
+
+    /** Stable name for diagnostics and traces. */
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Produce the next action. Called once when the engine starts and
+     * again each time the previous action completes (compute finished,
+     * sleep expired, condition signalled).
+     */
+    virtual Action resume(Engine &engine) = 0;
+};
+
+} // namespace capo::sim
+
+#endif // CAPO_SIM_AGENT_HH

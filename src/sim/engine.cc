@@ -1,0 +1,381 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace capo::sim {
+
+namespace {
+
+/// Upper bound on resume() dispatches between two time advances; a
+/// livelocked agent (e.g.\ returning zero-work computes forever) trips
+/// this rather than hanging the process.
+constexpr std::uint64_t kMaxDispatchBurst = 8'000'000;
+
+/// Lower clamp for speed factors, so paced agents keep making (slow)
+/// progress instead of deadlocking the fluid model.
+constexpr double kMinSpeed = 1e-6;
+
+} // namespace
+
+Engine::Engine(double cpus)
+    : cpus_(cpus)
+{
+    CAPO_ASSERT(cpus > 0.0, "engine needs positive CPU capacity");
+}
+
+AgentId
+Engine::addAgent(Agent *agent)
+{
+    CAPO_ASSERT(agent != nullptr, "null agent");
+    CAPO_ASSERT(!running_, "agents must be added before run()");
+    agents_.push_back(AgentSlot{});
+    agents_.back().agent = agent;
+    ++live_agents_;
+    return static_cast<AgentId>(agents_.size() - 1);
+}
+
+CondId
+Engine::makeCondition(std::string name)
+{
+    conds_.push_back(Cond{std::move(name), {}});
+    return static_cast<CondId>(conds_.size() - 1);
+}
+
+void
+Engine::notifyAll(CondId cond)
+{
+    CAPO_ASSERT(cond < conds_.size(), "bad condition id");
+    auto &waiters = conds_[cond].waiters;
+    while (!waiters.empty()) {
+        AgentId id = waiters.front();
+        waiters.pop_front();
+        wake(id);
+    }
+}
+
+void
+Engine::notifyOne(CondId cond)
+{
+    CAPO_ASSERT(cond < conds_.size(), "bad condition id");
+    auto &waiters = conds_[cond].waiters;
+    if (waiters.empty())
+        return;
+    AgentId id = waiters.front();
+    waiters.pop_front();
+    wake(id);
+}
+
+void
+Engine::wake(AgentId id)
+{
+    auto &slot = agents_[id];
+    if (slot.state == State::Finished)
+        return;
+    if (slot.frozen) {
+        slot.state = State::Pending;
+        slot.deferred_wake = true;
+        return;
+    }
+    slot.state = State::Pending;
+    pending_.push_back(id);
+}
+
+void
+Engine::freeze(AgentId id)
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    agents_[id].frozen = true;
+}
+
+void
+Engine::unfreeze(AgentId id)
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    auto &slot = agents_[id];
+    if (!slot.frozen)
+        return;
+    slot.frozen = false;
+    if (slot.deferred_wake) {
+        slot.deferred_wake = false;
+        pending_.push_back(id);
+    }
+}
+
+void
+Engine::setSpeedFactor(AgentId id, double factor)
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    CAPO_ASSERT(factor <= 1.0 && factor >= 0.0,
+                "speed factor must be in [0, 1], got ", factor);
+    agents_[id].speed = std::max(factor, kMinSpeed);
+}
+
+void
+Engine::tracePerWidthRate(AgentId id)
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    CAPO_ASSERT(traced_ == kInvalidAgent || traced_ == id,
+                "only one agent may be traced per engine");
+    traced_ = id;
+}
+
+bool
+Engine::finished(AgentId id) const
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    return agents_[id].state == State::Finished;
+}
+
+bool
+Engine::frozen(AgentId id) const
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    return agents_[id].frozen;
+}
+
+double
+Engine::cpuTime(AgentId id) const
+{
+    CAPO_ASSERT(id < agents_.size(), "bad agent id");
+    return agents_[id].cpu_time;
+}
+
+double
+Engine::totalCpuTime() const
+{
+    double total = 0.0;
+    for (const auto &slot : agents_)
+        total += slot.cpu_time;
+    return total;
+}
+
+const std::vector<RateSegment> &
+Engine::rateTimeline() const
+{
+    return trace_;
+}
+
+double
+Engine::demand(const AgentSlot &slot) const
+{
+    if (slot.state != State::Computing || slot.frozen)
+        return 0.0;
+    return slot.width * slot.speed;
+}
+
+void
+Engine::apply(AgentId id, const Action &action)
+{
+    auto &slot = agents_[id];
+    switch (action.kind) {
+      case Action::Kind::Compute:
+        CAPO_ASSERT(action.work >= 0.0, "negative compute work from ",
+                    slot.agent->name());
+        CAPO_ASSERT(action.width > 0.0, "non-positive compute width from ",
+                    slot.agent->name());
+        if (action.work <= 0.0) {
+            // Zero work completes instantly; requeue for dispatch.
+            slot.state = State::Pending;
+            pending_.push_back(id);
+            return;
+        }
+        slot.state = State::Computing;
+        slot.remaining = action.work;
+        slot.width = action.width;
+        return;
+
+      case Action::Kind::SleepUntil: {
+        const Time due = std::max(action.until, now_);
+        slot.state = State::Sleeping;
+        slot.sleep_token = ++timer_seq_;
+        timers_.push(Timer{due, timer_seq_, id, slot.sleep_token});
+        return;
+      }
+
+      case Action::Kind::Wait:
+        CAPO_ASSERT(action.cond < conds_.size(),
+                    "wait on bad condition from ", slot.agent->name());
+        slot.state = State::Waiting;
+        conds_[action.cond].waiters.push_back(id);
+        return;
+
+      case Action::Kind::Exit:
+        slot.state = State::Finished;
+        CAPO_ASSERT(live_agents_ > 0, "agent exited twice");
+        --live_agents_;
+        return;
+    }
+    CAPO_PANIC("unhandled action kind");
+}
+
+void
+Engine::drainPending()
+{
+    std::uint64_t burst = 0;
+    while (!pending_.empty()) {
+        const AgentId id = pending_.front();
+        pending_.pop_front();
+        auto &slot = agents_[id];
+        if (slot.state != State::Pending)
+            continue;  // superseded (e.g.\ exited via another path)
+        if (slot.frozen) {
+            slot.deferred_wake = true;
+            continue;
+        }
+        if (++burst > kMaxDispatchBurst) {
+            CAPO_PANIC("dispatch livelock: agent ", slot.agent->name(),
+                       " at t=", now_, " ns");
+        }
+        ++dispatches_;
+        current_ = id;
+        const Action action = slot.agent->resume(*this);
+        current_ = kInvalidAgent;
+        apply(id, action);
+    }
+}
+
+Engine::AdvanceResult
+Engine::advance(Time limit)
+{
+    // Fluid model: all runnable agents share the CPUs in proportion to
+    // their demand, capped at full speed.
+    double total_demand = 0.0;
+    bool any_frozen = false;
+    for (const auto &slot : agents_) {
+        total_demand += demand(slot);
+        if (slot.frozen && slot.state != State::Finished)
+            any_frozen = true;
+    }
+    const double share =
+        total_demand > cpus_ ? cpus_ / total_demand : 1.0;
+
+    // Earliest compute completion.
+    Time next_completion = std::numeric_limits<Time>::infinity();
+    for (const auto &slot : agents_) {
+        const double d = demand(slot);
+        if (d <= 0.0)
+            continue;
+        const double rate = d * share;
+        next_completion =
+            std::min(next_completion, now_ + slot.remaining / rate);
+    }
+
+    // Earliest live timer (skip stale entries).
+    Time next_timer = std::numeric_limits<Time>::infinity();
+    while (!timers_.empty()) {
+        const Timer &top = timers_.top();
+        const auto &slot = agents_[top.agent];
+        if (slot.state == State::Sleeping && slot.sleep_token == top.token) {
+            next_timer = top.due;
+            break;
+        }
+        timers_.pop();
+    }
+
+    Time next_event = std::min(next_completion, next_timer);
+    if (std::isinf(next_event))
+        return AdvanceResult::Stalled;
+
+    bool hit_limit = false;
+    if (limit >= 0.0 && next_event > limit) {
+        next_event = limit;
+        hit_limit = true;
+    }
+
+    const Time dt = next_event - now_;
+    CAPO_ASSERT(dt >= 0.0, "time went backwards");
+
+    // Credit work and CPU time for the elapsed interval.
+    for (auto &slot : agents_) {
+        const double d = demand(slot);
+        if (d <= 0.0)
+            continue;
+        const double delta = d * share * dt;
+        slot.remaining -= delta;
+        slot.cpu_time += delta;
+    }
+
+    // Record the traced agent's per-width progress rate.
+    if (traced_ != kInvalidAgent && dt > 0.0) {
+        const auto &slot = agents_[traced_];
+        const double rate =
+            (slot.state == State::Computing && !slot.frozen)
+                ? share * slot.speed
+                : 0.0;
+        if (!trace_.empty() && trace_.back().rate == rate &&
+            trace_.back().end == now_) {
+            trace_.back().end = next_event;
+        } else {
+            trace_.push_back(RateSegment{now_, next_event, rate});
+        }
+    }
+
+    if (any_frozen)
+        frozen_wall_ += dt;
+
+    now_ = next_event;
+
+    if (hit_limit)
+        return AdvanceResult::HitLimit;
+
+    // Fire compute completions. The minimum-dt agent lands on (or
+    // within rounding of) zero. The threshold must also cover any
+    // residue whose completion time is below the representable
+    // resolution of now_ (ulp ~= now_ * 2^-52), otherwise time could
+    // stop advancing; now_ * 1e-12 dominates that comfortably.
+    const double time_eps = std::max(1e-9, now_ * 1e-12);
+    for (AgentId id = 0; id < agents_.size(); ++id) {
+        auto &slot = agents_[id];
+        if (slot.state != State::Computing || slot.frozen)
+            continue;
+        const double rate = demand(slot) * share;
+        if (slot.remaining <= 1e-6 ||
+            (rate > 0.0 && slot.remaining <= rate * time_eps)) {
+            slot.remaining = 0.0;
+            slot.state = State::Pending;
+            pending_.push_back(id);
+        }
+    }
+
+    // Fire due timers.
+    while (!timers_.empty() && timers_.top().due <= now_) {
+        const Timer top = timers_.top();
+        timers_.pop();
+        auto &slot = agents_[top.agent];
+        if (slot.state == State::Sleeping && slot.sleep_token == top.token)
+            wake(top.agent);
+    }
+
+    return AdvanceResult::Progress;
+}
+
+Engine::StopReason
+Engine::run(Time until)
+{
+    running_ = true;
+    for (AgentId id = 0; id < agents_.size(); ++id) {
+        if (agents_[id].state == State::Created) {
+            agents_[id].state = State::Pending;
+            pending_.push_back(id);
+        }
+    }
+    drainPending();
+    while (live_agents_ > 0) {
+        switch (advance(until)) {
+          case AdvanceResult::Stalled:
+            return StopReason::Stalled;
+          case AdvanceResult::HitLimit:
+            return StopReason::TimeLimit;
+          case AdvanceResult::Progress:
+            break;
+        }
+        drainPending();
+    }
+    return StopReason::AllExited;
+}
+
+} // namespace capo::sim

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * The engine advances simulated time between *events* (compute
+ * completions, timer expiries, condition wakes). Between events it uses
+ * a fluid processor-sharing model: all runnable agents share the
+ * machine's CPU capacity in proportion to their parallelism demand
+ * (width × speed factor), capped at full speed. This yields, in closed
+ * form, both the wall-clock behaviour (contention stretches work) and
+ * the task-clock behaviour (CPU time is credited exactly for work
+ * performed), which are the two measurement axes of the paper's LBO
+ * methodology.
+ *
+ * Safepoint support: agents can be frozen (a stop-the-world pause seen
+ * from the runtime layer). A frozen agent makes no progress and accrues
+ * no CPU time; wake-ups that arrive while frozen are delivered when the
+ * agent is unfrozen.
+ */
+
+#ifndef CAPO_SIM_ENGINE_HH
+#define CAPO_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hh"
+#include "sim/time.hh"
+
+namespace capo::sim {
+
+/**
+ * One contiguous interval of an agent's per-width progress rate.
+ *
+ * Used by the runtime to reconstruct a mutator-progress timeline for
+ * request-latency synthesis: rate is CPU-ns of progress per wall-ns per
+ * unit of width (0 while frozen, stalled or blocked; 1 at full speed).
+ */
+struct RateSegment
+{
+    Time begin = 0.0;
+    Time end = 0.0;
+    double rate = 0.0;
+};
+
+/**
+ * Discrete-event fluid processor-sharing engine.
+ */
+class Engine
+{
+  public:
+    /** Why run() returned. */
+    enum class StopReason { AllExited, TimeLimit, Stalled };
+
+    /**
+     * @param cpus Hardware parallelism (fractional values allowed).
+     */
+    explicit Engine(double cpus);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Register an agent. The engine does not take ownership; the agent
+     * must outlive the engine. Must be called before run().
+     */
+    AgentId addAgent(Agent *agent);
+
+    /** Create a condition variable. */
+    CondId makeCondition(std::string name);
+
+    /** Wake every agent waiting on @p cond. Callable from resume(). */
+    void notifyAll(CondId cond);
+
+    /** Wake the longest-waiting agent on @p cond (if any). */
+    void notifyOne(CondId cond);
+
+    /**
+     * Freeze an agent (stop-the-world). In-flight compute is suspended
+     * with its remaining work intact; pending wake-ups are deferred.
+     * Freezing is idempotent.
+     */
+    void freeze(AgentId id);
+
+    /** Undo freeze(); delivers any deferred wake-up. */
+    void unfreeze(AgentId id);
+
+    /**
+     * Scale an agent's execution speed (used for allocation pacing).
+     * The agent's CPU demand and progress scale by @p factor in [0, 1].
+     */
+    void setSpeedFactor(AgentId id, double factor);
+
+    /**
+     * Record the agent's per-width progress-rate timeline (at most one
+     * agent per engine may be traced). @see RateSegment.
+     */
+    void tracePerWidthRate(AgentId id);
+
+    /**
+     * Run the simulation.
+     *
+     * @param until Optional absolute time limit.
+     * @return Why the run ended. Stalled means no agent can ever run
+     *         again although some have not exited (runtime deadlock);
+     *         callers treat this as a failed experiment.
+     */
+    StopReason run(Time until = -1.0);
+
+    /** @{ Introspection. */
+    Time now() const { return now_; }
+    double cpus() const { return cpus_; }
+    std::size_t agentCount() const { return agents_.size(); }
+    bool finished(AgentId id) const;
+    bool frozen(AgentId id) const;
+
+    /** CPU-ns consumed by one agent so far (its task-clock share). */
+    double cpuTime(AgentId id) const;
+
+    /** Total CPU-ns across all agents (the process task clock). */
+    double totalCpuTime() const;
+
+    /** Wall-ns during which at least one agent was frozen. */
+    double frozenWallTime() const { return frozen_wall_; }
+
+    /** The traced agent's rate timeline (coalesced). */
+    const std::vector<RateSegment> &rateTimeline() const;
+
+    /** Number of events dispatched (for efficiency tests). */
+    std::uint64_t dispatchCount() const { return dispatches_; }
+    /** @} */
+
+    /** The agent currently being dispatched (kInvalidAgent outside). */
+    AgentId currentAgent() const { return current_; }
+
+  private:
+    enum class State : std::uint8_t {
+        Created,    ///< Added, not yet started.
+        Pending,    ///< Queued for dispatch (resume()).
+        Computing,  ///< Executing a Compute action.
+        Sleeping,   ///< Waiting for a timer.
+        Waiting,    ///< Blocked on a condition.
+        Finished,   ///< Exited.
+    };
+
+    struct AgentSlot {
+        Agent *agent = nullptr;
+        State state = State::Created;
+        bool frozen = false;
+        bool deferred_wake = false;  ///< Wake arrived while frozen.
+        double remaining = 0.0;      ///< Compute: CPU-ns left.
+        double width = 1.0;
+        double speed = 1.0;
+        double cpu_time = 0.0;
+        std::uint64_t sleep_token = 0;  ///< Matches the live timer.
+    };
+
+    struct Timer {
+        Time due;
+        std::uint64_t seq;  ///< FIFO tie-break for equal due times.
+        AgentId agent;
+        std::uint64_t token;
+
+        bool
+        operator>(const Timer &other) const
+        {
+            if (due != other.due)
+                return due > other.due;
+            return seq > other.seq;
+        }
+    };
+
+    struct Cond {
+        std::string name;
+        std::deque<AgentId> waiters;
+    };
+
+    enum class AdvanceResult { Progress, Stalled, HitLimit };
+
+    /** Demand an agent currently places on the CPUs. */
+    double demand(const AgentSlot &slot) const;
+
+    /** Deliver resume() to everything in the pending queue. */
+    void drainPending();
+
+    /** Apply the action an agent returned from resume(). */
+    void apply(AgentId id, const Action &action);
+
+    /** Queue an agent for dispatch (handles frozen deferral). */
+    void wake(AgentId id);
+
+    /** Advance the fluid model to the next event. */
+    AdvanceResult advance(Time limit);
+
+    double cpus_;
+    Time now_ = 0.0;
+    std::vector<AgentSlot> agents_;
+    std::vector<Cond> conds_;
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+        timers_;
+    std::deque<AgentId> pending_;
+    std::size_t live_agents_ = 0;
+    std::uint64_t timer_seq_ = 0;
+    std::uint64_t dispatches_ = 0;
+    AgentId current_ = kInvalidAgent;
+    bool running_ = false;
+
+    AgentId traced_ = kInvalidAgent;
+    std::vector<RateSegment> trace_;
+    double frozen_wall_ = 0.0;
+};
+
+} // namespace capo::sim
+
+#endif // CAPO_SIM_ENGINE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulated time representation.
+ *
+ * The engine keeps time in (fractional) nanoseconds as a double. A
+ * double mantissa holds 2^53 ns ≈ 104 days exactly, far beyond any
+ * benchmark execution, and fractional ticks avoid rounding artifacts in
+ * the fluid processor-sharing scheduler.
+ */
+
+#ifndef CAPO_SIM_TIME_HH
+#define CAPO_SIM_TIME_HH
+
+namespace capo::sim {
+
+/** Simulated time / durations, in nanoseconds. */
+using Time = double;
+
+constexpr Time kNsPerUs = 1e3;
+constexpr Time kNsPerMs = 1e6;
+constexpr Time kNsPerSec = 1e9;
+
+constexpr Time
+fromSeconds(double s)
+{
+    return s * kNsPerSec;
+}
+
+constexpr Time
+fromMillis(double ms)
+{
+    return ms * kNsPerMs;
+}
+
+constexpr Time
+fromMicros(double us)
+{
+    return us * kNsPerUs;
+}
+
+constexpr double
+toSeconds(Time t)
+{
+    return t / kNsPerSec;
+}
+
+constexpr double
+toMillis(Time t)
+{
+    return t / kNsPerMs;
+}
+
+} // namespace capo::sim
+
+#endif // CAPO_SIM_TIME_HH

@@ -1,0 +1,151 @@
+#include "stats/catalog.hh"
+
+#include "support/logging.hh"
+
+namespace capo::stats {
+
+const std::vector<MetricInfo> &
+catalog()
+{
+    static const std::vector<MetricInfo> table = {
+        {MetricId::AOA, "AOA", 'A',
+         "nominal average object size (bytes)"},
+        {MetricId::AOL, "AOL", 'A',
+         "nominal 90-percentile object size (bytes)"},
+        {MetricId::AOM, "AOM", 'A',
+         "nominal median object size (bytes)"},
+        {MetricId::AOS, "AOS", 'A',
+         "nominal 10-percentile object size (bytes)"},
+        {MetricId::ARA, "ARA", 'A',
+         "nominal allocation rate (bytes / usec)"},
+        {MetricId::BAL, "BAL", 'B', "nominal aaload per usec"},
+        {MetricId::BAS, "BAS", 'B', "nominal aastore per usec"},
+        {MetricId::BEF, "BEF", 'B',
+         "nominal execution focus / dominance of hot code"},
+        {MetricId::BGF, "BGF", 'B', "nominal getfield per usec"},
+        {MetricId::BPF, "BPF", 'B', "nominal putfield per usec"},
+        {MetricId::BUB, "BUB", 'B',
+         "nominal thousands of unique bytecodes executed"},
+        {MetricId::BUF, "BUF", 'B',
+         "nominal thousands of unique function calls executed"},
+        {MetricId::GCA, "GCA", 'G',
+         "nominal average post-GC heap size as percent of min heap, "
+         "when run at 2X min heap with G1"},
+        {MetricId::GCC, "GCC", 'G',
+         "nominal GC count at 2X minimum heap size (G1)"},
+        {MetricId::GCM, "GCM", 'G',
+         "nominal median post-GC heap size as percent of min heap, "
+         "when run at 2X min heap with G1"},
+        {MetricId::GCP, "GCP", 'G',
+         "nominal percentage of time spent in GC pauses at 2X minimum "
+         "heap size (G1)"},
+        {MetricId::GLK, "GLK", 'G',
+         "nominal percent 10th iteration memory leakage (10 "
+         "iterations / 1 iterations)"},
+        {MetricId::GMD, "GMD", 'G',
+         "nominal minimum heap size (MB) for default size "
+         "configuration (with compressed pointers)"},
+        {MetricId::GML, "GML", 'G',
+         "nominal minimum heap size (MB) for large size configuration "
+         "(with compressed pointers)"},
+        {MetricId::GMS, "GMS", 'G',
+         "nominal minimum heap size (MB) for small size configuration "
+         "(with compressed pointers)"},
+        {MetricId::GMU, "GMU", 'G',
+         "nominal minimum heap size (MB) for default size without "
+         "compressed pointers"},
+        {MetricId::GMV, "GMV", 'G',
+         "nominal minimum heap size (MB) for vlarge size "
+         "configuration (with compressed pointers)"},
+        {MetricId::GSS, "GSS", 'G',
+         "nominal heap size sensitivity (slowdown with tight heap, as "
+         "a percentage)"},
+        {MetricId::GTO, "GTO", 'G',
+         "nominal memory turnover (total alloc bytes / min heap "
+         "bytes)"},
+        {MetricId::PCC, "PCC", 'P',
+         "nominal percentage slowdown due to forced c2 compilation "
+         "compared to tiered baseline (compiler cost)"},
+        {MetricId::PCS, "PCS", 'P',
+         "nominal percentage slowdown due to worst compiler "
+         "configuration compared to best (sensitivity to compiler)"},
+        {MetricId::PET, "PET", 'P', "nominal execution time (sec)"},
+        {MetricId::PFS, "PFS", 'P',
+         "nominal percentage speedup due to enabling frequency "
+         "scaling (CPU frequency sensitivity)"},
+        {MetricId::PIN, "PIN", 'P',
+         "nominal percentage slowdown due to using the interpreter "
+         "(sensitivity to interpreter)"},
+        {MetricId::PKP, "PKP", 'P',
+         "nominal percentage of time spent in kernel mode (as "
+         "percentage of user plus kernel time)"},
+        {MetricId::PLS, "PLS", 'P',
+         "nominal percentage slowdown due to 1/16 reduction of LLC "
+         "capacity (LLC sensitivity)"},
+        {MetricId::PMS, "PMS", 'P',
+         "nominal percentage slowdown due to slower DRAM (memory "
+         "speed sensitivity)"},
+        {MetricId::PPE, "PPE", 'P',
+         "nominal parallel efficiency (speedup as percentage of ideal "
+         "speedup for 32 threads)"},
+        {MetricId::PSD, "PSD", 'P',
+         "nominal standard deviation among invocations at peak "
+         "performance (as percentage of performance)"},
+        {MetricId::PWU, "PWU", 'P',
+         "nominal iterations to warm up to within 1.5 % of best"},
+        {MetricId::UAA, "UAA", 'U',
+         "nominal percentage change (slowdown) when running on ARM "
+         "Neoverse N1 (Ampere Altra Q80-30) v AMD Zen 4 (Ryzen 9 "
+         "7950X) on a single core (taskset 0)"},
+        {MetricId::UAI, "UAI", 'U',
+         "nominal percentage change (slowdown) when running on Intel "
+         "Golden Cove (i9-12900KF) v AMD Zen 4 (Ryzen 9 7950X) on a "
+         "single core (taskset 0)"},
+        {MetricId::UBM, "UBM", 'U', "nominal backend bound (memory)"},
+        {MetricId::UBP, "UBP", 'U',
+         "nominal 1000 x bad speculation: mispredicts"},
+        {MetricId::UBR, "UBR", 'U',
+         "nominal 1000000 x bad speculation: pipeline restarts"},
+        {MetricId::UBS, "UBS", 'U', "nominal 1000 x bad speculation"},
+        {MetricId::UDC, "UDC", 'U',
+         "nominal data cache misses per K instructions"},
+        {MetricId::UDT, "UDT", 'U',
+         "nominal DTLB misses per M instructions"},
+        {MetricId::UIP, "UIP", 'U',
+         "nominal 100 x instructions per cycle (IPC)"},
+        {MetricId::ULL, "ULL", 'U',
+         "nominal LLC misses per M instructions"},
+        {MetricId::USB, "USB", 'U', "nominal 100 x back end bound"},
+        {MetricId::USC, "USC", 'U', "nominal 1000 x SMT contention"},
+        {MetricId::USF, "USF", 'U', "nominal 100 x front end bound"},
+    };
+    return table;
+}
+
+const MetricInfo &
+metricInfo(MetricId id)
+{
+    const auto &table = catalog();
+    const auto index = static_cast<std::size_t>(id);
+    CAPO_ASSERT(index < table.size(), "bad metric id");
+    CAPO_ASSERT(table[index].id == id, "catalog order mismatch");
+    return table[index];
+}
+
+const char *
+metricCode(MetricId id)
+{
+    return metricInfo(id).code;
+}
+
+MetricId
+metricFromCode(const std::string &code)
+{
+    for (const auto &info : catalog()) {
+        if (code == info.code)
+            return info.id;
+    }
+    support::fatal("unknown metric code '", code, "'");
+}
+
+} // namespace capo::stats

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The nominal-statistic catalog (paper Table 1).
+ *
+ * Every workload is characterized against this catalog of metrics,
+ * grouped as Allocation, Bytecode, Garbage collection, Performance
+ * and U(micro)-architecture. (The paper speaks of 47 statistics;
+ * Table 1 enumerates the 48 codes below — we implement the full
+ * table.) Not every statistic is available on every workload.
+ */
+
+#ifndef CAPO_STATS_CATALOG_HH
+#define CAPO_STATS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+namespace capo::stats {
+
+/** Metric identifiers, in Table 1 order. */
+enum class MetricId {
+    AOA, AOL, AOM, AOS, ARA,
+    BAL, BAS, BEF, BGF, BPF, BUB, BUF,
+    GCA, GCC, GCM, GCP, GLK, GMD, GML, GMS, GMU, GMV, GSS, GTO,
+    PCC, PCS, PET, PFS, PIN, PKP, PLS, PMS, PPE, PSD, PWU,
+    UAA, UAI, UBM, UBP, UBR, UBS, UDC, UDT, UIP, ULL, USB, USC, USF,
+};
+
+/** Number of metrics in the catalog. */
+constexpr std::size_t kMetricCount = 48;
+
+/** Catalog entry. */
+struct MetricInfo
+{
+    MetricId id;
+    const char *code;         ///< Three-letter acronym.
+    char group;               ///< 'A', 'B', 'G', 'P' or 'U'.
+    const char *description;  ///< Table 1 description.
+};
+
+/** The full catalog, in Table 1 order. */
+const std::vector<MetricInfo> &catalog();
+
+/** Info for one metric. */
+const MetricInfo &metricInfo(MetricId id);
+
+/** Three-letter code of a metric. */
+const char *metricCode(MetricId id);
+
+/** Parse a code ("ARA"); fatal if unknown. */
+MetricId metricFromCode(const std::string &code);
+
+} // namespace capo::stats
+
+#endif // CAPO_STATS_CATALOG_HH

@@ -1,0 +1,165 @@
+#include "stats/linalg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace capo::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    CAPO_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    CAPO_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+void
+standardizeColumns(Matrix &m)
+{
+    const std::size_t n = m.rows();
+    if (n < 2)
+        return;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            sum += m.at(r, c);
+        const double mean = sum / n;
+        double ss = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            const double d = m.at(r, c) - mean;
+            ss += d * d;
+        }
+        const double stddev = std::sqrt(ss / (n - 1));
+        for (std::size_t r = 0; r < n; ++r) {
+            m.at(r, c) = stddev > 0.0
+                ? (m.at(r, c) - mean) / stddev
+                : 0.0;
+        }
+    }
+}
+
+Matrix
+covariance(const Matrix &m)
+{
+    const std::size_t n = m.rows();
+    const std::size_t d = m.cols();
+    CAPO_ASSERT(n >= 2, "covariance needs at least two rows");
+
+    std::vector<double> means(d, 0.0);
+    for (std::size_t c = 0; c < d; ++c) {
+        for (std::size_t r = 0; r < n; ++r)
+            means[c] += m.at(r, c);
+        means[c] /= n;
+    }
+
+    Matrix cov(d, d);
+    for (std::size_t a = 0; a < d; ++a) {
+        for (std::size_t b = a; b < d; ++b) {
+            double sum = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                sum += (m.at(r, a) - means[a]) *
+                       (m.at(r, b) - means[b]);
+            }
+            const double v = sum / (n - 1);
+            cov.at(a, b) = v;
+            cov.at(b, a) = v;
+        }
+    }
+    return cov;
+}
+
+EigenResult
+symmetricEigen(const Matrix &input, int max_sweeps, double tolerance)
+{
+    CAPO_ASSERT(input.rows() == input.cols(),
+                "eigendecomposition needs a square matrix");
+    const std::size_t n = input.rows();
+
+    Matrix a = input;
+    Matrix v(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.at(i, i) = 1.0;
+
+    auto off_diag = [&]() {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j)
+                sum += a.at(i, j) * a.at(i, j);
+        }
+        return sum;
+    };
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diag() <= tolerance)
+            break;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a.at(p, p);
+                const double aqq = a.at(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a.at(k, p);
+                    const double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a.at(p, k);
+                    const double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p);
+                    const double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Order eigenpairs by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x,
+                                              std::size_t y) {
+        return a.at(x, x) > a.at(y, y);
+    });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.values[i] = a.at(order[i], order[i]);
+        for (std::size_t k = 0; k < n; ++k)
+            result.vectors.at(k, i) = v.at(k, order[i]);
+    }
+    return result;
+}
+
+} // namespace capo::stats

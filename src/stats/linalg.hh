@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small dense linear algebra for the PCA substrate.
+ *
+ * The suite's diversity analysis needs standardization, covariance,
+ * and a symmetric eigendecomposition; nothing more. Matrices are
+ * dense row-major.
+ */
+
+#ifndef CAPO_STATS_LINALG_HH
+#define CAPO_STATS_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace capo::stats {
+
+/** Dense row-major matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Standardize columns in place to zero mean and unit variance
+ * (columns with zero variance become all-zero).
+ */
+void standardizeColumns(Matrix &m);
+
+/** Sample covariance (n-1) of the columns of @p m. */
+Matrix covariance(const Matrix &m);
+
+/** Result of a symmetric eigendecomposition. */
+struct EigenResult
+{
+    std::vector<double> values;  ///< Descending.
+    Matrix vectors;              ///< Column i pairs with values[i].
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix by cyclic Jacobi rotation.
+ * Eigenpairs are returned in descending eigenvalue order.
+ */
+EigenResult symmetricEigen(const Matrix &m, int max_sweeps = 64,
+                           double tolerance = 1e-12);
+
+} // namespace capo::stats
+
+#endif // CAPO_STATS_LINALG_HH

@@ -1,0 +1,90 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace capo::stats {
+
+PcaResult
+runPca(const StatTable &table, std::size_t components)
+{
+    PcaResult result;
+    result.workloads = table.workloads();
+    result.metrics = table.completeMetrics();
+
+    const std::size_t n = result.workloads.size();
+    const std::size_t d = result.metrics.size();
+    CAPO_ASSERT(n >= 3, "PCA needs at least three workloads");
+    CAPO_ASSERT(d >= 2, "PCA needs at least two complete metrics");
+    components = std::min(components, std::min(n, d));
+
+    // Raw values, standard-scaled per metric (paper Section 5.2).
+    Matrix data(n, d);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const auto v =
+                table.get(result.workloads[r], result.metrics[c]);
+            CAPO_ASSERT(v.has_value(), "incomplete metric in PCA");
+            data.at(r, c) = *v;
+        }
+    }
+    standardizeColumns(data);
+
+    const Matrix cov = covariance(data);
+    const EigenResult eigen = symmetricEigen(cov);
+
+    double total_variance = 0.0;
+    for (double v : eigen.values)
+        total_variance += std::max(v, 0.0);
+    CAPO_ASSERT(total_variance > 0.0, "degenerate covariance");
+
+    result.variance_fraction.resize(components);
+    result.loadings.assign(components, std::vector<double>(d));
+    for (std::size_t c = 0; c < components; ++c) {
+        result.variance_fraction[c] =
+            std::max(eigen.values[c], 0.0) / total_variance;
+        for (std::size_t m = 0; m < d; ++m)
+            result.loadings[c][m] = eigen.vectors.at(m, c);
+    }
+
+    result.scores.assign(n, std::vector<double>(components, 0.0));
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < components; ++c) {
+            double dot = 0.0;
+            for (std::size_t m = 0; m < d; ++m)
+                dot += data.at(r, m) * eigen.vectors.at(m, c);
+            result.scores[r][c] = dot;
+        }
+    }
+    return result;
+}
+
+std::vector<MetricId>
+PcaResult::determinantMetrics(std::size_t components) const
+{
+    components = std::min(components, loadings.size());
+    std::vector<double> weight(metrics.size(), 0.0);
+    for (std::size_t c = 0; c < components; ++c) {
+        for (std::size_t m = 0; m < metrics.size(); ++m) {
+            const double w = loadings[c][m] *
+                             (c < variance_fraction.size()
+                                  ? variance_fraction[c]
+                                  : 0.0);
+            weight[m] += w * w;
+        }
+    }
+    std::vector<std::size_t> order(metrics.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return weight[a] > weight[b];
+              });
+    std::vector<MetricId> out;
+    for (auto idx : order)
+        out.push_back(metrics[idx]);
+    return out;
+}
+
+} // namespace capo::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Principal components analysis of workload diversity (paper §5.2,
+ * Figure 4).
+ *
+ * The analysis uses the raw values of every nominal metric that is
+ * available on all benchmarks, applies standard scaling (zero mean,
+ * unit variance), and projects the workloads onto the top principal
+ * components. Workloads far apart in the projection differ most with
+ * respect to the nominal statistics — the paper's evidence that the
+ * suite is diverse.
+ */
+
+#ifndef CAPO_STATS_PCA_HH
+#define CAPO_STATS_PCA_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/linalg.hh"
+#include "stats/stat_table.hh"
+
+namespace capo::stats {
+
+/** Result of a PCA over a statistics table. */
+struct PcaResult
+{
+    std::vector<std::string> workloads;
+    std::vector<MetricId> metrics;  ///< Complete metrics used.
+
+    /** Fraction of total variance explained, per component. */
+    std::vector<double> variance_fraction;
+
+    /** scores[w][c]: workload w's coordinate on component c. */
+    std::vector<std::vector<double>> scores;
+
+    /** loadings[c][m]: metric m's weight in component c. */
+    std::vector<std::vector<double>> loadings;
+
+    /**
+     * Metrics ranked by their total squared loading over the top
+     * @p components (the paper's "most determinant" metrics,
+     * Table 2).
+     */
+    std::vector<MetricId> determinantMetrics(
+        std::size_t components = 4) const;
+};
+
+/**
+ * Run PCA over the complete-coverage metrics of @p table.
+ *
+ * @param components Number of leading components to retain.
+ */
+PcaResult runPca(const StatTable &table, std::size_t components = 4);
+
+} // namespace capo::stats
+
+#endif // CAPO_STATS_PCA_HH

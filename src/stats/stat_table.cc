@@ -1,0 +1,183 @@
+#include "stats/stat_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "workloads/registry.hh"
+
+namespace capo::stats {
+
+void
+StatTable::addWorkload(const std::string &workload)
+{
+    if (std::find(workloads_.begin(), workloads_.end(), workload) ==
+        workloads_.end()) {
+        workloads_.push_back(workload);
+    }
+}
+
+void
+StatTable::set(const std::string &workload, MetricId metric,
+               double value)
+{
+    addWorkload(workload);
+    if (std::isnan(value))
+        return;  // unavailable
+    values_[{workload, metric}] = value;
+}
+
+std::optional<double>
+StatTable::get(const std::string &workload, MetricId metric) const
+{
+    auto it = values_.find({workload, metric});
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+StatTable::RankScore
+StatTable::rankScore(const std::string &workload, MetricId metric) const
+{
+    const auto own = get(workload, metric);
+    CAPO_ASSERT(own.has_value(), "metric ", metricCode(metric),
+                " unavailable for ", workload);
+
+    int available = 0;
+    int strictly_greater = 0;
+    for (const auto &w : workloads_) {
+        const auto v = get(w, metric);
+        if (!v)
+            continue;
+        ++available;
+        if (*v > *own)
+            ++strictly_greater;
+    }
+
+    RankScore rs;
+    rs.available = available;
+    rs.rank = strictly_greater + 1;  // ties share the best rank
+    if (available <= 1) {
+        rs.score = 10;
+    } else {
+        rs.score = static_cast<int>(std::lround(
+            10.0 * (available - rs.rank) / (available - 1)));
+    }
+    return rs;
+}
+
+StatTable::Range
+StatTable::range(MetricId metric) const
+{
+    std::vector<double> values;
+    for (const auto &w : workloads_) {
+        if (const auto v = get(w, metric))
+            values.push_back(*v);
+    }
+    Range r;
+    r.available = static_cast<int>(values.size());
+    if (values.empty())
+        return r;
+    std::sort(values.begin(), values.end());
+    r.min = values.front();
+    r.max = values.back();
+    const std::size_t n = values.size();
+    r.median = n % 2 ? values[n / 2]
+                     : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+    return r;
+}
+
+std::vector<MetricId>
+StatTable::completeMetrics() const
+{
+    std::vector<MetricId> out;
+    for (const auto &info : catalog()) {
+        bool complete = !workloads_.empty();
+        for (const auto &w : workloads_) {
+            if (!get(w, info.id)) {
+                complete = false;
+                break;
+            }
+        }
+        if (complete)
+            out.push_back(info.id);
+    }
+    return out;
+}
+
+std::vector<MetricId>
+StatTable::availableMetrics(const std::string &workload) const
+{
+    std::vector<MetricId> out;
+    for (const auto &info : catalog()) {
+        if (get(workload, info.id))
+            out.push_back(info.id);
+    }
+    return out;
+}
+
+StatTable
+shippedStats()
+{
+    StatTable table;
+    for (const auto &d : capo::workloads::suite()) {
+        const auto &w = d.name;
+        table.addWorkload(w);
+
+        table.set(w, MetricId::AOA, d.alloc.aoa);
+        table.set(w, MetricId::AOL, d.alloc.aol);
+        table.set(w, MetricId::AOM, d.alloc.aom);
+        table.set(w, MetricId::AOS, d.alloc.aos);
+        table.set(w, MetricId::ARA, d.alloc.ara);
+
+        table.set(w, MetricId::BAL, d.bytecode.bal);
+        table.set(w, MetricId::BAS, d.bytecode.bas);
+        table.set(w, MetricId::BEF, d.bytecode.bef);
+        table.set(w, MetricId::BGF, d.bytecode.bgf);
+        table.set(w, MetricId::BPF, d.bytecode.bpf);
+        table.set(w, MetricId::BUB, d.bytecode.bub);
+        table.set(w, MetricId::BUF, d.bytecode.buf);
+
+        table.set(w, MetricId::GCA, d.gc.gca_pct);
+        table.set(w, MetricId::GCC, d.gc.gcc);
+        table.set(w, MetricId::GCM, d.gc.gcm_pct);
+        table.set(w, MetricId::GCP, d.gc.gcp_pct);
+        table.set(w, MetricId::GLK, d.gc.glk_pct);
+        table.set(w, MetricId::GMD, d.gc.gmd_mb);
+        table.set(w, MetricId::GML, d.gc.gml_mb);
+        table.set(w, MetricId::GMS, d.gc.gms_mb);
+        table.set(w, MetricId::GMU, d.gc.gmu_mb);
+        table.set(w, MetricId::GMV, d.gc.gmv_mb);
+        table.set(w, MetricId::GSS, d.gc.gss_pct);
+        table.set(w, MetricId::GTO, d.gc.gto);
+
+        table.set(w, MetricId::PCC, d.perf.pcc);
+        table.set(w, MetricId::PCS, d.perf.pcs);
+        table.set(w, MetricId::PET, d.perf.pet_sec);
+        table.set(w, MetricId::PFS, d.perf.pfs);
+        table.set(w, MetricId::PIN, d.perf.pin);
+        table.set(w, MetricId::PKP, d.perf.pkp);
+        table.set(w, MetricId::PLS, d.perf.pls);
+        table.set(w, MetricId::PMS, d.perf.pms);
+        table.set(w, MetricId::PPE, d.perf.ppe);
+        table.set(w, MetricId::PSD, d.perf.psd);
+        table.set(w, MetricId::PWU, d.perf.pwu);
+
+        table.set(w, MetricId::UAA, d.uarch.uaa);
+        table.set(w, MetricId::UAI, d.uarch.uai);
+        table.set(w, MetricId::UBM, d.uarch.ubm);
+        table.set(w, MetricId::UBP, d.uarch.ubp);
+        table.set(w, MetricId::UBR, d.uarch.ubr);
+        table.set(w, MetricId::UBS, d.uarch.ubs);
+        table.set(w, MetricId::UDC, d.uarch.udc);
+        table.set(w, MetricId::UDT, d.uarch.udt);
+        table.set(w, MetricId::UIP, d.uarch.uip);
+        table.set(w, MetricId::ULL, d.uarch.ull);
+        table.set(w, MetricId::USB, d.uarch.usb);
+        table.set(w, MetricId::USC, d.uarch.usc);
+        table.set(w, MetricId::USF, d.uarch.usf);
+    }
+    return table;
+}
+
+} // namespace capo::stats

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Workload x metric value tables with the paper's rank/score scheme.
+ *
+ * Each benchmark is scored out of ten against each metric: the score
+ * is a linear mapping of the benchmark's rank among all benchmarks
+ * that have the metric, with rank 1 being the largest value (ties
+ * share the best rank).
+ */
+
+#ifndef CAPO_STATS_STAT_TABLE_HH
+#define CAPO_STATS_STAT_TABLE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/catalog.hh"
+
+namespace capo::stats {
+
+/**
+ * A (workload, metric) -> value table with ranking utilities.
+ */
+class StatTable
+{
+  public:
+    /** Register a workload (defines row order). Idempotent. */
+    void addWorkload(const std::string &workload);
+
+    /** Set a value; NaN marks the metric unavailable. */
+    void set(const std::string &workload, MetricId metric, double value);
+
+    /** Value if available. */
+    std::optional<double> get(const std::string &workload,
+                              MetricId metric) const;
+
+    /** Workloads in registration order. */
+    const std::vector<std::string> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** Rank (1 = largest; ties share best) and 0-10 score. */
+    struct RankScore {
+        int rank = 0;
+        int score = 0;
+        int available = 0;  ///< Workloads that have this metric.
+    };
+
+    /** Rank and score of a workload on a metric (metric must be
+     *  available on that workload). */
+    RankScore rankScore(const std::string &workload,
+                        MetricId metric) const;
+
+    /** Summary of a metric across workloads that have it. */
+    struct Range {
+        double min = 0.0;
+        double median = 0.0;
+        double max = 0.0;
+        int available = 0;
+    };
+    Range range(MetricId metric) const;
+
+    /** Metrics available on every registered workload. */
+    std::vector<MetricId> completeMetrics() const;
+
+    /** Metrics available on a given workload. */
+    std::vector<MetricId> availableMetrics(
+        const std::string &workload) const;
+
+  private:
+    std::vector<std::string> workloads_;
+    std::map<std::pair<std::string, MetricId>, double> values_;
+};
+
+/** The suite's shipped (descriptor-backed) statistics table. */
+StatTable shippedStats();
+
+} // namespace capo::stats
+
+#endif // CAPO_STATS_STAT_TABLE_HH

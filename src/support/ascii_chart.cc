@@ -1,0 +1,189 @@
+#include "support/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strfmt.hh"
+
+namespace capo::support {
+
+namespace {
+
+constexpr const char *kMarkers = "*o+x#@%&sd";
+
+} // namespace
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height)
+{
+    CAPO_ASSERT(width >= 16 && height >= 4, "chart too small");
+}
+
+void
+AsciiChart::addSeries(const std::string &name,
+                      std::vector<std::pair<double, double>> points)
+{
+    Series series;
+    series.name = name;
+    series.marker = kMarkers[series_.size() % 10];
+    series.points = std::move(points);
+    std::sort(series.points.begin(), series.points.end());
+    series_.push_back(std::move(series));
+}
+
+void
+AsciiChart::setYRange(double lo, double hi)
+{
+    CAPO_ASSERT(hi > lo, "empty y range");
+    y_lo_ = lo;
+    y_hi_ = hi;
+    explicit_y_ = true;
+}
+
+void
+AsciiChart::setXRange(double lo, double hi)
+{
+    CAPO_ASSERT(hi > lo, "empty x range");
+    x_lo_ = lo;
+    x_hi_ = hi;
+    explicit_x_ = true;
+}
+
+double
+AsciiChart::transformY(double y) const
+{
+    return log_y_ ? std::log10(std::max(y, 1e-300)) : y;
+}
+
+std::string
+AsciiChart::render() const
+{
+    // Fit ranges.
+    double x_lo = x_lo_, x_hi = x_hi_, y_lo = y_lo_, y_hi = y_hi_;
+    if (!explicit_x_ || !explicit_y_) {
+        bool first = true;
+        double fx_lo = 0, fx_hi = 1, fy_lo = 0, fy_hi = 1;
+        for (const auto &s : series_) {
+            for (const auto &[x, y] : s.points) {
+                if (log_y_ && y <= 0.0)
+                    continue;
+                if (first) {
+                    fx_lo = fx_hi = x;
+                    fy_lo = fy_hi = y;
+                    first = false;
+                } else {
+                    fx_lo = std::min(fx_lo, x);
+                    fx_hi = std::max(fx_hi, x);
+                    fy_lo = std::min(fy_lo, y);
+                    fy_hi = std::max(fy_hi, y);
+                }
+            }
+        }
+        if (!explicit_x_) {
+            x_lo = fx_lo;
+            x_hi = fx_hi > fx_lo ? fx_hi : fx_lo + 1.0;
+        }
+        if (!explicit_y_) {
+            y_lo = fy_lo;
+            y_hi = fy_hi > fy_lo ? fy_hi : fy_lo + 1.0;
+            if (!log_y_) {
+                const double pad = 0.05 * (y_hi - y_lo);
+                y_lo -= pad;
+                y_hi += pad;
+            }
+        }
+    }
+
+    const double ty_lo = transformY(y_lo);
+    const double ty_hi = transformY(y_hi);
+
+    auto col_of = [&](double x) {
+        return static_cast<int>(std::lround(
+            (x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+    };
+    auto row_of = [&](double y) {
+        const double t = (transformY(y) - ty_lo) / (ty_hi - ty_lo);
+        return static_cast<int>(std::lround((1.0 - t) * (height_ - 1)));
+    };
+    auto in_grid = [&](int row, int col) {
+        return row >= 0 && row < height_ && col >= 0 && col < width_;
+    };
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto &s : series_) {
+        int prev_row = -1, prev_col = -1;
+        for (const auto &[x, y] : s.points) {
+            if (log_y_ && y <= 0.0)
+                continue;
+            const int col = col_of(x);
+            const int row = row_of(y);
+            if (connect_ && prev_col >= 0) {
+                // Simple DDA between consecutive points.
+                const int steps =
+                    std::max(std::abs(col - prev_col),
+                             std::abs(row - prev_row));
+                for (int k = 1; k < steps; ++k) {
+                    const int r = prev_row +
+                        (row - prev_row) * k / std::max(steps, 1);
+                    const int c = prev_col +
+                        (col - prev_col) * k / std::max(steps, 1);
+                    if (in_grid(r, c) && grid[r][c] == ' ')
+                        grid[r][c] = '.';
+                }
+            }
+            if (in_grid(row, col))
+                grid[row][col] = s.marker;
+            prev_row = row;
+            prev_col = col;
+        }
+    }
+
+    // Assemble with y labels, frame, x labels and legend.
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+
+    auto y_at_row = [&](int row) {
+        const double t = 1.0 - static_cast<double>(row) / (height_ - 1);
+        const double ty = ty_lo + t * (ty_hi - ty_lo);
+        return log_y_ ? std::pow(10.0, ty) : ty;
+    };
+
+    const int label_width = 9;
+    for (int row = 0; row < height_; ++row) {
+        std::string label;
+        if (row == 0 || row == height_ - 1 || row == height_ / 2) {
+            label = general(y_at_row(row), 3);
+        }
+        out << padLeft(label, label_width) << " |" << grid[row] << "\n";
+    }
+    out << padLeft("", label_width) << " +"
+        << std::string(width_, '-') << "\n";
+    {
+        const std::string left = general(x_lo, 3);
+        const std::string right = general(x_hi, 3);
+        std::string axis(width_, ' ');
+        axis.replace(0, left.size(), left);
+        if (right.size() <= axis.size()) {
+            axis.replace(axis.size() - right.size(), right.size(),
+                         right);
+        }
+        if (!x_label_.empty() && x_label_.size() < axis.size()) {
+            axis.replace((axis.size() - x_label_.size()) / 2,
+                         x_label_.size(), x_label_);
+        }
+        out << padLeft("", label_width) << "  " << axis << "\n";
+    }
+    if (!y_label_.empty())
+        out << padLeft("", label_width) << "  (y: " << y_label_
+            << (log_y_ ? ", log scale)" : ")") << "\n";
+    out << padLeft("", label_width) << "  legend:";
+    for (const auto &s : series_)
+        out << "  " << s.marker << "=" << s.name;
+    out << "\n";
+    return out.str();
+}
+
+} // namespace capo::support

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Terminal line/scatter charts for the figure-reproduction binaries.
+ *
+ * The paper's results are figures; rendering the reproduced series as
+ * charts (not just tables) makes shape comparisons — hockey sticks,
+ * crossovers, latency plateaus — visible at a glance in any terminal.
+ */
+
+#ifndef CAPO_SUPPORT_ASCII_CHART_HH
+#define CAPO_SUPPORT_ASCII_CHART_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capo::support {
+
+/**
+ * A fixed-size character-grid chart with multiple series.
+ */
+class AsciiChart
+{
+  public:
+    /** @param width/@p height Plot-area size in characters. */
+    AsciiChart(int width = 72, int height = 20);
+
+    /** Add a series; each gets a distinct marker automatically. */
+    void addSeries(const std::string &name,
+                   std::vector<std::pair<double, double>> points);
+
+    /** Logarithmic y axis (latency CDFs). */
+    void setLogY(bool log_y) { log_y_ = log_y; }
+
+    /** Draw lines between consecutive points (default) or markers
+     *  only (scatter plots). */
+    void setConnect(bool connect) { connect_ = connect; }
+
+    void setTitle(std::string title) { title_ = std::move(title); }
+    void setXLabel(std::string label) { x_label_ = std::move(label); }
+    void setYLabel(std::string label) { y_label_ = std::move(label); }
+
+    /** Override the axis ranges (otherwise fitted to the data). */
+    void setYRange(double lo, double hi);
+    void setXRange(double lo, double hi);
+
+    /** Render the chart (plot area, axes, legend). */
+    std::string render() const;
+
+  private:
+    struct Series {
+        std::string name;
+        char marker;
+        std::vector<std::pair<double, double>> points;
+    };
+
+    double transformY(double y) const;
+
+    int width_;
+    int height_;
+    bool log_y_ = false;
+    bool connect_ = true;
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<Series> series_;
+    bool explicit_y_ = false;
+    bool explicit_x_ = false;
+    double y_lo_ = 0.0, y_hi_ = 1.0;
+    double x_lo_ = 0.0, x_hi_ = 1.0;
+};
+
+} // namespace capo::support
+
+#endif // CAPO_SUPPORT_ASCII_CHART_HH

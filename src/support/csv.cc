@@ -1,0 +1,113 @@
+#include "support/csv.hh"
+
+#include "support/logging.hh"
+#include "support/strfmt.hh"
+
+namespace capo::support {
+
+CsvWriter::CsvWriter(std::ostream &out)
+    : out_(out)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    CAPO_ASSERT(!header_written_, "CSV header already written");
+    CAPO_ASSERT(!columns.empty(), "CSV header needs at least one column");
+    columns_ = columns.size();
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(columns[i]);
+    }
+    out_ << '\n';
+    header_written_ = true;
+}
+
+void
+CsvWriter::beginRow()
+{
+    if (in_row_)
+        endRow();
+    in_row_ = true;
+    cells_in_row_ = 0;
+}
+
+void
+CsvWriter::rawCell(const std::string &text)
+{
+    CAPO_ASSERT(in_row_, "cell() outside of a row");
+    if (columns_ > 0) {
+        CAPO_ASSERT(cells_in_row_ < columns_,
+                    "row has more cells than header columns");
+    }
+    if (cells_in_row_)
+        out_ << ',';
+    out_ << text;
+    ++cells_in_row_;
+}
+
+void
+CsvWriter::cell(const std::string &value)
+{
+    rawCell(escape(value));
+}
+
+void
+CsvWriter::cell(double value)
+{
+    rawCell(general(value, 12));
+}
+
+void
+CsvWriter::cell(std::int64_t value)
+{
+    rawCell(concat(value));
+}
+
+void
+CsvWriter::cell(std::uint64_t value)
+{
+    rawCell(concat(value));
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!in_row_)
+        return;
+    if (columns_ > 0) {
+        CAPO_ASSERT(cells_in_row_ == columns_,
+                    "row has ", cells_in_row_, " cells, header has ",
+                    columns_);
+    }
+    out_ << '\n';
+    in_row_ = false;
+    ++rows_;
+}
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    bool needs_quote = false;
+    for (char c : value) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quote = true;
+            break;
+        }
+    }
+    if (!needs_quote)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        if (c == '"')
+            quoted += "\"\"";
+        else
+            quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace capo::support

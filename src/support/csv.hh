@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal CSV emission for offline analysis of raw results.
+ *
+ * DaCapo Chopin optionally dumps complete latency data to file for
+ * offline analysis; CsvWriter is capo's equivalent output path.
+ */
+
+#ifndef CAPO_SUPPORT_CSV_HH
+#define CAPO_SUPPORT_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capo::support {
+
+/**
+ * Streaming CSV writer with RFC-4180 style quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to an externally-owned stream (not owned by the writer). */
+    explicit CsvWriter(std::ostream &out);
+
+    /** Emit the header row. Must be called before any data rows. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin a new row; previous row (if any) is terminated. */
+    void beginRow();
+
+    /** Append one cell to the current row. */
+    void cell(const std::string &value);
+    void cell(double value);
+    void cell(std::int64_t value);
+    void cell(std::uint64_t value);
+
+    /** Terminate the current row (idempotent between rows). */
+    void endRow();
+
+    /** Number of data rows fully emitted so far. */
+    std::size_t rows() const { return rows_; }
+
+  private:
+    void rawCell(const std::string &text);
+    static std::string escape(const std::string &value);
+
+    std::ostream &out_;
+    std::size_t columns_ = 0;
+    std::size_t cells_in_row_ = 0;
+    std::size_t rows_ = 0;
+    bool in_row_ = false;
+    bool header_written_ = false;
+};
+
+} // namespace capo::support
+
+#endif // CAPO_SUPPORT_CSV_HH

@@ -1,0 +1,156 @@
+#include "support/flags.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace capo::support {
+
+Flags::Flags(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+Flags::addString(const std::string &name, const std::string &def,
+                 const std::string &help)
+{
+    flags_[name] = Flag{Kind::String, help, def, def};
+}
+
+void
+Flags::addInt(const std::string &name, std::int64_t def,
+              const std::string &help)
+{
+    flags_[name] = Flag{Kind::Int, help, std::to_string(def),
+                        std::to_string(def)};
+}
+
+void
+Flags::addDouble(const std::string &name, double def, const std::string &help)
+{
+    flags_[name] = Flag{Kind::Double, help, std::to_string(def),
+                        std::to_string(def)};
+}
+
+void
+Flags::addBool(const std::string &name, bool def, const std::string &help)
+{
+    flags_[name] = Flag{Kind::Bool, help, def ? "true" : "false",
+                        def ? "true" : "false"};
+}
+
+void
+Flags::set(const std::string &name, const std::string &value)
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        fatal("unknown flag --", name, "\n", usage());
+    it->second.value = value;
+}
+
+void
+Flags::parse(int argc, const char *const *argv)
+{
+    program_ = argc > 0 ? argv[0] : "capo";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        std::string body;
+        if (arg.rfind("--", 0) == 0) {
+            body = arg.substr(2);
+        } else if (arg.size() > 1 && arg[0] == '-' &&
+                   flags_.count(arg.substr(
+                       1, std::min(arg.find('='), arg.size()) - 1))) {
+            // Single-dash form (-n 5, -p) for declared names only, so
+            // negative-number positionals still pass through.
+            body = arg.substr(1);
+        } else {
+            pos_.push_back(arg);
+            continue;
+        }
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            set(body.substr(0, eq), body.substr(eq + 1));
+            continue;
+        }
+        auto it = flags_.find(body);
+        if (it == flags_.end())
+            fatal("unknown flag --", body, "\n", usage());
+        if (it->second.kind == Kind::Bool) {
+            it->second.value = "true";
+        } else {
+            if (i + 1 >= argc)
+                fatal("flag --", body, " needs a value");
+            it->second.value = argv[++i];
+        }
+    }
+}
+
+const Flags::Flag &
+Flags::find(const std::string &name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        CAPO_PANIC("flag --", name, " was never declared");
+    if (it->second.kind != kind)
+        CAPO_PANIC("flag --", name, " accessed with the wrong type");
+    return it->second;
+}
+
+const std::string &
+Flags::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name) const
+{
+    const auto &flag = find(name, Kind::Int);
+    try {
+        return std::stoll(flag.value);
+    } catch (...) {
+        fatal("flag --", name, " expects an integer, got '", flag.value, "'");
+    }
+}
+
+double
+Flags::getDouble(const std::string &name) const
+{
+    const auto &flag = find(name, Kind::Double);
+    try {
+        return std::stod(flag.value);
+    } catch (...) {
+        fatal("flag --", name, " expects a number, got '", flag.value, "'");
+    }
+}
+
+bool
+Flags::getBool(const std::string &name) const
+{
+    const auto &flag = find(name, Kind::Bool);
+    if (flag.value == "true" || flag.value == "1" || flag.value == "yes")
+        return true;
+    if (flag.value == "false" || flag.value == "0" || flag.value == "no")
+        return false;
+    fatal("flag --", name, " expects a boolean, got '", flag.value, "'");
+}
+
+std::string
+Flags::usage() const
+{
+    std::string text = description_ + "\n\nusage: " + program_ +
+                       " [flags]\n\nflags:\n";
+    for (const auto &[name, flag] : flags_) {
+        text += "  --" + name;
+        text += " (default: " + flag.def + ")\n      " + flag.help + "\n";
+    }
+    return text;
+}
+
+} // namespace capo::support

@@ -1,0 +1,60 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace capo::support {
+
+namespace {
+
+LogLevel global_level = LogLevel::Warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+panicMessage(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalMessage(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+warnMessage(const std::string &message)
+{
+    if (global_level >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informMessage(const std::string &message)
+{
+    if (global_level >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+debugMessage(const std::string &message)
+{
+    std::fprintf(stderr, "debug: %s\n", message.c_str());
+}
+
+} // namespace capo::support

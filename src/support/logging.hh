@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Status and error reporting for the framework.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in capo itself, aborts), fatal() is for user errors
+ * (bad configuration, exits), warn()/inform() report conditions without
+ * stopping the run.
+ */
+
+#ifndef CAPO_SUPPORT_LOGGING_HH
+#define CAPO_SUPPORT_LOGGING_HH
+
+#include <string>
+
+#include "support/strfmt.hh"
+
+namespace capo::support {
+
+/** Verbosity levels for inform()-style output. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global log threshold; messages above it are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** @{ Raw (pre-formatted) reporting entry points. */
+[[noreturn]] void panicMessage(const char *file, int line,
+                               const std::string &message);
+[[noreturn]] void fatalMessage(const std::string &message);
+void warnMessage(const std::string &message);
+void informMessage(const std::string &message);
+void debugMessage(const std::string &message);
+/** @} */
+
+/**
+ * Report an internal invariant violation (a capo bug) and abort.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const Args &...args)
+{
+    panicMessage(file, line, concat(args...));
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    fatalMessage(concat(args...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnMessage(concat(args...));
+}
+
+/** Report normal operational status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informMessage(concat(args...));
+}
+
+/** Verbose diagnostics, disabled unless LogLevel::Debug is set. */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        debugMessage(concat(args...));
+}
+
+} // namespace capo::support
+
+/** Abort with file/line context on an internal invariant violation. */
+#define CAPO_PANIC(...) \
+    ::capo::support::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Panic unless @p cond holds. */
+#define CAPO_ASSERT(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::capo::support::panicAt(__FILE__, __LINE__,              \
+                                     "assertion failed: " #cond " ",  \
+                                     ##__VA_ARGS__);                  \
+        }                                                             \
+    } while (false)
+
+#endif // CAPO_SUPPORT_LOGGING_HH

@@ -1,0 +1,141 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::support {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : seed_(seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa of the raw draw, in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    CAPO_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return draw % bound;
+}
+
+double
+Rng::gaussian()
+{
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * scale;
+    have_spare_ = true;
+    return u * scale;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double mean)
+{
+    CAPO_ASSERT(mean > 0.0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+double
+Rng::heavyTail(double mean, double shape)
+{
+    CAPO_ASSERT(shape > 1.0, "heavyTail shape must exceed 1");
+    // Pareto with scale chosen so the expectation equals @p mean.
+    const double scale = mean * (shape - 1.0) / shape;
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return scale / std::pow(u, 1.0 / shape);
+}
+
+Rng
+Rng::fork(std::uint64_t stream) const
+{
+    // Mix the parent seed with the stream id through splitmix64.
+    std::uint64_t s = seed_ ^ (0xa0761d6478bd642fULL * (stream + 1));
+    splitmix64(s);
+    return Rng(s);
+}
+
+} // namespace capo::support

@@ -1,0 +1,77 @@
+#include "support/strfmt.hh"
+
+#include <array>
+#include <cmath>
+#include <iomanip>
+
+namespace capo::support {
+
+std::string
+fixed(double value, int places)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(places) << value;
+    return os.str();
+}
+
+std::string
+general(double value, int significant)
+{
+    std::ostringstream os;
+    os << std::setprecision(significant) << value;
+    return os.str();
+}
+
+std::string
+percent(double ratio, int places)
+{
+    return fixed(ratio * 100.0, places) + " %";
+}
+
+std::string
+humanBytes(std::uint64_t bytes, int places)
+{
+    static const std::array<const char *, 5> units = {
+        "B", "KB", "MB", "GB", "TB"
+    };
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < units.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return concat(bytes, " B");
+    return fixed(value, places) + " " + units[unit];
+}
+
+std::string
+humanNanos(double nanos, int places)
+{
+    const double abs = std::fabs(nanos);
+    if (abs < 1e3)
+        return fixed(nanos, places) + " ns";
+    if (abs < 1e6)
+        return fixed(nanos / 1e3, places) + " us";
+    if (abs < 1e9)
+        return fixed(nanos / 1e6, places) + " ms";
+    return fixed(nanos / 1e9, places) + " s";
+}
+
+std::string
+padLeft(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string
+padRight(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+} // namespace capo::support

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight string concatenation and numeric formatting helpers.
+ *
+ * The library targets GCC 12 (no std::format), so these helpers provide
+ * the small amount of formatting the framework needs: stream-style
+ * concatenation, fixed-precision floats, and human-readable units.
+ */
+
+#ifndef CAPO_SUPPORT_STRFMT_HH
+#define CAPO_SUPPORT_STRFMT_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace capo::support {
+
+namespace detail {
+
+inline void
+streamAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    streamAll(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Concatenate any streamable values into a std::string.
+ */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamAll(os, args...);
+    return os.str();
+}
+
+/** Format a double with a fixed number of decimal places. */
+std::string fixed(double value, int places);
+
+/** Format a double with significant-digit style (%g-like) precision. */
+std::string general(double value, int significant = 6);
+
+/** Format a ratio (e.g.\ 1.1534) as a percentage string ("15.3 %"). */
+std::string percent(double ratio, int places = 1);
+
+/** Format a byte count with binary units ("12.0 MB", "1.5 GB"). */
+std::string humanBytes(std::uint64_t bytes, int places = 1);
+
+/** Format a nanosecond duration with adaptive units ("3.2 ms"). */
+std::string humanNanos(double nanos, int places = 1);
+
+/** Left-pad @p text with spaces to at least @p width characters. */
+std::string padLeft(const std::string &text, std::size_t width);
+
+/** Right-pad @p text with spaces to at least @p width characters. */
+std::string padRight(const std::string &text, std::size_t width);
+
+} // namespace capo::support
+
+#endif // CAPO_SUPPORT_STRFMT_HH

@@ -1,0 +1,91 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strfmt.hh"
+
+namespace capo::support {
+
+void
+TextTable::columns(const std::vector<std::string> &names,
+                   const std::vector<Align> &aligns)
+{
+    CAPO_ASSERT(!names.empty(), "table needs at least one column");
+    CAPO_ASSERT(rows_.empty(), "columns() must precede row()");
+    names_ = names;
+    aligns_ = aligns;
+    if (aligns_.empty())
+        aligns_.assign(names_.size(), Align::Left);
+    CAPO_ASSERT(aligns_.size() == names_.size(),
+                "alignment count must match column count");
+}
+
+void
+TextTable::row(const std::vector<std::string> &cells)
+{
+    CAPO_ASSERT(cells.size() == names_.size(),
+                "row has ", cells.size(), " cells, table has ",
+                names_.size(), " columns");
+    rows_.push_back(Row{false, cells});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+void
+TextTable::render(std::ostream &out) const
+{
+    CAPO_ASSERT(!names_.empty(), "render() before columns()");
+    std::vector<std::size_t> widths(names_.size());
+    for (std::size_t c = 0; c < names_.size(); ++c)
+        widths[c] = names_[c].size();
+    for (const auto &r : rows_) {
+        if (r.is_separator)
+            continue;
+        for (std::size_t c = 0; c < r.cells.size(); ++c)
+            widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                line += "  ";
+            line += aligns_[c] == Align::Left
+                ? padRight(cells[c], widths[c])
+                : padLeft(cells[c], widths[c]);
+        }
+        // Trim trailing spaces so output is diff-friendly.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        out << line << '\n';
+    };
+
+    emit_row(names_);
+    out << std::string(total, '-') << '\n';
+    for (const auto &r : rows_) {
+        if (r.is_separator)
+            out << std::string(total, '-') << '\n';
+        else
+            emit_row(r.cells);
+    }
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream os;
+    render(os);
+    return os.str();
+}
+
+} // namespace capo::support

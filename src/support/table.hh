@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Aligned plain-text table rendering.
+ *
+ * The benchmark harness prints paper-style tables (nominal statistics,
+ * LBO series, latency percentiles); TextTable handles column alignment
+ * and separators so every report binary renders consistently.
+ */
+
+#ifndef CAPO_SUPPORT_TABLE_HH
+#define CAPO_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capo::support {
+
+/**
+ * A simple column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Horizontal alignment of a column. */
+    enum class Align { Left, Right };
+
+    /** Define the columns; must be called before adding rows. */
+    void columns(const std::vector<std::string> &names,
+                 const std::vector<Align> &aligns = {});
+
+    /** Append a data row; must match the column count. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render to a stream with two-space column gutters. */
+    void render(std::ostream &out) const;
+
+    /** Render to a string (convenience for tests). */
+    std::string str() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row {
+        bool is_separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> names_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace capo::support
+
+#endif // CAPO_SUPPORT_TABLE_HH

@@ -1,0 +1,54 @@
+#include "workloads/descriptor.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capo::workloads {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+} // namespace
+
+double
+Descriptor::effectiveParallelism() const
+{
+    // PPE is "speedup as a percentage of ideal speedup for 32
+    // threads"; the effective width is that fraction of the machine.
+    return std::clamp(perf.ppe / 100.0 * 32.0, 0.8, 24.0);
+}
+
+double
+Descriptor::liveBytes() const
+{
+    CAPO_ASSERT(gc.gmd_mb > 0.0, name, ": descriptor needs GMD");
+    return live_fraction * gc.gmd_mb * kMb;
+}
+
+double
+Descriptor::allocPerIteration() const
+{
+    // ARA is bytes/usec over a nominal (PET-second) iteration.
+    const double rate = available(alloc.ara) ? alloc.ara : sim_ara;
+    CAPO_ASSERT(available(rate), name, ": no allocation rate model");
+    return rate * 1e6 * perf.pet_sec;
+}
+
+double
+Descriptor::workPerIteration() const
+{
+    // PET seconds of wall time at the workload's effective width.
+    return perf.pet_sec * 1e9 * effectiveParallelism();
+}
+
+double
+Descriptor::pointerFootprint() const
+{
+    if (!available(gc.gmu_mb) || gc.gmd_mb <= 0.0)
+        return 1.3;
+    return std::max(1.0, gc.gmu_mb / gc.gmd_mb);
+}
+
+} // namespace capo::workloads

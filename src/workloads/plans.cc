@@ -1,0 +1,130 @@
+#include "workloads/plans.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::workloads {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+/**
+ * JIT warmup curve: iteration k runs (1 + amp * exp(-r k)) times the
+ * warmed-up work, with r chosen so iteration PWU-1 is within 1.5 % of
+ * peak (the definition of the PWU statistic).
+ */
+std::vector<double>
+warmupCurve(const Descriptor &workload, double extra_first_iteration)
+{
+    const double pwu = std::max(workload.perf.pwu, 1.0);
+    // Workloads that are compiler-sensitive start further from peak;
+    // PWU = 1 means the first iteration is already within 1.5 %.
+    double amp = std::clamp(workload.perf.pin / 300.0, 0.12, 1.2) *
+                 extra_first_iteration;
+    if (pwu <= 1.0)
+        amp = 0.015;
+    const double rate = std::log(std::max(amp, 0.02) / 0.015) /
+                        std::max(pwu - 1.0, 0.5);
+
+    const int n = std::max(static_cast<int>(pwu) + 2, 6);
+    std::vector<double> curve(n);
+    for (int k = 0; k < n; ++k)
+        curve[k] = 1.0 + amp * std::exp(-rate * k);
+    curve.back() = 1.0;
+    return curve;
+}
+
+} // namespace
+
+const char *
+sizeName(SizeConfig size)
+{
+    switch (size) {
+      case SizeConfig::Small:
+        return "small";
+      case SizeConfig::Default:
+        return "default";
+      case SizeConfig::Large:
+        return "large";
+      case SizeConfig::VLarge:
+        return "vlarge";
+    }
+    return "?";
+}
+
+bool
+sizeAvailable(const Descriptor &workload, SizeConfig size)
+{
+    switch (size) {
+      case SizeConfig::Small:
+        return available(workload.gc.gms_mb);
+      case SizeConfig::Default:
+        return true;
+      case SizeConfig::Large:
+        return available(workload.gc.gml_mb);
+      case SizeConfig::VLarge:
+        return available(workload.gc.gmv_mb);
+    }
+    return false;
+}
+
+double
+sizeMinHeapMb(const Descriptor &workload, SizeConfig size)
+{
+    CAPO_ASSERT(sizeAvailable(workload, size), workload.name,
+                " has no ", sizeName(size), " configuration");
+    switch (size) {
+      case SizeConfig::Small:
+        return workload.gc.gms_mb;
+      case SizeConfig::Default:
+        return workload.gc.gmd_mb;
+      case SizeConfig::Large:
+        return workload.gc.gml_mb;
+      case SizeConfig::VLarge:
+        return workload.gc.gmv_mb;
+    }
+    return 0.0;
+}
+
+RunSetup
+makeSetup(const Descriptor &workload,
+          const counters::MachineConfig &machine, SizeConfig size,
+          int iterations)
+{
+    CAPO_ASSERT(iterations >= 1, "need at least one iteration");
+    const double ref_mb = sizeMinHeapMb(workload, size);
+    // Size configurations scale the data volume linearly with their
+    // min-heap ratio; work scales sublinearly (bigger inputs amortize
+    // fixed startup and JIT cost).
+    const double k = ref_mb / workload.gc.gmd_mb;
+    const double work_scale = std::pow(k, 0.7);
+
+    RunSetup setup;
+    setup.survivor_fraction = workload.survivor_fraction;
+    setup.pointer_footprint = workload.pointerFootprint();
+    setup.reference_min_heap_bytes = ref_mb * kMb;
+
+    setup.live.base_bytes = workload.liveBytes() * k;
+    setup.live.buildup_fraction = workload.buildup_fraction;
+    setup.live.startup_fraction = 0.2;
+    setup.live.leak_bytes_per_iteration =
+        workload.gc.glk_pct / 100.0 / 10.0 * setup.live.base_bytes;
+
+    auto &plan = setup.plan;
+    plan.iterations = iterations;
+    plan.width = workload.effectiveParallelism();
+    plan.work_per_iteration = workload.workPerIteration() * work_scale *
+        counters::steadyWorkMultiplier(machine, workload);
+    plan.alloc_per_iteration = workload.allocPerIteration() * k;
+    plan.warmup_multipliers = warmupCurve(
+        workload, counters::warmupExtraMultiplier(machine, workload));
+    plan.noise_stddev = workload.perf.psd / 100.0;
+    plan.min_chunks = workload.latency_sensitive ? 256 : 64;
+    plan.max_chunks = 20000;
+    return setup;
+}
+
+} // namespace capo::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Building executable run setups from workload descriptors.
+ *
+ * A RunSetup is everything the runtime needs for one benchmark
+ * invocation except the collector and the heap size: the mutator plan
+ * (work, allocation, warmup curve, noise), the live-set model, and the
+ * workload-specific heap behaviour. Size configurations follow the
+ * DaCapo small/default/large/vlarge scheme.
+ */
+
+#ifndef CAPO_WORKLOADS_PLANS_HH
+#define CAPO_WORKLOADS_PLANS_HH
+
+#include "counters/machine.hh"
+#include "heap/live_set.hh"
+#include "runtime/mutator.hh"
+#include "workloads/descriptor.hh"
+
+namespace capo::workloads {
+
+/** DaCapo input-size configurations. */
+enum class SizeConfig { Small, Default, Large, VLarge };
+
+/** Printable name ("small", "default", ...). */
+const char *sizeName(SizeConfig size);
+
+/** Does the workload ship this size? (e.g.\ fop has no large). */
+bool sizeAvailable(const Descriptor &workload, SizeConfig size);
+
+/** Shipped nominal minimum heap (MB) for the size configuration. */
+double sizeMinHeapMb(const Descriptor &workload, SizeConfig size);
+
+/**
+ * A fully-specified benchmark execution, minus collector and -Xmx.
+ */
+struct RunSetup
+{
+    runtime::MutatorPlan plan;
+    heap::LiveSetModel live;
+    double survivor_fraction = 0.08;
+    double pointer_footprint = 1.3;
+
+    /** Shipped min-heap for the chosen size (basis for heap factors). */
+    double reference_min_heap_bytes = 0.0;
+};
+
+/**
+ * Build a run setup.
+ *
+ * @param workload The workload descriptor.
+ * @param machine Measurement machine (stretches work per its knobs).
+ * @param size Input size configuration.
+ * @param iterations DaCapo -n (the paper times the last of 5).
+ */
+RunSetup makeSetup(const Descriptor &workload,
+                   const counters::MachineConfig &machine,
+                   SizeConfig size = SizeConfig::Default,
+                   int iterations = 5);
+
+} // namespace capo::workloads
+
+#endif // CAPO_WORKLOADS_PLANS_HH

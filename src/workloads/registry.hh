@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The DaCapo Chopin workload registry: all 22 benchmarks.
+ */
+
+#ifndef CAPO_WORKLOADS_REGISTRY_HH
+#define CAPO_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/descriptor.hh"
+
+namespace capo::workloads {
+
+/** All 22 workloads, alphabetically (the paper's ordering). */
+const std::vector<Descriptor> &suite();
+
+/** Look up one workload; fatal if the name is unknown. */
+const Descriptor &byName(const std::string &name);
+
+/** True if @p name names a workload in the suite. */
+bool contains(const std::string &name);
+
+/** All workload names, alphabetically. */
+std::vector<std::string> names();
+
+/** The nine latency-sensitive workloads. */
+std::vector<const Descriptor *> latencySensitive();
+
+} // namespace capo::workloads
+
+#endif // CAPO_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the machine model and the simulated perf counter session.
+ */
+
+#include <gtest/gtest.h>
+
+#include "counters/machine.hh"
+#include "counters/perf_session.hh"
+#include "workloads/registry.hh"
+
+namespace capo::counters {
+namespace {
+
+TEST(MachineTest, BaselineHasUnitMultiplier)
+{
+    const auto machine = MachineConfig::baseline();
+    for (const auto &d : workloads::suite())
+        EXPECT_DOUBLE_EQ(steadyWorkMultiplier(machine, d), 1.0);
+}
+
+TEST(MachineTest, KnobsApplyPublishedSensitivities)
+{
+    const auto &h2 = workloads::byName("h2");  // PMS 40, PLS 31
+
+    MachineConfig slow_mem;
+    slow_mem.slow_memory = true;
+    EXPECT_NEAR(steadyWorkMultiplier(slow_mem, h2), 1.40, 1e-9);
+
+    MachineConfig small_llc;
+    small_llc.small_llc = true;
+    EXPECT_NEAR(steadyWorkMultiplier(small_llc, h2), 1.31, 1e-9);
+
+    MachineConfig boost;
+    boost.freq_boost = true;
+    EXPECT_NEAR(steadyWorkMultiplier(boost, h2), 1.0 / 1.05, 1e-9);
+
+    MachineConfig interp;
+    interp.compiler = MachineConfig::Compiler::Interpreter;
+    EXPECT_NEAR(steadyWorkMultiplier(interp, h2), 1.55, 1e-9);
+
+    MachineConfig arm;
+    arm.arch = MachineConfig::Arch::NeoverseN1;
+    EXPECT_NEAR(steadyWorkMultiplier(arm, h2), 2.27, 1e-9);
+}
+
+TEST(MachineTest, NegativeSensitivitySpeedsUp)
+{
+    // sunflow's PLS is -2: shrinking the LLC *helps* slightly.
+    const auto &sunflow = workloads::byName("sunflow");
+    MachineConfig small_llc;
+    small_llc.small_llc = true;
+    EXPECT_LT(steadyWorkMultiplier(small_llc, sunflow), 1.0);
+}
+
+TEST(MachineTest, ForcedC2CostsOnlyWarmup)
+{
+    const auto &fop = workloads::byName("fop");  // PCC 1083
+    MachineConfig c2;
+    c2.compiler = MachineConfig::Compiler::ForcedC2;
+    EXPECT_DOUBLE_EQ(steadyWorkMultiplier(c2, fop), 1.0);
+    EXPECT_NEAR(warmupExtraMultiplier(c2, fop), 11.83, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        warmupExtraMultiplier(MachineConfig::baseline(), fop), 1.0);
+}
+
+runtime::ExecutionResult
+fakeResult(double mutator_cpu, double gc_cpu)
+{
+    runtime::ExecutionResult r;
+    r.mutator_cpu = mutator_cpu;
+    r.gc_cpu = gc_cpu;
+    r.cpu = mutator_cpu + gc_cpu;
+    return r;
+}
+
+TEST(PerfSessionTest, PureMutatorMatchesWorkloadProfile)
+{
+    const auto &d = workloads::byName("biojava");
+    const auto readings = readCounters(fakeResult(1e9, 0.0), d,
+                                       MachineConfig::baseline());
+    EXPECT_NEAR(readings.uip(), d.uarch.uip, 0.1);
+    EXPECT_NEAR(readings.udc(), d.uarch.udc, 0.1);
+    EXPECT_NEAR(readings.ull(), d.uarch.ull, 1.0);
+    EXPECT_NEAR(readings.usf(), d.uarch.usf, 0.1);
+    EXPECT_NEAR(readings.pkp(), d.perf.pkp, 0.1);
+    EXPECT_DOUBLE_EQ(readings.task_clock_ns, 1e9);
+}
+
+TEST(PerfSessionTest, GcCpuShiftsRatesTowardGcProfile)
+{
+    const auto &d = workloads::byName("biojava");  // very high IPC
+    const auto app_only = readCounters(fakeResult(1e9, 0.0), d,
+                                       MachineConfig::baseline());
+    const auto with_gc = readCounters(fakeResult(1e9, 1e9), d,
+                                      MachineConfig::baseline());
+    // Collector code is memory-bound: blended IPC falls, miss rates
+    // rise.
+    EXPECT_LT(with_gc.uip(), app_only.uip());
+    EXPECT_GT(with_gc.ull(), app_only.ull());
+    EXPECT_DOUBLE_EQ(with_gc.task_clock_ns, 2e9);
+}
+
+TEST(PerfSessionTest, CountersScaleLinearlyWithWork)
+{
+    const auto &d = workloads::byName("kafka");
+    const auto one = readCounters(fakeResult(1e9, 2e8), d,
+                                  MachineConfig::baseline());
+    const auto two = readCounters(fakeResult(2e9, 4e8), d,
+                                  MachineConfig::baseline());
+    EXPECT_NEAR(two.instructions, 2.0 * one.instructions,
+                one.instructions * 1e-9);
+    EXPECT_NEAR(two.llc_misses, 2.0 * one.llc_misses,
+                one.llc_misses * 1e-9);
+    // Rates are intensive: unchanged.
+    EXPECT_NEAR(two.uip(), one.uip(), 1e-9);
+}
+
+} // namespace
+} // namespace capo::counters

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Integration tests for the experiment harness: runner, min-heap
+ * search, LBO sweeps and characterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/characterize.hh"
+#include "harness/lbo_experiment.hh"
+#include "harness/minheap.hh"
+#include "harness/runner.hh"
+#include "workloads/registry.hh"
+
+namespace capo::harness {
+namespace {
+
+ExperimentOptions
+quickOptions()
+{
+    ExperimentOptions options;
+    options.iterations = 2;
+    options.invocations = 2;
+    options.time_limit_sec = 300;
+    return options;
+}
+
+TEST(RunnerTest, RunsRequestedInvocations)
+{
+    Runner runner(quickOptions());
+    const auto &fop = workloads::byName("fop");
+    const auto set = runner.run(fop, gc::Algorithm::G1, 2.0);
+    ASSERT_EQ(set.runs.size(), 2u);
+    EXPECT_TRUE(set.allCompleted());
+    const auto cost = set.meanTimedCost();
+    EXPECT_GT(cost.wall, 0.0);
+    EXPECT_GE(cost.cpu, cost.wall);  // width > 1
+    EXPECT_GE(cost.stw_wall, 0.0);
+    EXPECT_LE(cost.stw_wall, cost.wall);
+}
+
+TEST(RunnerTest, InvocationsDifferButAreSeedStable)
+{
+    auto options = quickOptions();
+    Runner runner(options);
+    // avrora ships a nonzero PSD, so invocations carry noise.
+    const auto &avrora = workloads::byName("avrora");
+    const auto a = runner.run(avrora, gc::Algorithm::Serial, 2.0);
+    const auto b = runner.run(avrora, gc::Algorithm::Serial, 2.0);
+    // Same seeds -> identical; different invocations -> noise.
+    ASSERT_EQ(a.timedWalls().size(), 2u);
+    EXPECT_DOUBLE_EQ(a.timedWalls()[0], b.timedWalls()[0]);
+    EXPECT_NE(a.timedWalls()[0], a.timedWalls()[1]);
+}
+
+TEST(RunnerTest, TinyHeapFailsCleanly)
+{
+    Runner runner(quickOptions());
+    const auto &fop = workloads::byName("fop");
+    const auto set = runner.runAtHeapMb(fop, gc::Algorithm::G1, 6.0);
+    EXPECT_FALSE(set.allCompleted());
+    for (const auto &run : set.runs)
+        EXPECT_TRUE(run.oom);
+}
+
+TEST(MinHeapTest, FindsBracketNearShippedGmd)
+{
+    auto options = quickOptions();
+    const auto &fop = workloads::byName("fop");
+    const auto result =
+        findMinHeapMb(fop, gc::Algorithm::G1, options, 0.02);
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.probes, 3);
+    // The emergent minimum should be within ~35 % of the paper's GMD
+    // (live_fraction calibration target).
+    EXPECT_GT(result.min_heap_mb, fop.gc.gmd_mb * 0.65);
+    EXPECT_LT(result.min_heap_mb, fop.gc.gmd_mb * 1.35);
+}
+
+TEST(MinHeapTest, ConcurrentCollectorsNeedMoreHeap)
+{
+    auto options = quickOptions();
+    const auto &luindex = workloads::byName("luindex");
+    const auto g1 = findMinHeapMb(luindex, gc::Algorithm::G1, options);
+    const auto zgc = findMinHeapMb(luindex, gc::Algorithm::Zgc, options);
+    EXPECT_TRUE(g1.converged);
+    EXPECT_TRUE(zgc.converged);
+    // ZGC runs without compressed pointers: larger minimum.
+    EXPECT_GT(zgc.min_heap_mb, g1.min_heap_mb);
+}
+
+TEST(LboSweepTest, ProducesOverheadsAboveOne)
+{
+    LboSweepOptions options;
+    options.factors = {1.5, 3.0, 6.0};
+    options.collectors = {gc::Algorithm::Serial, gc::Algorithm::G1,
+                          gc::Algorithm::Zgc};
+    options.base = quickOptions();
+    options.base.invocations = 1;
+
+    const auto &luindex = workloads::byName("luindex");
+    const auto result = runLboSweep(luindex, options);
+    EXPECT_EQ(result.workload, "luindex");
+
+    for (const auto &collector : result.analysis.collectors()) {
+        for (double f : result.analysis.factors(collector)) {
+            const auto o = result.analysis.overhead(collector, f);
+            EXPECT_GE(o.wall, 1.0) << collector << " @ " << f;
+            EXPECT_GE(o.cpu, 1.0) << collector << " @ " << f;
+        }
+    }
+
+    // Overheads shrink (weakly) as the heap grows: the time-space
+    // tradeoff.
+    const auto serial_tight = result.analysis.overhead("Serial", 1.5);
+    const auto serial_roomy = result.analysis.overhead("Serial", 6.0);
+    EXPECT_GE(serial_tight.cpu, serial_roomy.cpu - 1e-6);
+}
+
+TEST(LboSweepTest, SuiteAggregationAppliesPlottedRule)
+{
+    LboSweepOptions options;
+    options.factors = {1.0, 3.0};
+    options.collectors = {gc::Algorithm::Zgc};
+    options.base = quickOptions();
+    options.base.invocations = 1;
+
+    std::vector<WorkloadLbo> per_workload;
+    for (const char *name : {"biojava", "luindex"}) {
+        per_workload.push_back(
+            runLboSweep(workloads::byName(name), options));
+    }
+    const auto points = aggregateSuiteLbo(per_workload, options);
+    ASSERT_EQ(points.size(), 2u);
+    // At 1.0x, ZGC cannot run everything (footprint): not plotted.
+    EXPECT_FALSE(points[0].plotted);
+    // At 3.0x both complete: plotted, geomeans over both.
+    EXPECT_TRUE(points[1].plotted);
+    EXPECT_EQ(points[1].completed, 2u);
+    EXPECT_GE(points[1].cpu_geomean, 1.0);
+}
+
+TEST(CharacterizeTest, MeasuresCoreMetricsForOneWorkload)
+{
+    CharacterizeOptions options;
+    options.base = quickOptions();
+    options.base.invocations = 1;
+    options.psd_invocations = 3;
+    options.warmup_iterations = 6;
+    options.minheap_searches = true;
+    options.sensitivity_experiments = true;
+
+    stats::StatTable table;
+    const auto &fop = workloads::byName("fop");
+    measureWorkloadStats(fop, options, table);
+
+    using stats::MetricId;
+    ASSERT_TRUE(table.get("fop", MetricId::PET).has_value());
+    EXPECT_GT(*table.get("fop", MetricId::PET), 0.0);
+
+    ASSERT_TRUE(table.get("fop", MetricId::GCC).has_value());
+    EXPECT_GT(*table.get("fop", MetricId::GCC), 0.0);
+
+    ASSERT_TRUE(table.get("fop", MetricId::GMD).has_value());
+    EXPECT_GT(*table.get("fop", MetricId::GMD), 2.0);
+
+    // Sensitivities approximate the shipped profile (they are driven
+    // by it through the machine model).
+    ASSERT_TRUE(table.get("fop", MetricId::PMS).has_value());
+    EXPECT_NEAR(*table.get("fop", MetricId::PMS), fop.perf.pms, 6.0);
+    ASSERT_TRUE(table.get("fop", MetricId::PLS).has_value());
+    EXPECT_NEAR(*table.get("fop", MetricId::PLS), fop.perf.pls, 9.0);
+
+    // Counter-backed metrics exist.
+    ASSERT_TRUE(table.get("fop", MetricId::UIP).has_value());
+    EXPECT_GT(*table.get("fop", MetricId::UIP), 50.0);
+
+    // Shipped-only metrics were carried over.
+    ASSERT_TRUE(table.get("fop", MetricId::AOA).has_value());
+    EXPECT_DOUBLE_EQ(*table.get("fop", MetricId::AOA), 58.0);
+}
+
+} // namespace
+} // namespace capo::harness

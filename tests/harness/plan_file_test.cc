@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the experiment-definition file parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/plan_file.hh"
+
+namespace capo::harness {
+namespace {
+
+TEST(PlanFileTest, DefaultsToFullSuiteLbo)
+{
+    const auto plan = parsePlan("");
+    EXPECT_EQ(plan.kind, ExperimentPlan::Kind::Lbo);
+    EXPECT_EQ(plan.workloads.size(), 22u);
+    EXPECT_EQ(plan.collectors.size(), 5u);
+    EXPECT_EQ(plan.heap_factors, std::vector<double>{2.0});
+}
+
+TEST(PlanFileTest, ParsesFullDefinition)
+{
+    const auto plan = parsePlan(R"(
+        # a comment
+        experiment   = minheap
+        workloads    = lusearch, h2   # trailing comment
+        collectors   = serial, zgc
+        heap_factors = 1.5, 2, 6
+        iterations   = 4
+        invocations  = 7
+        size         = small
+        seed         = 99
+    )");
+    EXPECT_EQ(plan.kind, ExperimentPlan::Kind::MinHeap);
+    EXPECT_EQ(plan.workloads,
+              (std::vector<std::string>{"lusearch", "h2"}));
+    ASSERT_EQ(plan.collectors.size(), 2u);
+    EXPECT_EQ(plan.collectors[0], gc::Algorithm::Serial);
+    EXPECT_EQ(plan.collectors[1], gc::Algorithm::Zgc);
+    EXPECT_EQ(plan.heap_factors, (std::vector<double>{1.5, 2.0, 6.0}));
+    EXPECT_EQ(plan.options.iterations, 4);
+    EXPECT_EQ(plan.options.invocations, 7);
+    EXPECT_EQ(plan.options.size, workloads::SizeConfig::Small);
+    EXPECT_EQ(plan.options.base_seed, 99u);
+}
+
+TEST(PlanFileTest, LatencyFiltersToLatencySensitive)
+{
+    const auto plan = parsePlan("experiment = latency\n"
+                                "workloads = all\n");
+    EXPECT_EQ(plan.kind, ExperimentPlan::Kind::Latency);
+    EXPECT_EQ(plan.workloads.size(), 9u);
+    EXPECT_TRUE(plan.options.trace_rate);
+}
+
+TEST(PlanFileTest, CollectorGroups)
+{
+    EXPECT_EQ(parsePlan("collectors = production\n").collectors.size(),
+              5u);
+    EXPECT_EQ(parsePlan("collectors = all\n").collectors.size(), 6u);
+}
+
+TEST(PlanFileTest, WorkloadGroups)
+{
+    EXPECT_EQ(parsePlan("workloads = latency\n").workloads.size(), 9u);
+    EXPECT_EQ(parsePlan("workloads = all\n").workloads.size(), 22u);
+}
+
+TEST(PlanFileDeathTest, RejectsMalformedInput)
+{
+    EXPECT_EXIT(parsePlan("no equals sign here\n"),
+                ::testing::ExitedWithCode(1), "expected key = value");
+    EXPECT_EXIT(parsePlan("workloads = quake\n"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_EXIT(parsePlan("experiment = frobnicate\n"),
+                ::testing::ExitedWithCode(1), "unknown experiment");
+    EXPECT_EXIT(parsePlan("bogus_key = 1\n"),
+                ::testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(parsePlan("heap_factors = soon\n"),
+                ::testing::ExitedWithCode(1), "bad heap factor");
+    EXPECT_EXIT(loadPlan("/nonexistent/plan.capo"),
+                ::testing::ExitedWithCode(1), "cannot read");
+}
+
+} // namespace
+} // namespace capo::harness

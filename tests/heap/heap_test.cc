@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit and property tests for the heap substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/heap_space.hh"
+#include "heap/live_set.hh"
+
+namespace capo::heap {
+namespace {
+
+TEST(LiveSetTest, SteadyStateEqualsBase)
+{
+    LiveSetModel m;
+    m.base_bytes = 100.0;
+    m.buildup_fraction = 0.0;
+    EXPECT_DOUBLE_EQ(m.liveAt(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(m.liveAt(5.0), 100.0);
+}
+
+TEST(LiveSetTest, BuildupRampsFromStartupFraction)
+{
+    LiveSetModel m;
+    m.base_bytes = 100.0;
+    m.buildup_fraction = 0.5;
+    m.startup_fraction = 0.2;
+    EXPECT_DOUBLE_EQ(m.liveAt(0.0), 20.0);
+    EXPECT_DOUBLE_EQ(m.liveAt(0.25), 60.0);
+    EXPECT_DOUBLE_EQ(m.liveAt(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(m.liveAt(2.0), 100.0);
+}
+
+TEST(LiveSetTest, LeakGrowsLinearly)
+{
+    LiveSetModel m;
+    m.base_bytes = 100.0;
+    m.buildup_fraction = 0.0;
+    m.leak_bytes_per_iteration = 10.0;
+    EXPECT_DOUBLE_EQ(m.liveAt(1.0), 110.0);
+    EXPECT_DOUBLE_EQ(m.liveAt(10.0), 200.0);
+}
+
+TEST(LiveSetTest, PeakIsAtEnd)
+{
+    LiveSetModel m;
+    m.base_bytes = 100.0;
+    m.buildup_fraction = 0.5;
+    m.leak_bytes_per_iteration = 5.0;
+    EXPECT_GE(m.peak(10.0), m.liveAt(10.0) - 1e-9);
+}
+
+HeapSpace::Config
+config(double max_bytes, double survivor = 0.1, double footprint = 1.0)
+{
+    HeapSpace::Config c;
+    c.max_bytes = max_bytes;
+    c.survivor_fraction = survivor;
+    c.footprint_factor = footprint;
+    return c;
+}
+
+LiveSetModel
+flatLive(double bytes)
+{
+    LiveSetModel m;
+    m.base_bytes = bytes;
+    m.buildup_fraction = 0.0;
+    m.startup_fraction = 1.0;
+    return m;
+}
+
+TEST(HeapSpaceTest, FillAccumulatesFresh)
+{
+    HeapSpace heap(config(1000.0), flatLive(100.0));
+    EXPECT_DOUBLE_EQ(heap.occupied(), 100.0);
+    heap.fill(50.0);
+    heap.fill(25.0);
+    EXPECT_DOUBLE_EQ(heap.fresh(), 75.0);
+    EXPECT_DOUBLE_EQ(heap.occupied(), 175.0);
+    EXPECT_DOUBLE_EQ(heap.freeBytes(), 825.0);
+    EXPECT_DOUBLE_EQ(heap.totalAllocated(), 75.0);
+}
+
+TEST(HeapSpaceTest, FootprintShrinksCapacity)
+{
+    HeapSpace heap(config(1000.0, 0.1, 1.25), flatLive(100.0));
+    EXPECT_DOUBLE_EQ(heap.capacity(), 800.0);
+}
+
+TEST(HeapSpaceTest, YoungCollectionPromotesSurvivors)
+{
+    HeapSpace heap(config(1000.0, 0.1), flatLive(100.0));
+    heap.fill(200.0);
+    const auto c = heap.collectYoung();
+    EXPECT_DOUBLE_EQ(c.survivors, 20.0);
+    EXPECT_DOUBLE_EQ(c.fresh_processed, 200.0);
+    EXPECT_DOUBLE_EQ(c.reclaimed, 180.0);
+    EXPECT_DOUBLE_EQ(heap.fresh(), 0.0);
+    EXPECT_DOUBLE_EQ(heap.oldDebris(), 20.0);
+    EXPECT_DOUBLE_EQ(c.post_gc, 120.0);
+}
+
+TEST(HeapSpaceTest, TransientDecayBoundsDebris)
+{
+    auto cfg = config(10000.0, 0.1);
+    cfg.transient_decay = 0.5;
+    cfg.promotion_fraction = 0.0;  // isolate the decay mechanism
+    HeapSpace heap(cfg, flatLive(100.0));
+    // Steady state: debris converges to survivors / decay = 2x.
+    for (int i = 0; i < 50; ++i) {
+        heap.fill(200.0);
+        heap.collectYoung();
+    }
+    EXPECT_NEAR(heap.oldDebris(), 40.0, 1.0);
+}
+
+TEST(HeapSpaceTest, PromotedGarbageNeedsOldCollection)
+{
+    auto cfg = config(100000.0, 0.1);
+    cfg.transient_decay = 1.0;      // transients die instantly
+    cfg.promotion_fraction = 0.25;  // a quarter of survivors promote
+    HeapSpace heap(cfg, flatLive(100.0));
+    for (int i = 0; i < 10; ++i) {
+        heap.fill(400.0);
+        heap.collectYoung();
+    }
+    // Young collections never reclaim promoted data (10 x 40 x 0.25
+    // = 100), plus the last cycle's not-yet-decayed transients (30).
+    EXPECT_NEAR(heap.oldDebris(), 130.0, 1e-6);
+    // A mixed collection reclaims the requested share of it...
+    heap.collectMixed(0.5);
+    EXPECT_NEAR(heap.oldDebris(), 65.0, 1e-6);
+    // ...and a full collection clears the rest.
+    heap.collectFull();
+    EXPECT_NEAR(heap.oldDebris(), 0.0, 1e-6);
+}
+
+TEST(HeapSpaceTest, FullCollectionClearsDebris)
+{
+    HeapSpace heap(config(1000.0, 0.1), flatLive(100.0));
+    heap.fill(200.0);
+    heap.collectYoung();
+    heap.fill(100.0);
+    const auto c = heap.collectFull();
+    EXPECT_DOUBLE_EQ(heap.oldDebris(), 10.0);  // fresh survivors only
+    EXPECT_DOUBLE_EQ(c.post_gc, 110.0);
+    EXPECT_GT(c.traced, 100.0);  // traces the live set
+}
+
+TEST(HeapSpaceTest, MixedCollectionReclaimsDebrisFraction)
+{
+    auto cfg = config(10000.0, 0.1);
+    cfg.transient_decay = 0.0;  // isolate mixed-collection behaviour
+    HeapSpace heap(cfg, flatLive(100.0));
+    heap.fill(400.0);
+    heap.collectYoung();  // debris 40
+    heap.fill(100.0);
+    const auto c = heap.collectMixed(0.5);
+    EXPECT_NEAR(heap.oldDebris(), 40.0 * 0.5 + 10.0, 1e-9);
+    EXPECT_NEAR(c.reclaimed, 90.0 + 20.0, 1e-9);
+}
+
+TEST(HeapSpaceTest, PredictMatchesFullCollection)
+{
+    HeapSpace heap(config(1000.0, 0.2), flatLive(100.0));
+    heap.fill(300.0);
+    const double predicted = heap.predictPostFullGc();
+    const auto c = heap.collectFull();
+    EXPECT_DOUBLE_EQ(predicted, c.post_gc);
+}
+
+TEST(HeapSpaceTest, SurvivorScalingRaisesSurvivalForSmallNurseries)
+{
+    auto cfg = config(100000.0, 0.05);
+    cfg.survivor_reference_bytes = 10000.0;
+    HeapSpace heap(cfg, flatLive(100.0));
+    heap.fill(2500.0);  // quarter of the reference: scale = 2
+    EXPECT_NEAR(heap.effectiveSurvivorFraction(), 0.10, 1e-12);
+
+    HeapSpace big(cfg, flatLive(100.0));
+    big.fill(40000.0);  // 4x reference: scale = 0.5 -> clamp 0.6
+    EXPECT_NEAR(big.effectiveSurvivorFraction(), 0.05 * 0.6, 1e-12);
+}
+
+TEST(HeapSpaceTest, ProgressTracksLiveModel)
+{
+    LiveSetModel m;
+    m.base_bytes = 100.0;
+    m.buildup_fraction = 1.0;
+    m.startup_fraction = 0.5;
+    HeapSpace heap(config(1000.0), m);
+    EXPECT_DOUBLE_EQ(heap.live(), 50.0);
+    heap.setProgress(0.5);
+    EXPECT_DOUBLE_EQ(heap.live(), 75.0);
+    heap.setProgress(3.0);
+    EXPECT_DOUBLE_EQ(heap.live(), 100.0);
+}
+
+// Property sweep: conservation across arbitrary collection sequences.
+class HeapConservation
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(HeapConservation, OccupancyNeverNegativeAndBounded)
+{
+    const auto [survivor, fill_step] = GetParam();
+    auto cfg = config(100000.0, survivor);
+    cfg.survivor_reference_bytes = 5000.0;
+    HeapSpace heap(cfg, flatLive(1000.0));
+
+    for (int round = 0; round < 200; ++round) {
+        if (heap.canFit(fill_step))
+            heap.fill(fill_step);
+        switch (round % 4) {
+          case 0:
+          case 1:
+            heap.collectYoung();
+            break;
+          case 2:
+            heap.collectMixed(0.3);
+            break;
+          case 3:
+            heap.collectFull();
+            break;
+        }
+        ASSERT_GE(heap.fresh(), 0.0);
+        ASSERT_GE(heap.oldDebris(), -1e-9);
+        ASSERT_LE(heap.occupied(), heap.capacity() + 1e-6);
+        ASSERT_GE(heap.freeBytes(), -1e-6);
+    }
+    EXPECT_EQ(heap.collections(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeapConservation,
+    ::testing::Values(std::make_tuple(0.01, 500.0),
+                      std::make_tuple(0.05, 2000.0),
+                      std::make_tuple(0.10, 8000.0),
+                      std::make_tuple(0.30, 20000.0),
+                      std::make_tuple(0.0, 1000.0)));
+
+} // namespace
+} // namespace capo::heap

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * End-to-end shape tests: the paper's headline findings, asserted.
+ *
+ * These are the reproduction's acceptance criteria (DESIGN.md §4):
+ * not absolute numbers, but who wins, by roughly what factor, and
+ * where the crossovers fall. They run a reduced suite (a diverse
+ * six-workload subset, single invocations) so the whole binary stays
+ * in CI-friendly time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/lbo_experiment.hh"
+#include "metrics/request_synth.hh"
+#include "metrics/summary.hh"
+#include "workloads/registry.hh"
+
+namespace capo {
+namespace {
+
+/** Diverse subset: tiny/huge heaps, fast/slow allocators, latency. */
+const std::vector<std::string> kSubset = {
+    "avrora", "biojava", "cassandra", "h2", "lusearch", "pmd", "xalan",
+};
+
+/** One shared sweep over the subset (computed once per binary). */
+const std::vector<harness::WorkloadLbo> &
+subsetSweep()
+{
+    static const auto result = [] {
+        harness::LboSweepOptions sweep;
+        sweep.factors = {1.5, 2.0, 3.0, 6.0};
+        sweep.base.invocations = 1;
+        sweep.base.iterations = 2;
+        std::vector<harness::WorkloadLbo> out;
+        for (const auto &name : kSubset)
+            out.push_back(
+                harness::runLboSweep(workloads::byName(name), sweep));
+        return out;
+    }();
+    return result;
+}
+
+double
+geomeanOverhead(const std::string &collector, double factor, bool wall)
+{
+    std::vector<double> values;
+    for (const auto &w : subsetSweep()) {
+        if (!w.completedAt(collector, factor))
+            continue;
+        const auto o = w.analysis.overhead(collector, factor);
+        values.push_back(wall ? o.wall : o.cpu);
+    }
+    EXPECT_FALSE(values.empty()) << collector << " @ " << factor;
+    return values.empty() ? 0.0 : metrics::geomean(values);
+}
+
+TEST(PaperShapes, CpuOverheadRegressesWithCollectorYear)
+{
+    // Figure 1(b): the newer the collector design, the higher its
+    // total CPU overhead — Serial < Parallel < G1 < Shen/ZGC.
+    const double serial = geomeanOverhead("Serial", 6.0, false);
+    const double parallel = geomeanOverhead("Parallel", 6.0, false);
+    const double g1 = geomeanOverhead("G1", 6.0, false);
+    const double shen = geomeanOverhead("Shen.", 6.0, false);
+    const double zgc = geomeanOverhead("ZGC*", 6.0, false);
+
+    EXPECT_LT(serial, parallel);
+    EXPECT_LT(parallel, g1);
+    EXPECT_LT(g1, shen);
+    EXPECT_LT(shen, zgc * 1.05);  // Shen ~ ZGC, both far above G1
+
+    // Magnitudes: even the best case costs real CPU; the newest
+    // collectors cost several times more.
+    EXPECT_GT(serial, 1.03);
+    EXPECT_LT(serial, 1.35);
+    EXPECT_GT(zgc, 1.35);
+}
+
+TEST(PaperShapes, WallClockFavorsParallelAndG1)
+{
+    // Figure 1(a): Parallel and G1 have the lowest wall overheads at
+    // generous heaps; Serial's single-threaded pauses cost more wall
+    // time than any parallel design.
+    const double serial = geomeanOverhead("Serial", 6.0, true);
+    const double parallel = geomeanOverhead("Parallel", 6.0, true);
+    const double g1 = geomeanOverhead("G1", 6.0, true);
+
+    EXPECT_LT(parallel, serial);
+    EXPECT_LT(g1, serial);
+    EXPECT_LT(parallel, 1.25);
+    EXPECT_LT(g1, 1.30);
+}
+
+TEST(PaperShapes, TimeSpaceTradeoffIsHyperbolic)
+{
+    // Overheads fall as the heap grows, steeply at first then
+    // flattening (Figure 1's hockey stick).
+    for (const char *collector : {"Serial", "Parallel", "G1", "Shen."}) {
+        const double tight = geomeanOverhead(collector, 1.5, false);
+        const double mid = geomeanOverhead(collector, 3.0, false);
+        const double roomy = geomeanOverhead(collector, 6.0, false);
+        EXPECT_GT(tight, mid * 0.999) << collector;
+        EXPECT_GT(mid, roomy * 0.999) << collector;
+        // Steeper between 1.5x and 3x than between 3x and 6x.
+        EXPECT_GT(tight - mid, (mid - roomy) * 0.8) << collector;
+    }
+}
+
+TEST(PaperShapes, ZgcCannotRunEverythingAtTightHeaps)
+{
+    // The plotted-points rule: ZGC (no compressed pointers) fails
+    // some benchmarks below ~2x while Serial completes them.
+    std::size_t zgc_done = 0, serial_done = 0;
+    for (const auto &w : subsetSweep()) {
+        zgc_done += w.completedAt("ZGC*", 1.5);
+        serial_done += w.completedAt("Serial", 1.5);
+    }
+    EXPECT_EQ(serial_done, kSubset.size());
+    EXPECT_LT(zgc_done, kSubset.size());
+}
+
+TEST(PaperShapes, CassandraTaskClockFarExceedsWallClock)
+{
+    // Figure 5(a,b): cassandra leaves cores idle; concurrent
+    // collectors soak them up, so task-clock overhead >> wall-clock
+    // overhead.
+    for (const auto &w : subsetSweep()) {
+        if (w.workload != "cassandra")
+            continue;
+        for (const char *collector : {"G1", "Shen.", "ZGC*"}) {
+            if (!w.completedAt(collector, 3.0))
+                continue;
+            const auto o = w.analysis.overhead(collector, 3.0);
+            EXPECT_GT(o.cpu - 1.0, 1.5 * (o.wall - 1.0))
+                << collector;
+        }
+    }
+}
+
+TEST(PaperShapes, ShenandoahThrottlesLusearch)
+{
+    // Figure 5(c,d): on the suite's fastest allocator, Shenandoah's
+    // wall overhead is enormous (> 2x) — pacing throttles the
+    // mutator — while its wall/cpu gap is nothing like cassandra's.
+    for (const auto &w : subsetSweep()) {
+        if (w.workload != "lusearch")
+            continue;
+        ASSERT_TRUE(w.completedAt("Shen.", 2.0));
+        const auto o = w.analysis.overhead("Shen.", 2.0);
+        EXPECT_GT(o.wall, 2.0);
+    }
+}
+
+TEST(PaperShapes, LatencyCollectorsDoNotWinOnH2)
+{
+    // Figure 6's story: h2's queries slow under the latency-oriented
+    // collectors because concurrent work consumes the CPU the
+    // queries need.
+    harness::ExperimentOptions options;
+    options.invocations = 1;
+    options.iterations = 2;
+    options.trace_rate = true;
+    harness::Runner runner(options);
+
+    const auto &h2 = workloads::byName("h2");
+    auto median_latency = [&](gc::Algorithm algorithm) {
+        const auto set = runner.run(h2, algorithm, 6.0);
+        EXPECT_TRUE(set.allCompleted());
+        const auto &run = set.runs.front();
+        const auto &timed = run.iterations.back();
+        auto requests = metrics::synthesizeRequests(
+            run.rate_timeline, run.baseline_rate, h2.requests,
+            timed.wall_begin, timed.wall_end, support::Rng(5));
+        return metrics::quantile(requests.simpleLatencies(), 0.5);
+    };
+
+    const double g1 = median_latency(gc::Algorithm::G1);
+    const double zgc = median_latency(gc::Algorithm::Zgc);
+    const double shen = median_latency(gc::Algorithm::Shenandoah);
+    EXPECT_GT(zgc, g1);
+    EXPECT_GT(shen, g1);
+}
+
+TEST(PaperShapes, WarmupConvergesByIterationFive)
+{
+    // Section 4.3: the fifth iteration of default-size workloads is
+    // well warmed up.
+    harness::ExperimentOptions options;
+    options.invocations = 1;
+    options.iterations = 6;
+    harness::Runner runner(options);
+    for (const char *name : {"pmd", "xalan"}) {
+        const auto set =
+            runner.run(workloads::byName(name), gc::Algorithm::G1, 3.0);
+        ASSERT_TRUE(set.allCompleted()) << name;
+        const auto &iters = set.runs.front().iterations;
+        double best = iters.back().wall();
+        for (const auto &it : iters)
+            best = std::min(best, it.wall());
+        EXPECT_LE(iters[4].wall(), best * 1.06) << name;
+        EXPECT_GT(iters[0].wall(), iters[4].wall()) << name;
+    }
+}
+
+} // namespace
+} // namespace capo

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for request-latency synthesis over mutator rate timelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/request_synth.hh"
+#include "metrics/summary.hh"
+
+namespace capo::metrics {
+namespace {
+
+workloads::RequestProfile
+profile(int count, int lanes, double sigma = 0.3)
+{
+    workloads::RequestProfile p;
+    p.enabled = true;
+    p.count = count;
+    p.lanes = lanes;
+    p.service_sigma = sigma;
+    p.heavy_tail_fraction = 0.0;
+    return p;
+}
+
+TEST(RequestSynthTest, FullRateFillsTheWindow)
+{
+    std::vector<sim::RateSegment> timeline = {{0.0, 1e9, 1.0}};
+    const auto rec = synthesizeRequests(timeline, 1.0,
+                                        profile(1000, 4), 0.0, 1e9,
+                                        support::Rng(1));
+    EXPECT_EQ(rec.size(), 1000u);
+    // Each lane's requests tile the window back to back.
+    EXPECT_NEAR(rec.spanEnd(), 1e9, 1e9 * 0.2);
+    // No queueing: mean latency ~= capacity / per-lane count.
+    const auto simple = rec.simpleLatencies();
+    EXPECT_NEAR(mean(simple), 1e9 / 250.0, 1e9 / 250.0 * 0.05);
+}
+
+TEST(RequestSynthTest, RequestsChainPerLane)
+{
+    std::vector<sim::RateSegment> timeline = {{0.0, 1e9, 1.0}};
+    const auto rec = synthesizeRequests(timeline, 1.0, profile(100, 1),
+                                        0.0, 1e9, support::Rng(2));
+    auto events = rec.events();
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < events.size(); ++i)
+        ASSERT_DOUBLE_EQ(events[i].start, events[i - 1].end);
+}
+
+TEST(RequestSynthTest, PauseStretchesOverlappingRequests)
+{
+    // Full speed, a 100 ms dead zone, full speed again.
+    std::vector<sim::RateSegment> timeline = {
+        {0.0, 450e6, 1.0}, {450e6, 550e6, 0.0}, {550e6, 1.1e9, 1.0}};
+    const auto rec = synthesizeRequests(timeline, 1.0,
+                                        profile(1000, 2, 0.05), 0.0,
+                                        1.1e9, support::Rng(3));
+    const auto simple = rec.simpleLatencies();
+    const double worst =
+        *std::max_element(simple.begin(), simple.end());
+    const double median = quantile(simple, 0.5);
+    // The requests crossing the pause absorb the full 100 ms.
+    EXPECT_GT(worst, 100e6);
+    EXPECT_LT(median, 3e6);
+}
+
+TEST(RequestSynthTest, SlowdownStretchesEverything)
+{
+    std::vector<sim::RateSegment> full = {{0.0, 1e9, 1.0}};
+    std::vector<sim::RateSegment> half = {{0.0, 2e9, 0.5}};
+    const auto fast = synthesizeRequests(full, 1.0,
+                                         profile(400, 2, 0.05), 0.0,
+                                         1e9, support::Rng(4));
+    const auto slow = synthesizeRequests(half, 1.0,
+                                         profile(400, 2, 0.05), 0.0,
+                                         2e9, support::Rng(4));
+    // Same capacity, so same demands; half rate doubles latencies.
+    EXPECT_NEAR(mean(slow.simpleLatencies()),
+                2.0 * mean(fast.simpleLatencies()),
+                mean(fast.simpleLatencies()) * 0.1);
+}
+
+TEST(RequestSynthTest, DeterministicPerSeed)
+{
+    std::vector<sim::RateSegment> timeline = {{0.0, 1e9, 1.0}};
+    const auto a = synthesizeRequests(timeline, 1.0, profile(500, 8),
+                                      0.0, 1e9, support::Rng(9));
+    const auto b = synthesizeRequests(timeline, 1.0, profile(500, 8),
+                                      0.0, 1e9, support::Rng(9));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a.events()[i].start, b.events()[i].start);
+        ASSERT_DOUBLE_EQ(a.events()[i].end, b.events()[i].end);
+    }
+}
+
+TEST(RequestSynthTest, BaselineRateNormalizes)
+{
+    // A rate of 0.5 with baseline 0.5 is "full speed".
+    std::vector<sim::RateSegment> timeline = {{0.0, 1e9, 0.5}};
+    const auto rec = synthesizeRequests(timeline, 0.5,
+                                        profile(200, 2, 0.05), 0.0,
+                                        1e9, support::Rng(5));
+    EXPECT_NEAR(mean(rec.simpleLatencies()), 1e9 / 100.0,
+                1e9 / 100.0 * 0.1);
+}
+
+class RequestSynthLanes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RequestSynthLanes, EventCountAndOrderInvariants)
+{
+    const int lanes = GetParam();
+    std::vector<sim::RateSegment> timeline = {
+        {0.0, 5e8, 1.0}, {5e8, 6e8, 0.0}, {6e8, 1.2e9, 0.8}};
+    const auto rec = synthesizeRequests(timeline, 1.0,
+                                        profile(1200, lanes), 0.0,
+                                        1.2e9, support::Rng(6));
+    EXPECT_EQ(rec.size(),
+              static_cast<std::size_t>(1200 / lanes * lanes));
+    for (const auto &e : rec.events()) {
+        ASSERT_GE(e.end, e.start);
+        ASSERT_GE(e.start, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RequestSynthLanes,
+                         ::testing::Values(1, 2, 7, 16, 32));
+
+// ---------------------------------------------------------------------
+// Open-loop (SPECjbb-style) synthesis and critical-jOPS.
+// ---------------------------------------------------------------------
+
+TEST(OpenLoopTest, LowLoadLatencyIsServiceTime)
+{
+    std::vector<sim::RateSegment> timeline = {{0.0, 1e9, 1.0}};
+    auto p = profile(0, 4, 0.05);
+    // 4 lanes, 1 ms service, 100 req/s: utilization 2.5 %.
+    const auto rec = synthesizeOpenLoopRequests(
+        timeline, 1.0, p, 0.0, 1e9, 100.0, 1e6, support::Rng(1));
+    EXPECT_NEAR(static_cast<double>(rec.size()), 100.0, 1.0);
+    EXPECT_NEAR(quantile(rec.simpleLatencies(), 0.5), 1e6, 2e5);
+}
+
+TEST(OpenLoopTest, OverloadGrowsTheQueue)
+{
+    std::vector<sim::RateSegment> timeline = {{0.0, 1e9, 1.0}};
+    auto p = profile(0, 2, 0.05);
+    // Capacity 2 lanes / 1 ms = 2000 req/s; inject 4000.
+    const auto rec = synthesizeOpenLoopRequests(
+        timeline, 1.0, p, 0.0, 1e9, 4000.0, 1e6, support::Rng(2));
+    // The last arrivals wait behind ~half the run's backlog.
+    EXPECT_GT(quantile(rec.simpleLatencies(), 0.99), 100e6);
+}
+
+TEST(OpenLoopTest, PauseCascadesIntoQueuedArrivals)
+{
+    // 100 ms dead zone mid-run.
+    std::vector<sim::RateSegment> paused = {
+        {0.0, 450e6, 1.0}, {450e6, 550e6, 0.0}, {550e6, 1.1e9, 1.0}};
+    std::vector<sim::RateSegment> clean = {{0.0, 1.1e9, 1.0}};
+    auto p = profile(0, 4, 0.05);
+    const auto with_pause = synthesizeOpenLoopRequests(
+        paused, 1.0, p, 0.0, 1.1e9, 1000.0, 1e6, support::Rng(3));
+    const auto without = synthesizeOpenLoopRequests(
+        clean, 1.0, p, 0.0, 1.1e9, 1000.0, 1e6, support::Rng(3));
+    // ~100 arrivals land in or behind the pause; p90 inflates without
+    // any metering transform.
+    EXPECT_GT(quantile(with_pause.simpleLatencies(), 0.95),
+              10.0 * quantile(without.simpleLatencies(), 0.95));
+}
+
+TEST(CriticalJopsTest, FindsTheSlaKnee)
+{
+    // Synthetic latency model: p99 = 1 ms below 1000 req/s, then
+    // grows linearly to 200 ms at 2000 req/s.
+    auto p99 = [](double rate) {
+        if (rate <= 1000.0)
+            return 1e6;
+        return 1e6 + (rate - 1000.0) * 199e6 / 1000.0;
+    };
+    // SLA 100 ms -> rate ~1497; SLA 10 ms -> rate ~1045.
+    const double jops =
+        criticalJops(p99, {10e6, 100e6}, 4000.0);
+    EXPECT_NEAR(jops, std::sqrt(1045.0 * 1497.0), 40.0);
+}
+
+TEST(CriticalJopsTest, UnconstrainedLoadReturnsBracket)
+{
+    auto flat = [](double) { return 1e6; };
+    EXPECT_DOUBLE_EQ(criticalJops(flat, {10e6}, 5000.0), 5000.0);
+}
+
+} // namespace
+} // namespace capo::metrics

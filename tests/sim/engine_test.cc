@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Unit and property tests for the discrete-event fluid scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/time.hh"
+
+namespace capo::sim {
+namespace {
+
+/** An agent driven by a scripted list of actions. */
+class ScriptAgent : public Agent
+{
+  public:
+    explicit ScriptAgent(std::string name, std::vector<Action> script)
+        : name_(std::move(name)), script_(std::move(script))
+    {
+    }
+
+    std::string_view name() const override { return name_; }
+
+    Action
+    resume(Engine &engine) override
+    {
+        resume_times.push_back(engine.now());
+        if (next_ >= script_.size())
+            return Action::exit();
+        return script_[next_++];
+    }
+
+    std::vector<Time> resume_times;
+
+  private:
+    std::string name_;
+    std::vector<Action> script_;
+    std::size_t next_ = 0;
+};
+
+/** An agent whose behaviour is given by a lambda. */
+class LambdaAgent : public Agent
+{
+  public:
+    using Body = std::function<Action(Engine &, int step)>;
+
+    LambdaAgent(std::string name, Body body)
+        : name_(std::move(name)), body_(std::move(body))
+    {
+    }
+
+    std::string_view name() const override { return name_; }
+
+    Action
+    resume(Engine &engine) override
+    {
+        return body_(engine, step_++);
+    }
+
+  private:
+    std::string name_;
+    Body body_;
+    int step_ = 0;
+};
+
+TEST(EngineTest, SingleComputeTakesWorkOverWidth)
+{
+    Engine engine(4.0);
+    ScriptAgent a("a", {Action::compute(1000.0, 2.0)});
+    auto id = engine.addAgent(&a);
+    EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+    // 1000 cpu-ns at width 2 on an idle 4-cpu machine: 500 wall-ns.
+    EXPECT_DOUBLE_EQ(engine.now(), 500.0);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(id), 1000.0);
+    EXPECT_TRUE(engine.finished(id));
+}
+
+TEST(EngineTest, WidthCappedByCpuCount)
+{
+    Engine engine(2.0);
+    ScriptAgent a("a", {Action::compute(1000.0, 8.0)});
+    engine.addAgent(&a);
+    engine.run();
+    // Only 2 cpus available: 1000 cpu-ns takes 500 wall-ns.
+    EXPECT_DOUBLE_EQ(engine.now(), 500.0);
+    EXPECT_DOUBLE_EQ(engine.totalCpuTime(), 1000.0);
+}
+
+TEST(EngineTest, TwoAgentsShareOneCpu)
+{
+    Engine engine(1.0);
+    ScriptAgent a("a", {Action::compute(100.0)});
+    ScriptAgent b("b", {Action::compute(300.0)});
+    auto ia = engine.addAgent(&a);
+    auto ib = engine.addAgent(&b);
+    engine.run();
+    // Processor sharing: both run at 0.5 until a finishes at t=200;
+    // b then has 200 left at full speed, finishing at t=400.
+    EXPECT_DOUBLE_EQ(engine.now(), 400.0);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(ia), 100.0);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(ib), 300.0);
+}
+
+TEST(EngineTest, UncontendedAgentsRunInParallel)
+{
+    Engine engine(8.0);
+    ScriptAgent a("a", {Action::compute(100.0)});
+    ScriptAgent b("b", {Action::compute(300.0)});
+    engine.addAgent(&a);
+    engine.addAgent(&b);
+    engine.run();
+    EXPECT_DOUBLE_EQ(engine.now(), 300.0);
+    EXPECT_DOUBLE_EQ(engine.totalCpuTime(), 400.0);
+}
+
+TEST(EngineTest, SleepUntilWakesAtRequestedTime)
+{
+    Engine engine(1.0);
+    ScriptAgent a("a", {Action::sleepUntil(250.0),
+                        Action::compute(50.0)});
+    engine.addAgent(&a);
+    engine.run();
+    EXPECT_DOUBLE_EQ(engine.now(), 300.0);
+    ASSERT_EQ(a.resume_times.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.resume_times[1], 250.0);
+}
+
+TEST(EngineTest, SleepInThePastFiresImmediately)
+{
+    Engine engine(1.0);
+    ScriptAgent a("a", {Action::compute(100.0),
+                        Action::sleepUntil(10.0),  // already past at t=100
+                        Action::compute(10.0)});
+    engine.addAgent(&a);
+    engine.run();
+    EXPECT_DOUBLE_EQ(engine.now(), 110.0);
+}
+
+TEST(EngineTest, ConditionNotifyAllWakesEveryWaiter)
+{
+    CondId cond = kInvalidCond;
+
+    auto waiter_body = [&](Engine &, int step) {
+        if (step == 0)
+            return Action::wait(cond);
+        if (step == 1)
+            return Action::compute(100.0);
+        return Action::exit();
+    };
+    LambdaAgent waiter1("w1", waiter_body);
+    LambdaAgent waiter2("w2", waiter_body);
+    LambdaAgent notifier("n", [&](Engine &engine, int step) {
+        if (step == 0)
+            return Action::compute(500.0);
+        engine.notifyAll(cond);
+        return Action::exit();
+    });
+
+    Engine e(4.0);
+    cond = e.makeCondition("test");
+    auto w1 = e.addAgent(&waiter1);
+    auto w2 = e.addAgent(&waiter2);
+    e.addAgent(&notifier);
+    EXPECT_EQ(e.run(), Engine::StopReason::AllExited);
+    EXPECT_DOUBLE_EQ(e.now(), 600.0);
+    EXPECT_DOUBLE_EQ(e.cpuTime(w1), 100.0);
+    EXPECT_DOUBLE_EQ(e.cpuTime(w2), 100.0);
+}
+
+TEST(EngineTest, NotifyOneWakesInFifoOrder)
+{
+    CondId cond = kInvalidCond;
+    std::vector<int> order;
+
+    auto make_waiter = [&](int tag) {
+        return LambdaAgent::Body([&order, &cond, tag](Engine &, int step) {
+            if (step == 0)
+                return Action::wait(cond);
+            order.push_back(tag);
+            return Action::exit();
+        });
+    };
+    LambdaAgent w1("w1", make_waiter(1));
+    LambdaAgent w2("w2", make_waiter(2));
+    LambdaAgent notifier("n", [&](Engine &engine, int step) {
+        if (step == 0)
+            return Action::compute(10.0);
+        if (step == 1) {
+            engine.notifyOne(cond);
+            return Action::compute(10.0);
+        }
+        engine.notifyOne(cond);
+        return Action::exit();
+    });
+
+    Engine engine(4.0);
+    cond = engine.makeCondition("fifo");
+    engine.addAgent(&w1);
+    engine.addAgent(&w2);
+    engine.addAgent(&notifier);
+    engine.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(EngineTest, DeadlockedWaitersReportStalled)
+{
+    Engine engine(1.0);
+    CondId cond = engine.makeCondition("never");
+    ScriptAgent a("a", {Action::wait(cond)});
+    engine.addAgent(&a);
+    EXPECT_EQ(engine.run(), Engine::StopReason::Stalled);
+}
+
+TEST(EngineTest, TimeLimitStopsTheRun)
+{
+    Engine engine(1.0);
+    ScriptAgent a("a", {Action::compute(1000.0)});
+    auto id = engine.addAgent(&a);
+    EXPECT_EQ(engine.run(400.0), Engine::StopReason::TimeLimit);
+    EXPECT_DOUBLE_EQ(engine.now(), 400.0);
+    EXPECT_FALSE(engine.finished(id));
+    // Partial work was credited.
+    EXPECT_DOUBLE_EQ(engine.cpuTime(id), 400.0);
+}
+
+TEST(EngineTest, FrozenAgentMakesNoProgress)
+{
+    CondId start = kInvalidCond;
+    AgentId victim_id = kInvalidAgent;
+
+    LambdaAgent victim("victim", [&](Engine &, int step) {
+        if (step == 0)
+            return Action::compute(1000.0);
+        return Action::exit();
+    });
+    LambdaAgent freezer("freezer", [&](Engine &engine, int step) {
+        switch (step) {
+          case 0:
+            return Action::compute(100.0);  // let victim run 100 ns
+          case 1:
+            engine.freeze(victim_id);
+            return Action::sleepUntil(engine.now() + 500.0);
+          default:
+            engine.unfreeze(victim_id);
+            return Action::exit();
+        }
+    });
+
+    Engine engine(4.0);
+    victim_id = engine.addAgent(&victim);
+    engine.addAgent(&freezer);
+    start = engine.makeCondition("unused");
+    (void)start;
+    engine.run();
+    // victim: 100 ns progress, frozen 500 ns, then 900 ns remaining.
+    EXPECT_DOUBLE_EQ(engine.now(), 1500.0);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(victim_id), 1000.0);
+    EXPECT_DOUBLE_EQ(engine.frozenWallTime(), 500.0);
+}
+
+TEST(EngineTest, NotifyWhileFrozenIsDeferredUntilUnfreeze)
+{
+    CondId cond = kInvalidCond;
+    AgentId waiter_id = kInvalidAgent;
+    Time woke_at = -1.0;
+
+    LambdaAgent waiter("waiter", [&](Engine &engine, int step) {
+        if (step == 0)
+            return Action::wait(cond);
+        woke_at = engine.now();
+        return Action::exit();
+    });
+    LambdaAgent driver("driver", [&](Engine &engine, int step) {
+        switch (step) {
+          case 0:
+            engine.freeze(waiter_id);
+            return Action::compute(100.0);
+          case 1:
+            engine.notifyAll(cond);  // waiter frozen: must be deferred
+            return Action::compute(100.0);
+          default:
+            engine.unfreeze(waiter_id);
+            return Action::exit();
+        }
+    });
+
+    Engine engine(1.0);
+    cond = engine.makeCondition("c");
+    waiter_id = engine.addAgent(&waiter);
+    engine.addAgent(&driver);
+    EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+    EXPECT_DOUBLE_EQ(woke_at, 200.0);
+}
+
+TEST(EngineTest, SpeedFactorSlowsProgressAndCpuUse)
+{
+    Engine engine(4.0);
+    AgentId id = kInvalidAgent;
+    LambdaAgent a("a", [&](Engine &engine, int step) {
+        if (step == 0) {
+            engine.setSpeedFactor(id, 0.25);
+            return Action::compute(100.0);
+        }
+        return Action::exit();
+    });
+    id = engine.addAgent(&a);
+    engine.run();
+    // Paced to quarter speed: 400 wall-ns, but only 100 cpu-ns burned
+    // (a stalled thread does not consume CPU).
+    EXPECT_DOUBLE_EQ(engine.now(), 400.0);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(id), 100.0);
+}
+
+TEST(EngineTest, RateTimelineReflectsShareAndFreeze)
+{
+    AgentId traced_id = kInvalidAgent;
+    LambdaAgent traced("traced", [&](Engine &, int step) {
+        if (step == 0)
+            return Action::compute(1000.0);
+        return Action::exit();
+    });
+    LambdaAgent rival("rival", [&](Engine &engine, int step) {
+        switch (step) {
+          case 0:
+            return Action::compute(100.0);  // contend: share drops to 1/2
+          case 1:
+            engine.freeze(traced_id);
+            return Action::compute(50.0);  // traced frozen: rate 0
+          default:
+            engine.unfreeze(traced_id);
+            return Action::exit();
+        }
+    });
+
+    Engine engine(1.0);
+    traced_id = engine.addAgent(&traced);
+    engine.addAgent(&rival);
+    engine.tracePerWidthRate(traced_id);
+    engine.run();
+
+    const auto &timeline = engine.rateTimeline();
+    ASSERT_GE(timeline.size(), 3u);
+    // Phase 1: both computing on 1 cpu -> share 0.5, until t=200.
+    EXPECT_DOUBLE_EQ(timeline[0].begin, 0.0);
+    EXPECT_DOUBLE_EQ(timeline[0].end, 200.0);
+    EXPECT_DOUBLE_EQ(timeline[0].rate, 0.5);
+    // Phase 2: traced frozen while rival runs 50 ns.
+    EXPECT_DOUBLE_EQ(timeline[1].rate, 0.0);
+    EXPECT_DOUBLE_EQ(timeline[1].end, 250.0);
+    // Phase 3: traced alone at full rate.
+    EXPECT_DOUBLE_EQ(timeline[2].rate, 1.0);
+
+    // Integral of rate over the timeline equals total work done.
+    double integral = 0.0;
+    for (const auto &seg : timeline)
+        integral += (seg.end - seg.begin) * seg.rate;
+    EXPECT_NEAR(integral, 1000.0, 1e-6);
+}
+
+TEST(EngineTest, ZeroWorkComputeCompletesImmediately)
+{
+    Engine engine(1.0);
+    ScriptAgent a("a", {Action::compute(0.0), Action::compute(100.0)});
+    engine.addAgent(&a);
+    engine.run();
+    EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+TEST(EngineTest, TimerFiringWhileFrozenIsDeferred)
+{
+    AgentId sleeper_id = kInvalidAgent;
+    Time woke_at = -1.0;
+
+    LambdaAgent sleeper("sleeper", [&](Engine &engine, int step) {
+        if (step == 0)
+            return Action::sleepUntil(100.0);
+        woke_at = engine.now();
+        return Action::exit();
+    });
+    LambdaAgent freezer("freezer", [&](Engine &engine, int step) {
+        switch (step) {
+          case 0:
+            engine.freeze(sleeper_id);
+            return Action::compute(300.0);  // timer fires at t=100
+          default:
+            engine.unfreeze(sleeper_id);    // t=300: deliver wake
+            return Action::exit();
+        }
+    });
+
+    Engine engine(1.0);
+    sleeper_id = engine.addAgent(&sleeper);
+    engine.addAgent(&freezer);
+    EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+    EXPECT_DOUBLE_EQ(woke_at, 300.0);
+}
+
+TEST(EngineTest, PermanentlyFrozenComputeReportsStalled)
+{
+    AgentId victim_id = kInvalidAgent;
+    LambdaAgent victim("victim", [&](Engine &, int) {
+        return Action::compute(1000.0);
+    });
+    LambdaAgent freezer("freezer", [&](Engine &engine, int step) {
+        if (step == 0) {
+            engine.freeze(victim_id);
+            return Action::compute(10.0);
+        }
+        return Action::exit();  // never unfreezes
+    });
+
+    Engine engine(2.0);
+    victim_id = engine.addAgent(&victim);
+    engine.addAgent(&freezer);
+    EXPECT_EQ(engine.run(), Engine::StopReason::Stalled);
+    EXPECT_FALSE(engine.finished(victim_id));
+}
+
+TEST(EngineTest, SpeedChangeMidComputeTakesEffectImmediately)
+{
+    AgentId worker_id = kInvalidAgent;
+    LambdaAgent worker("worker", [&](Engine &, int step) {
+        if (step == 0)
+            return Action::compute(400.0);
+        return Action::exit();
+    });
+    LambdaAgent pacer("pacer", [&](Engine &engine, int step) {
+        if (step == 0)
+            return Action::compute(200.0);  // worker runs 200 at full
+        engine.setSpeedFactor(worker_id, 0.5);
+        return Action::exit();
+    });
+
+    Engine engine(4.0);
+    worker_id = engine.addAgent(&worker);
+    engine.addAgent(&pacer);
+    engine.run();
+    // 200 ns at speed 1, then 200 cpu-ns left at speed 0.5: 400 more
+    // wall-ns.
+    EXPECT_DOUBLE_EQ(engine.now(), 600.0);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(worker_id), 400.0);
+}
+
+TEST(EngineTest, DoubleFreezeAndUnfreezeAreIdempotent)
+{
+    AgentId victim_id = kInvalidAgent;
+    LambdaAgent victim("victim", [&](Engine &, int step) {
+        if (step == 0)
+            return Action::compute(100.0);
+        return Action::exit();
+    });
+    LambdaAgent driver("driver", [&](Engine &engine, int step) {
+        switch (step) {
+          case 0:
+            engine.freeze(victim_id);
+            engine.freeze(victim_id);
+            return Action::compute(50.0);
+          case 1:
+            engine.unfreeze(victim_id);
+            engine.unfreeze(victim_id);
+            return Action::compute(10.0);
+          default:
+            return Action::exit();
+        }
+    });
+
+    Engine engine(4.0);
+    victim_id = engine.addAgent(&victim);
+    engine.addAgent(&driver);
+    EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+    EXPECT_DOUBLE_EQ(engine.cpuTime(victim_id), 100.0);
+    EXPECT_DOUBLE_EQ(engine.now(), 150.0);
+}
+
+TEST(EngineTest, LongRunsKeepAdvancingDespiteUlpResidues)
+{
+    // Regression test for the floating-point livelock: once now_ is
+    // large, a compute residue below one ulp of now_ must still
+    // complete rather than stopping time (see Engine::advance).
+    LambdaAgent churn("churn", [&](Engine &, int step) {
+        if (step < 200000)
+            return Action::compute(1.0 + 1e-7 * (step % 7), 1.0);
+        return Action::exit();
+    });
+    LambdaAgent rival("rival", [&](Engine &, int step) {
+        if (step < 10)
+            return Action::compute(3.0e9, 1.0);
+        return Action::exit();
+    });
+    Engine engine(1.0);
+    engine.addAgent(&churn);
+    engine.addAgent(&rival);
+    EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+    EXPECT_GT(engine.now(), 3.0e10 - 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Property-style sweeps.
+// ---------------------------------------------------------------------
+
+struct ShareCase {
+    double cpus;
+    int agents;
+    double work;
+};
+
+class EngineShareProperty : public ::testing::TestWithParam<ShareCase>
+{
+};
+
+TEST_P(EngineShareProperty, ConservationAndCapacityInvariants)
+{
+    const auto param = GetParam();
+    Engine engine(param.cpus);
+    std::vector<std::unique_ptr<ScriptAgent>> agents;
+    for (int i = 0; i < param.agents; ++i) {
+        agents.push_back(std::make_unique<ScriptAgent>(
+            "a" + std::to_string(i),
+            std::vector<Action>{Action::compute(param.work * (i + 1))}));
+        engine.addAgent(agents.back().get());
+    }
+    EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+
+    // Work conservation: total CPU time equals total work submitted.
+    double expected = 0.0;
+    for (int i = 0; i < param.agents; ++i)
+        expected += param.work * (i + 1);
+    EXPECT_NEAR(engine.totalCpuTime(), expected, expected * 1e-9);
+
+    // Capacity: task clock can never exceed wall time x cpus.
+    EXPECT_LE(engine.totalCpuTime(),
+              engine.now() * param.cpus * (1.0 + 1e-9));
+
+    // Wall time is at least the critical path (longest single job,
+    // which can use at most 1 cpu at width 1).
+    EXPECT_GE(engine.now() * (1.0 + 1e-9), param.work * param.agents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineShareProperty,
+    ::testing::Values(ShareCase{1.0, 1, 100.0}, ShareCase{1.0, 4, 250.0},
+                      ShareCase{2.0, 3, 999.5}, ShareCase{4.0, 8, 10.0},
+                      ShareCase{32.0, 5, 1e6}, ShareCase{0.5, 2, 123.0},
+                      ShareCase{16.0, 16, 7.25}, ShareCase{3.0, 7, 3333.0}));
+
+class EngineDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EngineDeterminism, RepeatedRunsAreBitIdentical)
+{
+    auto run_once = [&](double &wall, double &cpu, std::uint64_t &events) {
+        Engine engine(4.0);
+        std::vector<std::unique_ptr<LambdaAgent>> agents;
+        const int n = GetParam();
+        for (int i = 0; i < n; ++i) {
+            agents.push_back(std::make_unique<LambdaAgent>(
+                "m" + std::to_string(i),
+                [i](Engine &engine, int step) {
+                    if (step < 20) {
+                        if (step % 5 == 4) {
+                            return Action::sleepUntil(engine.now() +
+                                                      37.0 * (i + 1));
+                        }
+                        return Action::compute(11.0 + 3.0 * i, 1.0 + i % 3);
+                    }
+                    return Action::exit();
+                }));
+            engine.addAgent(agents.back().get());
+        }
+        EXPECT_EQ(engine.run(), Engine::StopReason::AllExited);
+        wall = engine.now();
+        cpu = engine.totalCpuTime();
+        events = engine.dispatchCount();
+    };
+
+    double wall1, cpu1, wall2, cpu2;
+    std::uint64_t ev1, ev2;
+    run_once(wall1, cpu1, ev1);
+    run_once(wall2, cpu2, ev2);
+    EXPECT_EQ(wall1, wall2);
+    EXPECT_EQ(cpu1, cpu2);
+    EXPECT_EQ(ev1, ev2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineDeterminism,
+                         ::testing::Values(1, 2, 5, 9, 16));
+
+} // namespace
+} // namespace capo::sim

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the nominal-statistics machinery: catalog, rank/score
+ * tables, linear algebra and PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/catalog.hh"
+#include "stats/linalg.hh"
+#include "stats/pca.hh"
+#include "stats/stat_table.hh"
+#include "support/rng.hh"
+#include "workloads/registry.hh"
+
+namespace capo::stats {
+namespace {
+
+TEST(CatalogTest, FullTableWithFiveGroups)
+{
+    EXPECT_EQ(catalog().size(), kMetricCount);
+    int a = 0, b = 0, g = 0, p = 0, u = 0;
+    for (const auto &info : catalog()) {
+        switch (info.group) {
+          case 'A': ++a; break;
+          case 'B': ++b; break;
+          case 'G': ++g; break;
+          case 'P': ++p; break;
+          case 'U': ++u; break;
+          default: FAIL() << "bad group " << info.group;
+        }
+    }
+    EXPECT_EQ(a, 5);
+    EXPECT_EQ(b, 7);
+    EXPECT_EQ(g, 12);
+    EXPECT_EQ(p, 11);
+    EXPECT_EQ(u, 13);
+}
+
+TEST(CatalogTest, CodeRoundTrip)
+{
+    for (const auto &info : catalog())
+        EXPECT_EQ(metricFromCode(info.code), info.id);
+    EXPECT_STREQ(metricCode(MetricId::ARA), "ARA");
+}
+
+TEST(StatTableTest, RankAndScoreLinearMapping)
+{
+    StatTable table;
+    // Five workloads with distinct values: rank 1 (largest) scores
+    // 10, rank 5 scores 0.
+    const char *names[] = {"a", "b", "c", "d", "e"};
+    for (int i = 0; i < 5; ++i)
+        table.set(names[i], MetricId::ARA, 10.0 * (i + 1));
+    auto rs = table.rankScore("e", MetricId::ARA);
+    EXPECT_EQ(rs.rank, 1);
+    EXPECT_EQ(rs.score, 10);
+    rs = table.rankScore("a", MetricId::ARA);
+    EXPECT_EQ(rs.rank, 5);
+    EXPECT_EQ(rs.score, 0);
+    rs = table.rankScore("c", MetricId::ARA);
+    EXPECT_EQ(rs.rank, 3);
+    EXPECT_EQ(rs.score, 5);
+}
+
+TEST(StatTableTest, TiesShareBestRank)
+{
+    StatTable table;
+    table.set("a", MetricId::AOS, 24.0);
+    table.set("b", MetricId::AOS, 24.0);
+    table.set("c", MetricId::AOS, 16.0);
+    EXPECT_EQ(table.rankScore("a", MetricId::AOS).rank, 1);
+    EXPECT_EQ(table.rankScore("b", MetricId::AOS).rank, 1);
+    EXPECT_EQ(table.rankScore("c", MetricId::AOS).rank, 3);
+}
+
+TEST(StatTableTest, PaperScoreExamples)
+{
+    // Reproduce score/rank pairs straight from the paper's appendix
+    // using the shipped statistics.
+    const auto table = shippedStats();
+
+    // lusearch: ARA rank 1 -> score 10 (Section 5.1's example).
+    auto rs = table.rankScore("lusearch", MetricId::ARA);
+    EXPECT_EQ(rs.rank, 1);
+    EXPECT_EQ(rs.score, 10);
+
+    // avrora: GMD rank 22 (smallest heap) -> score 0.
+    rs = table.rankScore("avrora", MetricId::GMD);
+    EXPECT_EQ(rs.rank, 22);
+    EXPECT_EQ(rs.score, 0);
+
+    // h2: GMD rank 1 -> score 10 (largest default heap).
+    rs = table.rankScore("h2", MetricId::GMD);
+    EXPECT_EQ(rs.rank, 1);
+    EXPECT_EQ(rs.score, 10);
+
+    // avrora: PKP rank 1 (56 % kernel time, Table 2).
+    rs = table.rankScore("avrora", MetricId::PKP);
+    EXPECT_EQ(rs.rank, 1);
+    EXPECT_EQ(rs.score, 10);
+
+    // biojava: UIP rank 1 (highest IPC, Section 6.4).
+    rs = table.rankScore("biojava", MetricId::UIP);
+    EXPECT_EQ(rs.rank, 1);
+
+    // h2o: UIP lowest -> score 0 (the appendix shows score 0).
+    rs = table.rankScore("h2o", MetricId::UIP);
+    EXPECT_EQ(rs.rank, 22);
+    EXPECT_EQ(rs.score, 0);
+}
+
+TEST(StatTableTest, RangeSummaries)
+{
+    const auto table = shippedStats();
+    const auto r = table.range(MetricId::GMD);
+    EXPECT_EQ(r.available, 22);
+    EXPECT_DOUBLE_EQ(r.min, 5.0);    // avrora
+    EXPECT_DOUBLE_EQ(r.max, 681.0);  // h2
+}
+
+TEST(StatTableTest, AvailabilityMasks)
+{
+    const auto table = shippedStats();
+    EXPECT_FALSE(table.get("tradebeans", MetricId::AOA).has_value());
+    EXPECT_FALSE(table.get("fop", MetricId::GML).has_value());
+    EXPECT_TRUE(table.get("h2", MetricId::GMV).has_value());
+    EXPECT_TRUE(table.get("fop", MetricId::GMV).has_value());
+    EXPECT_FALSE(table.get("avrora", MetricId::GMV).has_value());
+
+    // tradebeans/tradesoap ship the fewest statistics; h2 the most
+    // (paper Section 5.1, footnote 8).
+    std::size_t fewest = kMetricCount, most = 0;
+    std::string fewest_name, most_name;
+    for (const auto &w : table.workloads()) {
+        const auto n = table.availableMetrics(w).size();
+        if (n < fewest) {
+            fewest = n;
+            fewest_name = w;
+        }
+        if (n > most) {
+            most = n;
+            most_name = w;
+        }
+    }
+    EXPECT_EQ(most_name, "h2");
+    EXPECT_TRUE(fewest_name == "tradebeans" ||
+                fewest_name == "tradesoap");
+    EXPECT_EQ(fewest, kMetricCount - 13);  // 35: no A/B, no GMV
+}
+
+TEST(LinalgTest, StandardizeColumns)
+{
+    Matrix m(3, 2);
+    m.at(0, 0) = 1.0;
+    m.at(1, 0) = 2.0;
+    m.at(2, 0) = 3.0;
+    m.at(0, 1) = 7.0;
+    m.at(1, 1) = 7.0;
+    m.at(2, 1) = 7.0;  // zero variance
+    standardizeColumns(m);
+    EXPECT_NEAR(m.at(0, 0) + m.at(1, 0) + m.at(2, 0), 0.0, 1e-12);
+    EXPECT_NEAR(m.at(2, 0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(LinalgTest, CovarianceOfKnownData)
+{
+    Matrix m(3, 2);
+    // Perfectly correlated columns.
+    const double xs[] = {1.0, 2.0, 3.0};
+    for (int r = 0; r < 3; ++r) {
+        m.at(r, 0) = xs[r];
+        m.at(r, 1) = 2.0 * xs[r];
+    }
+    const auto cov = covariance(m);
+    EXPECT_NEAR(cov.at(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(cov.at(0, 1), 2.0, 1e-12);
+    EXPECT_NEAR(cov.at(1, 1), 4.0, 1e-12);
+}
+
+TEST(LinalgTest, EigenOfDiagonalMatrix)
+{
+    Matrix m(3, 3);
+    m.at(0, 0) = 1.0;
+    m.at(1, 1) = 5.0;
+    m.at(2, 2) = 3.0;
+    const auto eig = symmetricEigen(m);
+    EXPECT_NEAR(eig.values[0], 5.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(LinalgTest, EigenOfKnownSymmetricMatrix)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix m(2, 2);
+    m.at(0, 0) = 2.0;
+    m.at(0, 1) = 1.0;
+    m.at(1, 0) = 1.0;
+    m.at(1, 1) = 2.0;
+    const auto eig = symmetricEigen(m);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(eig.vectors.at(0, 0)),
+                std::fabs(eig.vectors.at(1, 0)), 1e-10);
+}
+
+TEST(LinalgTest, EigenReconstructsRandomSymmetricMatrix)
+{
+    support::Rng rng(21);
+    const std::size_t n = 8;
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = rng.uniform(-1.0, 1.0);
+            m.at(i, j) = v;
+            m.at(j, i) = v;
+        }
+    }
+    const auto eig = symmetricEigen(m);
+    // Check A v_i = lambda_i v_i and orthonormality.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t r = 0; r < n; ++r) {
+            double av = 0.0;
+            for (std::size_t c = 0; c < n; ++c)
+                av += m.at(r, c) * eig.vectors.at(c, i);
+            ASSERT_NEAR(av, eig.values[i] * eig.vectors.at(r, i),
+                        1e-8);
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            double dot = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                dot += eig.vectors.at(k, i) * eig.vectors.at(k, j);
+            ASSERT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(PcaTest, RecoversPlantedDirection)
+{
+    // Points along y = 2x with small noise: PC1 explains nearly all
+    // variance.
+    StatTable table;
+    support::Rng rng(33);
+    for (int i = 0; i < 12; ++i) {
+        const double x = i + rng.gaussian(0.0, 0.01);
+        table.set("w" + std::to_string(i), MetricId::ARA, x);
+        table.set("w" + std::to_string(i), MetricId::GMD,
+                  2.0 * i + rng.gaussian(0.0, 0.01));
+    }
+    const auto pca = runPca(table, 2);
+    EXPECT_GT(pca.variance_fraction[0], 0.99);
+}
+
+TEST(PcaTest, SuitePcaUsesCompleteMetricsOnly)
+{
+    const auto table = shippedStats();
+    const auto pca = runPca(table, 4);
+    EXPECT_EQ(pca.workloads.size(), 22u);
+    // All complete metrics: catalog minus A/B (tradebeans/tradesoap),
+    // GML (fop, zxing) and GMV (3 workloads only). The paper's
+    // analysis uses its 33 complete metrics; ours lands at 34 because
+    // we model one more metric as complete (see EXPERIMENTS.md).
+    EXPECT_EQ(pca.metrics.size(), kMetricCount - 14);
+
+    // Variance fractions are descending and sum below 1.
+    double total = 0.0;
+    for (std::size_t c = 1; c < pca.variance_fraction.size(); ++c)
+        EXPECT_LE(pca.variance_fraction[c],
+                  pca.variance_fraction[c - 1] + 1e-12);
+    for (double f : pca.variance_fraction)
+        total += f;
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GT(total, 0.4);  // the paper's top-4 explain > 50 %
+
+    // Scores are centred per component.
+    for (std::size_t c = 0; c < 4; ++c) {
+        double sum = 0.0;
+        for (const auto &row : pca.scores)
+            sum += row[c];
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(PcaTest, DeterminantMetricsRankedByLoading)
+{
+    const auto table = shippedStats();
+    const auto pca = runPca(table, 4);
+    const auto determinant = pca.determinantMetrics(4);
+    EXPECT_EQ(determinant.size(), pca.metrics.size());
+    // The top twelve form the paper's Table 2 selection; just check
+    // they are unique metrics.
+    for (std::size_t i = 0; i < 12; ++i) {
+        for (std::size_t j = i + 1; j < 12; ++j)
+            EXPECT_NE(determinant[i], determinant[j]);
+    }
+}
+
+} // namespace
+} // namespace capo::stats

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the ASCII chart renderer and the GC log formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/gc_log.hh"
+#include "support/ascii_chart.hh"
+
+namespace capo {
+namespace {
+
+TEST(AsciiChartTest, RendersFrameLegendAndLabels)
+{
+    support::AsciiChart chart(32, 8);
+    chart.setTitle("demo chart");
+    chart.setXLabel("heap");
+    chart.setYLabel("overhead");
+    chart.addSeries("alpha", {{1.0, 1.0}, {2.0, 2.0}, {3.0, 1.5}});
+    chart.addSeries("beta", {{1.0, 2.0}, {3.0, 1.0}});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("demo chart"), std::string::npos);
+    EXPECT_NE(out.find("*=alpha"), std::string::npos);
+    EXPECT_NE(out.find("o=beta"), std::string::npos);
+    EXPECT_NE(out.find("heap"), std::string::npos);
+    EXPECT_NE(out.find("overhead"), std::string::npos);
+    // Eight grid rows, each framed by '|'.
+    std::size_t bars = 0, pos = 0;
+    while ((pos = out.find('|', pos)) != std::string::npos) {
+        ++bars;
+        ++pos;
+    }
+    EXPECT_EQ(bars, 8u);
+}
+
+TEST(AsciiChartTest, MarkersLandAtExpectedCorners)
+{
+    support::AsciiChart chart(20, 5);
+    chart.setConnect(false);
+    chart.addSeries("s", {{0.0, 0.0}, {1.0, 1.0}});
+    const std::string out = chart.render();
+
+    // Split the grid rows out of the render.
+    std::vector<std::string> rows;
+    std::stringstream ss(out);
+    std::string line;
+    while (std::getline(ss, line)) {
+        const auto bar = line.find('|');
+        if (bar != std::string::npos)
+            rows.push_back(line.substr(bar + 1));
+    }
+    ASSERT_EQ(rows.size(), 5u);
+    // (0,0) is bottom-left; (1,1) is top-right.
+    EXPECT_EQ(rows.back().front(), '*');
+    EXPECT_EQ(rows.front().back(), '*');
+}
+
+TEST(AsciiChartTest, LogScaleHandlesDecades)
+{
+    support::AsciiChart chart(20, 7);
+    chart.setLogY(true);
+    chart.addSeries("s", {{0.0, 0.1}, {1.0, 100.0}});
+    const std::string out = chart.render();
+    // y labels show the extremes.
+    EXPECT_NE(out.find("100"), std::string::npos);
+    EXPECT_NE(out.find("0.1"), std::string::npos);
+}
+
+TEST(AsciiChartTest, ExplicitRangeClipsOutliers)
+{
+    support::AsciiChart chart(20, 5);
+    chart.setYRange(1.0, 2.0);
+    chart.addSeries("s", {{0.0, 1.5}, {1.0, 50.0}});  // 50 clipped
+    const std::string out = chart.render();
+    EXPECT_NE(out.find('*'), std::string::npos);  // in-range point drawn
+}
+
+runtime::CycleRecord
+cycle(double begin_s, runtime::GcPhase kind, double post_mb,
+      double reclaimed_mb)
+{
+    runtime::CycleRecord c;
+    c.begin = begin_s * 1e9;
+    c.end = begin_s * 1e9 + 2e6;  // 2 ms
+    c.kind = kind;
+    c.post_gc_bytes = post_mb * 1024 * 1024;
+    c.reclaimed = reclaimed_mb * 1024 * 1024;
+    return c;
+}
+
+TEST(GcLogTest, FormatsHotspotStyleLines)
+{
+    const auto line = runtime::formatCycleLine(
+        cycle(0.123, runtime::GcPhase::YoungPause, 3.0, 9.0), 5,
+        64.0 * 1024 * 1024);
+    EXPECT_EQ(line,
+              "[0.123s] GC(5) Pause Young (Allocation) "
+              "12.0M->3.0M(64.0M) 2.000ms");
+}
+
+TEST(GcLogTest, EmitsOneLinePerCycle)
+{
+    runtime::GcEventLog log;
+    log.recordCycle(cycle(0.1, runtime::GcPhase::YoungPause, 3, 9));
+    log.recordCycle(cycle(0.2, runtime::GcPhase::Concurrent, 4, 20));
+    log.recordCycle(cycle(0.3, runtime::GcPhase::FullPause, 2, 30));
+    std::ostringstream out;
+    EXPECT_EQ(runtime::formatGcLog(log, 64.0 * 1024 * 1024, out), 3u);
+    EXPECT_NE(out.str().find("Concurrent Cycle"), std::string::npos);
+    EXPECT_NE(out.str().find("Pause Full"), std::string::npos);
+    EXPECT_NE(out.str().find("GC(2)"), std::string::npos);
+}
+
+} // namespace
+} // namespace capo

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the workload registry, descriptors and plan building.
+ */
+
+#include <gtest/gtest.h>
+
+#include "counters/machine.hh"
+#include "workloads/plans.hh"
+#include "workloads/registry.hh"
+
+namespace capo::workloads {
+namespace {
+
+TEST(RegistryTest, SuiteHasTwentyTwoWorkloads)
+{
+    EXPECT_EQ(suite().size(), 22u);
+    EXPECT_EQ(names().size(), 22u);
+}
+
+TEST(RegistryTest, NineLatencySensitiveWorkloads)
+{
+    const auto latency = latencySensitive();
+    ASSERT_EQ(latency.size(), 9u);
+    std::vector<std::string> expected = {
+        "cassandra", "h2",     "jme",        "kafka",     "lusearch",
+        "spring",    "tomcat", "tradebeans", "tradesoap",
+    };
+    std::vector<std::string> got;
+    for (const auto *d : latency)
+        got.push_back(d->name);
+    EXPECT_EQ(got, expected);
+}
+
+TEST(RegistryTest, EightNewWorkloads)
+{
+    int fresh = 0;
+    for (const auto &d : suite())
+        fresh += d.is_new;
+    // biojava, cassandra, graphchi, h2o, jme, kafka, spring, zxing.
+    EXPECT_EQ(fresh, 8);
+}
+
+TEST(RegistryTest, LookupByName)
+{
+    EXPECT_EQ(byName("lusearch").name, "lusearch");
+    EXPECT_TRUE(contains("h2"));
+    EXPECT_FALSE(contains("quake"));
+}
+
+TEST(RegistryTest, MinHeapRangeMatchesPaper)
+{
+    // "minimum heap sizes from 5 MB to 20 GB" — avrora default 5 MB,
+    // h2 vlarge 20.6 GB.
+    EXPECT_DOUBLE_EQ(byName("avrora").gc.gmd_mb, 5.0);
+    EXPECT_DOUBLE_EQ(byName("h2").gc.gmd_mb, 681.0);
+    EXPECT_DOUBLE_EQ(byName("h2").gc.gmv_mb, 20641.0);
+}
+
+TEST(RegistryTest, HeadlineStatisticsMatchPaperText)
+{
+    // lusearch has the suite's top allocation rate (Section 5.1).
+    const auto &lusearch = byName("lusearch");
+    EXPECT_DOUBLE_EQ(lusearch.alloc.ara, 23556.0);
+    for (const auto &d : suite()) {
+        if (available(d.alloc.ara)) {
+            EXPECT_LE(d.alloc.ara, lusearch.alloc.ara);
+        }
+    }
+    // Section 6.4's IPC extremes: biojava and jython high, h2o and
+    // xalan lowest.
+    EXPECT_GT(byName("biojava").uarch.uip, 400.0);
+    EXPECT_GT(byName("jython").uarch.uip, 250.0);
+    EXPECT_LT(byName("h2o").uarch.uip, 100.0);
+    EXPECT_LT(byName("xalan").uarch.uip, 100.0);
+}
+
+TEST(RegistryTest, TradeWorkloadsLackInstrumentationStats)
+{
+    for (const char *name : {"tradebeans", "tradesoap"}) {
+        const auto &d = byName(name);
+        EXPECT_FALSE(available(d.alloc.aoa)) << name;
+        EXPECT_FALSE(available(d.alloc.ara)) << name;
+        EXPECT_FALSE(available(d.bytecode.bub)) << name;
+        // But the simulation still has an allocation-rate model.
+        EXPECT_GT(d.allocPerIteration(), 0.0) << name;
+    }
+}
+
+TEST(DescriptorTest, DerivedQuantitiesAreConsistent)
+{
+    const auto &h2 = byName("h2");
+    // 24 % parallel efficiency on 32 threads -> width ~7.7.
+    EXPECT_NEAR(h2.effectiveParallelism(), 0.24 * 32.0, 1e-9);
+    // Work = PET seconds at that width.
+    EXPECT_NEAR(h2.workPerIteration(),
+                2.0 * 1e9 * h2.effectiveParallelism(), 1.0);
+    // Allocation = ARA x PET.
+    EXPECT_NEAR(h2.allocPerIteration(), 11858.0 * 1e6 * 2.0, 1.0);
+    // Footprint = GMU / GMD.
+    EXPECT_NEAR(h2.pointerFootprint(), 903.0 / 681.0, 1e-9);
+}
+
+TEST(DescriptorTest, FootprintClampedToAtLeastOne)
+{
+    // cassandra's GMU < GMD (the paper's own data): clamp at 1.
+    EXPECT_DOUBLE_EQ(byName("cassandra").pointerFootprint(), 1.0);
+}
+
+TEST(DescriptorTest, SurvivorFractionFallsWithTurnover)
+{
+    EXPECT_LT(byName("lusearch").survivor_fraction,
+              byName("batik").survivor_fraction);
+    for (const auto &d : suite()) {
+        EXPECT_GE(d.survivor_fraction, 0.003);
+        EXPECT_LE(d.survivor_fraction, 0.10);
+    }
+}
+
+TEST(PlansTest, SizeAvailability)
+{
+    EXPECT_TRUE(sizeAvailable(byName("h2"), SizeConfig::VLarge));
+    EXPECT_FALSE(sizeAvailable(byName("avrora"), SizeConfig::VLarge));
+    EXPECT_FALSE(sizeAvailable(byName("fop"), SizeConfig::Large));
+    EXPECT_TRUE(sizeAvailable(byName("fop"), SizeConfig::Default));
+    EXPECT_EQ(std::string(sizeName(SizeConfig::VLarge)), "vlarge");
+}
+
+TEST(PlansTest, DefaultSetupMatchesDescriptor)
+{
+    const auto &d = byName("lusearch");
+    const auto setup = makeSetup(d, counters::MachineConfig::baseline(),
+                                 SizeConfig::Default, 5);
+    EXPECT_EQ(setup.plan.iterations, 5);
+    EXPECT_NEAR(setup.plan.width, d.effectiveParallelism(), 1e-9);
+    EXPECT_NEAR(setup.plan.work_per_iteration, d.workPerIteration(),
+                1.0);
+    EXPECT_NEAR(setup.live.base_bytes, d.liveBytes(), 1.0);
+    EXPECT_NEAR(setup.reference_min_heap_bytes,
+                19.0 * 1024 * 1024, 1.0);
+    // Latency-sensitive workloads get finer chunking.
+    EXPECT_EQ(setup.plan.min_chunks, 256);
+}
+
+TEST(PlansTest, SizesScaleData)
+{
+    const auto &d = byName("h2");
+    const auto def = makeSetup(d, counters::MachineConfig::baseline(),
+                               SizeConfig::Default, 2);
+    const auto large = makeSetup(d, counters::MachineConfig::baseline(),
+                                 SizeConfig::Large, 2);
+    const double k = d.gc.gml_mb / d.gc.gmd_mb;
+    EXPECT_NEAR(large.live.base_bytes, def.live.base_bytes * k, 1.0);
+    EXPECT_NEAR(large.plan.alloc_per_iteration,
+                def.plan.alloc_per_iteration * k, 1.0);
+    EXPECT_GT(large.plan.work_per_iteration,
+              def.plan.work_per_iteration);
+}
+
+TEST(PlansTest, WarmupCurveConvergesByPwu)
+{
+    for (const auto &d : suite()) {
+        const auto setup = makeSetup(
+            d, counters::MachineConfig::baseline(), SizeConfig::Default,
+            5);
+        const auto &curve = setup.plan.warmup_multipliers;
+        ASSERT_GE(curve.size(), 2u);
+        // Monotone non-increasing toward 1.0.
+        for (std::size_t i = 1; i < curve.size(); ++i)
+            ASSERT_LE(curve[i], curve[i - 1] + 1e-12) << d.name;
+        EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+        // Within 1.5 % of peak by iteration PWU.
+        const auto idx = std::min<std::size_t>(
+            static_cast<std::size_t>(d.perf.pwu) - 1,
+            curve.size() - 1);
+        EXPECT_LE(curve[idx], 1.016) << d.name;
+    }
+}
+
+TEST(PlansTest, MachineConfigStretchesWork)
+{
+    const auto &d = byName("eclipse");  // strongly compiler-sensitive
+    counters::MachineConfig interp;
+    interp.compiler = counters::MachineConfig::Compiler::Interpreter;
+    const auto base = makeSetup(d, counters::MachineConfig::baseline(),
+                                SizeConfig::Default, 2);
+    const auto slow = makeSetup(d, interp, SizeConfig::Default, 2);
+    EXPECT_NEAR(slow.plan.work_per_iteration,
+                base.plan.work_per_iteration * (1.0 + d.perf.pin / 100),
+                base.plan.work_per_iteration * 1e-9);
+}
+
+} // namespace
+} // namespace capo::workloads
