@@ -5,6 +5,7 @@
  *   $ dacapo lusearch -n 5 --gc g1 --heap-factor 2
  *   $ dacapo h2 -p                # print nominal statistics and exit
  *   $ dacapo cassandra --latency-csv out.csv
+ *   $ dacapo fop --trace-out fop.json   # Perfetto/Chrome trace
  *
  * Mirrors the harness conventions the paper describes: n iterations
  * with the last one timed, a PASSED line with the timed duration, and
@@ -12,10 +13,14 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "harness/runner.hh"
 #include "metrics/export.hh"
 #include "runtime/gc_log.hh"
+#include "trace/chrome_export.hh"
+#include "trace/metrics_registry.hh"
+#include "trace/sink.hh"
 #include "metrics/request_synth.hh"
 #include "stats/stat_table.hh"
 #include "support/flags.hh"
@@ -76,6 +81,15 @@ main(int argc, char **argv)
     flags.addBool("verbose-gc", false,
                   "print an -Xlog:gc style collector log");
     flags.addInt("seed", 0x5eed, "random seed");
+    flags.addString("trace-out", "",
+                    "write a Chrome/Perfetto trace-event JSON file");
+    flags.addString("trace-categories", "all",
+                    "categories to trace: sim,runtime,gc,harness,"
+                    "metrics | all | none");
+    flags.addDouble("metrics-interval", 10.0,
+                    "counter sampling period in sim-ms (0 disables)");
+    flags.addString("metrics-csv", "",
+                    "save sampled-metrics summary to this CSV file");
     flags.parse(argc, argv);
 
     if (flags.positionals().size() != 1) {
@@ -97,6 +111,21 @@ main(int argc, char **argv)
     options.invocations = 1;
     options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
     options.trace_rate = workload.latency_sensitive;
+
+    const std::string trace_out = flags.getString("trace-out");
+    const std::string metrics_csv = flags.getString("metrics-csv");
+    std::unique_ptr<trace::TraceSink> sink;
+    trace::MetricsRegistry registry;
+    if (!trace_out.empty() || !metrics_csv.empty()) {
+        trace::TraceSink::Options trace_options;
+        trace_options.categories =
+            trace::parseCategories(flags.getString("trace-categories"));
+        sink = std::make_unique<trace::TraceSink>(trace_options);
+        options.trace = sink.get();
+        options.metrics = &registry;
+        options.metrics_interval_ms =
+            flags.getDouble("metrics-interval");
+    }
 
     const std::string size = flags.getString("size");
     options.size = size == "small" ? workloads::SizeConfig::Small
@@ -121,6 +150,22 @@ main(int argc, char **argv)
                          flags.getDouble("heap-factor"));
     const auto &run = set.runs.front();
 
+    // Trace and metrics files are written on success *and* failure:
+    // a timeline of a failing run is exactly what one debugs with.
+    const auto writeObservability = [&] {
+        if (sink && !trace_out.empty()) {
+            trace::writeChromeTraceFile(*sink, trace_out);
+            std::cout << "saved trace to " << trace_out << "\n";
+        }
+        if (!metrics_csv.empty()) {
+            metrics::writeCsvFile(metrics_csv, [&](std::ostream &out) {
+                metrics::exportMetricsCsv(registry, out);
+            });
+            std::cout << "saved metrics summary to " << metrics_csv
+                      << "\n";
+        }
+    };
+
     for (std::size_t i = 0; i < run.iterations.size(); ++i) {
         std::cout << "===== DaCapo-sim " << workload.name
                   << " iteration " << i + 1 << " in "
@@ -133,6 +178,7 @@ main(int argc, char **argv)
                   << " FAILED ("
                   << (run.oom ? "OutOfMemoryError" : "timeout")
                   << ") =====\n";
+        writeObservability();
         return 1;
     }
 
@@ -180,5 +226,7 @@ main(int argc, char **argv)
             std::cout << "saved raw latency data to " << csv << "\n";
         }
     }
+
+    writeObservability();
     return 0;
 }

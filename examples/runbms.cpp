@@ -5,7 +5,7 @@
  * ./experiments/lbo.yml"). Results print as tables and, with
  * --csv <dir>, also land as CSV files for offline analysis.
  *
- *   $ runbms myplan.capo [--csv results/]
+ *   $ runbms myplan.capo [--csv results/] [--trace-out sweep.json]
  *
  * Example definition (see harness/plan_file.hh for the format):
  *
@@ -18,6 +18,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "harness/lbo_experiment.hh"
 #include "harness/minheap.hh"
@@ -27,6 +28,9 @@
 #include "support/flags.hh"
 #include "support/strfmt.hh"
 #include "support/table.hh"
+#include "trace/chrome_export.hh"
+#include "trace/metrics_registry.hh"
+#include "trace/sink.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
@@ -194,13 +198,43 @@ main(int argc, char **argv)
                          "definition file (running-ng equivalent)");
     flags.addString("csv", "", "directory for CSV result files "
                                "(must exist; empty = tables only)");
+    flags.addString("trace-out", "",
+                    "write a Chrome/Perfetto trace-event JSON file "
+                    "(overrides the plan's trace_out key)");
+    flags.addString("trace-categories", "",
+                    "categories to trace (overrides the plan)");
+    flags.addDouble("metrics-interval", -1.0,
+                    "counter sampling period in sim-ms (overrides the "
+                    "plan; 0 disables)");
     flags.parse(argc, argv);
 
     if (flags.positionals().size() != 1) {
-        std::cerr << "usage: runbms <plan-file> [--csv dir]\n";
+        std::cerr << "usage: runbms <plan-file> [--csv dir] "
+                     "[--trace-out file.json]\n";
         return 2;
     }
-    const auto plan = harness::loadPlan(flags.positionals()[0]);
+    auto plan = harness::loadPlan(flags.positionals()[0]);
+    if (!flags.getString("trace-out").empty())
+        plan.trace_out = flags.getString("trace-out");
+    if (!flags.getString("trace-categories").empty()) {
+        plan.trace_categories =
+            trace::parseCategories(flags.getString("trace-categories"));
+    }
+    if (flags.getDouble("metrics-interval") >= 0.0) {
+        plan.options.metrics_interval_ms =
+            flags.getDouble("metrics-interval");
+    }
+
+    std::unique_ptr<trace::TraceSink> sink;
+    trace::MetricsRegistry registry;
+    if (!plan.trace_out.empty()) {
+        trace::TraceSink::Options trace_options;
+        trace_options.categories = plan.trace_categories;
+        sink = std::make_unique<trace::TraceSink>(trace_options);
+        plan.options.trace = sink.get();
+        plan.options.metrics = &registry;
+    }
+
     std::cout << "# runbms: " << harness::planKindName(plan.kind)
               << " over " << plan.workloads.size() << " workload(s), "
               << plan.collectors.size() << " collector(s)\n";
@@ -216,6 +250,18 @@ main(int argc, char **argv)
       case harness::ExperimentPlan::Kind::MinHeap:
         runMinHeap(plan, csv_dir);
         break;
+    }
+
+    if (sink) {
+        trace::writeChromeTraceFile(*sink, plan.trace_out);
+        std::cout << "saved trace to " << plan.trace_out << "\n";
+        if (!csv_dir.empty()) {
+            metrics::writeCsvFile(csv_dir + "/metrics.csv",
+                                  [&](std::ostream &out) {
+                                      metrics::exportMetricsCsv(registry,
+                                                                out);
+                                  });
+        }
     }
     return 0;
 }

@@ -40,6 +40,9 @@ ConcurrentCollector::startCycle()
     young_cycle_ = tuning().generational && !young_unproductive &&
                    heap().oldDebris() <
                        tuning().debris_trigger * heap().capacity();
+    log().traceInstant(young_cycle_ ? "trigger-young-cycle"
+                                    : "trigger-major-cycle",
+                       engine().now(), heap().occupied());
     kickController();
 }
 

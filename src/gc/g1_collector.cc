@@ -51,6 +51,8 @@ G1Collector::request(double bytes)
         // Initiate concurrent marking above the IHOP threshold.
         if (!marking_ && !mark_requested_ && mixed_credits_ == 0 &&
             h.occupied() >= tuning().ihop_fraction * h.capacity()) {
+            log().traceInstant("trigger-mark", engine().now(),
+                               h.occupied());
             mark_requested_ = true;
             engine().notifyAll(mark_cond_);
         }
@@ -74,6 +76,17 @@ G1Collector::request(double bytes)
         pending_kind_ = runtime::GcPhase::YoungPause;
     }
 
+    switch (pending_kind_) {
+      case runtime::GcPhase::FullPause:
+        log().traceInstant("trigger-full", engine().now(), h.occupied());
+        break;
+      case runtime::GcPhase::MixedPause:
+        log().traceInstant("trigger-mixed", engine().now(), h.occupied());
+        break;
+      default:
+        log().traceInstant("trigger-young", engine().now(), h.occupied());
+        break;
+    }
     trigger_ = true;
     kickController();
     return runtime::AllocResponse::stall(stallCond());

@@ -57,6 +57,8 @@ StwCollector::request(double bytes)
     if (pending_full_ && h.predictPostFullGc() + bytes > eff)
         return runtime::AllocResponse::oom();
 
+    log().traceInstant(pending_full_ ? "trigger-full" : "trigger-young",
+                       engine().now(), h.occupied());
     trigger_ = true;
     kickController();
     return runtime::AllocResponse::stall(stallCond());

@@ -13,10 +13,30 @@ runLboSweep(const workloads::Descriptor &workload,
     WorkloadLbo result;
     result.workload = workload.name;
 
+    trace::TraceSink *sink = options.base.trace;
+    const auto track =
+        sink ? sink->registerTrack("harness") : trace::TrackId{0};
+
     for (auto algorithm : options.collectors) {
         const std::string name = gc::algorithmName(algorithm);
         for (double factor : options.factors) {
+            // One sweep-cell span wrapping this cell's invocations.
+            const char *label = nullptr;
+            double cell_begin = 0.0;
+            if (sink) {
+                label = sink->internName(
+                    name + " @ " + support::concat(factor) + "x");
+                cell_begin = sink->timeBase();
+                sink->beginSpanAbs(track, trace::Category::Harness,
+                                   label, cell_begin);
+            }
             const auto set = runner.run(workload, algorithm, factor);
+            if (sink) {
+                // The runner advanced the base past each invocation;
+                // close the cell at the current base (pre-gap).
+                sink->endSpanAbs(track, trace::Category::Harness, label,
+                                 sink->timeBase());
+            }
             const bool ok = set.allCompleted();
             result.completed[{name, factor}] = ok;
             if (ok)

@@ -181,6 +181,19 @@ parsePlan(const std::string &text)
             plan.options.size = resolveSize(value);
         } else if (key == "seed") {
             plan.options.base_seed = std::stoull(value);
+        } else if (key == "trace_out") {
+            plan.trace_out = value;
+        } else if (key == "trace_categories") {
+            plan.trace_categories = trace::parseCategories(value);
+        } else if (key == "metrics_interval") {
+            try {
+                plan.options.metrics_interval_ms = std::stod(value);
+            } catch (...) {
+                support::fatal("plan file: bad metrics_interval '",
+                               value, "'");
+            }
+            if (plan.options.metrics_interval_ms < 0.0)
+                support::fatal("plan file: negative metrics_interval");
         } else {
             support::fatal("plan file line ", line_no,
                            ": unknown key '", key, "'");

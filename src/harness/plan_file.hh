@@ -16,6 +16,9 @@
  *     invocations  = 10
  *     size         = default        # small | default | large | vlarge
  *     seed         = 1234
+ *     trace_out    = run.trace.json   # Chrome/Perfetto trace output
+ *     trace_categories = gc, harness  # or "all" / "none"
+ *     metrics_interval = 10           # counter sampling period (ms)
  *
  * See `examples/runbms.cpp` for the executor.
  */
@@ -41,6 +44,14 @@ struct ExperimentPlan
     std::vector<gc::Algorithm> collectors;  ///< Resolved algorithms.
     std::vector<double> heap_factors = {2.0};
     ExperimentOptions options;
+
+    /** @{ Tracing, from the trace_out / trace_categories keys. Empty
+     *  trace_out disables; the executor builds the sink and wires
+     *  options.trace itself. (metrics_interval lands directly in
+     *  options.metrics_interval_ms.) */
+    std::string trace_out;
+    trace::CategoryMask trace_categories = trace::kAllCategories;
+    /** @} */
 };
 
 /** Parse a definition from text; fatal on malformed input. */

@@ -97,9 +97,35 @@ Runner::runOnce(const workloads::Descriptor &workload,
                   0x9e3779b9ULL * static_cast<std::uint64_t>(invocation);
     config.trace_rate = options_.trace_rate;
     config.time_limit_sec = options_.time_limit_sec;
+    config.trace = options_.trace;
+    config.metrics = options_.metrics;
+    config.metrics_interval_ns = options_.metrics_interval_ms * 1e6;
 
-    return runtime::runExecution(config, setup.plan, setup.live,
-                                 *collector);
+    if (options_.trace == nullptr) {
+        return runtime::runExecution(config, setup.plan, setup.live,
+                                     *collector);
+    }
+
+    // Wrap the invocation in a harness-track span. The execution's
+    // engine emits run-relative timestamps which the sink offsets by
+    // its time base; afterwards the base advances past this
+    // invocation (plus a gap for readability) so invocations line up
+    // end-to-end on one timeline.
+    trace::TraceSink &sink = *options_.trace;
+    const auto track = sink.registerTrack("harness");
+    const char *label = sink.internName(
+        workload.name + "/" + gc::algorithmName(algorithm) + " inv" +
+        std::to_string(invocation));
+    const double begin = sink.timeBase();
+    sink.beginSpanAbs(track, trace::Category::Harness, label, begin);
+
+    auto result = runtime::runExecution(config, setup.plan, setup.live,
+                                        *collector);
+
+    sink.endSpanAbs(track, trace::Category::Harness, label,
+                    begin + result.wall);
+    sink.setTimeBase(begin + result.wall + 1e6 /* 1 ms gap */);
+    return result;
 }
 
 InvocationSet

@@ -34,6 +34,15 @@ struct ExperimentOptions
     std::uint64_t base_seed = 0x5eed;
     bool trace_rate = false;       ///< Needed for latency synthesis.
     double time_limit_sec = 2000;  ///< Per-invocation sim-time cap.
+
+    /** @{ Observability (null disables). Every invocation appears as
+     *  an "invocation" span on the sink's "harness" track; each engine
+     *  starts at t=0, so the runner advances the sink's time base
+     *  between invocations to keep one monotonic timeline. */
+    trace::TraceSink *trace = nullptr;
+    trace::MetricsRegistry *metrics = nullptr;
+    double metrics_interval_ms = 10.0;  ///< Sampling period (sim-ms).
+    /** @} */
 };
 
 /** Results of all invocations of one configuration. */

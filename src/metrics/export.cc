@@ -86,6 +86,51 @@ exportHeapTimelineCsv(const runtime::GcEventLog &log, std::ostream &out)
     return csv.rows();
 }
 
+std::size_t
+exportMetricsCsv(const trace::MetricsRegistry &registry,
+                 std::ostream &out)
+{
+    support::CsvWriter csv(out);
+    csv.header({"name", "kind", "count", "min", "mean", "max", "stddev",
+                "last"});
+    for (const auto &entry : registry.entries()) {
+        csv.beginRow();
+        csv.cell(entry.name);
+        csv.cell(std::string(
+            trace::MetricsRegistry::kindName(entry.kind)));
+        switch (entry.kind) {
+          case trace::MetricsRegistry::Kind::Counter:
+            csv.cell(std::uint64_t{1});
+            csv.cell(entry.counter.value());
+            csv.cell(entry.counter.value());
+            csv.cell(entry.counter.value());
+            csv.cell(0.0);
+            csv.cell(entry.counter.value());
+            break;
+          case trace::MetricsRegistry::Kind::Gauge:
+            csv.cell(std::uint64_t{entry.gauge.everSet() ? 1u : 0u});
+            csv.cell(entry.gauge.value());
+            csv.cell(entry.gauge.value());
+            csv.cell(entry.gauge.value());
+            csv.cell(0.0);
+            csv.cell(entry.gauge.value());
+            break;
+          case trace::MetricsRegistry::Kind::Histogram: {
+            const auto &h = entry.histogram;
+            csv.cell(h.count());
+            csv.cell(h.min());
+            csv.cell(h.mean());
+            csv.cell(h.max());
+            csv.cell(h.stddev());
+            csv.cell(h.last());
+            break;
+          }
+        }
+        csv.endRow();
+    }
+    return csv.rows();
+}
+
 void
 writeCsvFile(const std::string &path,
              const std::function<void(std::ostream &)> &writer)

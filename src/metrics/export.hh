@@ -19,6 +19,7 @@
 #include "metrics/latency.hh"
 #include "metrics/lbo.hh"
 #include "runtime/gc_event_log.hh"
+#include "trace/metrics_registry.hh"
 
 namespace capo::metrics {
 
@@ -44,6 +45,14 @@ std::size_t exportLboCsv(const LboAnalysis &analysis, std::ostream &out);
 /** Write collector cycle telemetry (the post-GC heap series). */
 std::size_t exportHeapTimelineCsv(const runtime::GcEventLog &log,
                                   std::ostream &out);
+
+/**
+ * Write a metrics-registry summary (one row per counter, gauge or
+ * histogram) to CSV. Histogram rows carry full distribution stats;
+ * counters and gauges report their value in the `last` column.
+ */
+std::size_t exportMetricsCsv(const trace::MetricsRegistry &registry,
+                             std::ostream &out);
 
 /** Open @p path for writing; fatal with a clear message on failure. */
 void writeCsvFile(const std::string &path,

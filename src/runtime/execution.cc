@@ -1,8 +1,10 @@
 #include "runtime/execution.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "support/logging.hh"
+#include "trace/sampler.hh"
 
 namespace capo::runtime {
 
@@ -40,7 +42,44 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     MutatorGroup mutator(taxed_plan, collector, heap, log,
                          support::Rng(config.seed));
     mutator.attach(engine, world);
-    mutator.setShutdownHook([&collector] { collector.shutdown(); });
+
+    // Observability wiring: scheduling spans from the engine, phase
+    // spans from the event log and mutator, pacing from the world,
+    // and (optionally) a periodic metrics sampler agent.
+    std::unique_ptr<trace::MetricsSampler> sampler;
+    if (config.trace != nullptr) {
+        trace::TraceSink &sink = *config.trace;
+        engine.setTraceSink(&sink);
+        log.attachTrace(&sink, sink.registerTrack("gc"),
+                        sink.registerTrack("gc/concurrent"));
+        world.attachTrace(&sink, sink.registerTrack("pacing"));
+        mutator.attachTrace(&sink, sink.registerTrack("mutator"));
+
+        if (config.metrics_interval_ns > 0.0) {
+            sampler = std::make_unique<trace::MetricsSampler>(
+                sink, config.metrics, config.metrics_interval_ns);
+            sampler->addProbe("heap.occupied_bytes",
+                              [&heap] { return heap.occupied(); });
+            sampler->addProbe("heap.live_bytes",
+                              [&heap] { return heap.live(); });
+            sampler->addProbe("heap.fresh_bytes",
+                              [&heap] { return heap.fresh(); });
+            sampler->addProbe("agents.runnable", [&engine] {
+                return static_cast<double>(engine.runnableAgents());
+            });
+            const auto mutator_id = mutator.agentId();
+            sampler->addProbe("gc.cpu_ns", [&engine, mutator_id] {
+                return engine.totalCpuTime() - engine.cpuTime(mutator_id);
+            });
+            sampler->attach(engine);
+        }
+    }
+
+    mutator.setShutdownHook([&collector, &sampler] {
+        collector.shutdown();
+        if (sampler)
+            sampler->requestStop();
+    });
 
     if (config.trace_rate)
         engine.tracePerWidthRate(mutator.agentId());

@@ -17,6 +17,8 @@
 #include "runtime/gc_event_log.hh"
 #include "runtime/mutator.hh"
 #include "sim/engine.hh"
+#include "trace/metrics_registry.hh"
+#include "trace/sink.hh"
 
 namespace capo::runtime {
 
@@ -30,6 +32,17 @@ struct ExecutionConfig
     std::uint64_t seed = 1;           ///< Noise seed for this invocation.
     bool trace_rate = false;          ///< Record mutator rate timeline.
     double time_limit_sec = 3600.0;   ///< Simulated-time safety cap.
+
+    /** @{ Observability (all optional; null/zero disables). The sink
+     *  receives engine scheduling spans, mutator phases, GC phases and
+     *  trigger decisions, and — when @c metrics_interval_ns > 0 —
+     *  periodic counter samples, which also feed @c metrics
+     *  histograms. With sampling enabled the run's wall clock may
+     *  trail the last mutator exit by up to one interval. */
+    trace::TraceSink *trace = nullptr;
+    trace::MetricsRegistry *metrics = nullptr;
+    double metrics_interval_ns = 0.0;
+    /** @} */
 };
 
 /** Everything measured during one invocation. */

@@ -32,11 +32,38 @@ phaseName(GcPhase phase)
     return "?";
 }
 
+void
+GcEventLog::attachTrace(trace::TraceSink *sink,
+                        trace::TrackId pause_track,
+                        trace::TrackId concurrent_track)
+{
+    sink_ = sink;
+    pause_track_ = pause_track;
+    concurrent_track_ = concurrent_track;
+}
+
+void
+GcEventLog::traceInstant(const char *name, sim::Time t, double value)
+{
+    if (sink_)
+        sink_->instant(pause_track_, trace::Category::Gc, name, t, value);
+}
+
+trace::TrackId
+GcEventLog::trackFor(GcPhase phase) const
+{
+    return isStwPhase(phase) ? pause_track_ : concurrent_track_;
+}
+
 GcEventLog::PhaseToken
 GcEventLog::beginPhase(sim::Time t, GcPhase phase)
 {
     phases_.push_back(PauseRecord{t, t, 0.0, phase});
     phase_open_.push_back(true);
+    if (sink_) {
+        sink_->beginSpan(trackFor(phase), trace::Category::Gc,
+                         phaseName(phase), t);
+    }
     return phases_.size() - 1;
 }
 
@@ -50,6 +77,10 @@ GcEventLog::endPhase(PhaseToken token, sim::Time t, double cpu)
     rec.end = t;
     rec.cpu = cpu;
     phase_open_[token] = false;
+    if (sink_) {
+        sink_->endSpan(trackFor(rec.phase), trace::Category::Gc,
+                       phaseName(rec.phase), t);
+    }
 }
 
 void

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/time.hh"
+#include "trace/sink.hh"
 
 namespace capo::runtime {
 
@@ -68,6 +69,22 @@ class GcEventLog
      *  young pauses inside concurrent marking). */
     using PhaseToken = std::size_t;
 
+    /**
+     * Forward phase windows into a trace sink as they are recorded:
+     * STW phases become spans on @p pause_track, concurrent phases on
+     * @p concurrent_track (separate tracks because G1 young pauses
+     * nest inside concurrent marking). Null @p sink detaches.
+     */
+    void attachTrace(trace::TraceSink *sink, trace::TrackId pause_track,
+                     trace::TrackId concurrent_track);
+
+    /**
+     * Emit a collector-decision instant (e.g.\ "trigger-young") with
+     * its input @p value on the pause track. No-op when detached, so
+     * collectors can call it unconditionally.
+     */
+    void traceInstant(const char *name, sim::Time t, double value = 0.0);
+
     /** Begin a pause/phase window at @p t. */
     PhaseToken beginPhase(sim::Time t, GcPhase phase);
 
@@ -111,11 +128,18 @@ class GcEventLog
     /** @} */
 
   private:
+    /** Track a phase span is emitted on (pause vs.\ concurrent). */
+    trace::TrackId trackFor(GcPhase phase) const;
+
     std::vector<PauseRecord> phases_;
     std::vector<bool> phase_open_;
     std::vector<CycleRecord> cycles_;
     double stall_wall_ = 0.0;
     std::size_t stall_count_ = 0;
+
+    trace::TraceSink *sink_ = nullptr;
+    trace::TrackId pause_track_ = 0;
+    trace::TrackId concurrent_track_ = 0;
 };
 
 } // namespace capo::runtime

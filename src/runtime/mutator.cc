@@ -35,12 +35,24 @@ MutatorGroup::setShutdownHook(std::function<void()> hook)
 }
 
 void
+MutatorGroup::attachTrace(trace::TraceSink *sink, trace::TrackId track)
+{
+    sink_ = sink;
+    track_ = track;
+}
+
+void
 MutatorGroup::beginIteration(sim::Engine &engine)
 {
     IterationRecord rec;
     rec.wall_begin = engine.now();
     rec.cpu_begin = engine.totalCpuTime();
     iterations_.push_back(rec);
+
+    if (sink_) {
+        sink_->beginSpan(track_, trace::Category::Runtime, "iteration",
+                         rec.wall_begin);
+    }
 
     // Warmup multiplier: the last entry repeats.
     iteration_multiplier_ = 1.0;
@@ -80,6 +92,10 @@ MutatorGroup::endIteration(sim::Engine &engine)
     auto &rec = iterations_.back();
     rec.wall_end = engine.now();
     rec.cpu_end = engine.totalCpuTime();
+    if (sink_) {
+        sink_->endSpan(track_, trace::Category::Runtime, "iteration",
+                       rec.wall_end);
+    }
 }
 
 double
@@ -105,6 +121,10 @@ MutatorGroup::resume(sim::Engine &engine)
               case AllocVerdict::Granted:
                 if (stall_begin_ >= 0.0) {
                     log_.recordStall(stall_begin_, engine.now());
+                    if (sink_) {
+                        sink_->endSpan(track_, trace::Category::Runtime,
+                                       "alloc-stall", engine.now());
+                    }
                     stall_begin_ = -1.0;
                     ++stalls_;
                 }
@@ -112,12 +132,22 @@ MutatorGroup::resume(sim::Engine &engine)
                 return sim::Action::compute(chunkWork(), plan_.width);
 
               case AllocVerdict::Stall:
-                if (stall_begin_ < 0.0)
+                if (stall_begin_ < 0.0) {
                     stall_begin_ = engine.now();
+                    if (sink_) {
+                        sink_->beginSpan(track_, trace::Category::Runtime,
+                                         "alloc-stall", stall_begin_);
+                    }
+                }
                 return sim::Action::wait(response.wait_on);
 
               case AllocVerdict::Oom:
                 oom_ = true;
+                if (sink_ && stall_begin_ >= 0.0) {
+                    sink_->endSpan(track_, trace::Category::Runtime,
+                                   "alloc-stall", engine.now());
+                    stall_begin_ = -1.0;
+                }
                 // Leave the current iteration record open-ended at the
                 // failure point so diagnostics show where it died.
                 endIteration(engine);

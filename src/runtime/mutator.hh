@@ -92,6 +92,13 @@ class MutatorGroup : public sim::Agent
     /** Invoked once when the run finishes or aborts (before exit). */
     void setShutdownHook(std::function<void()> hook);
 
+    /**
+     * Emit mutator phases on @p track of @p sink: one "iteration" span
+     * per benchmark iteration and an "alloc-stall" span for each
+     * blocked-allocation episode. Null detaches.
+     */
+    void attachTrace(trace::TraceSink *sink, trace::TrackId track);
+
     std::string_view name() const override { return "mutator"; }
     sim::Action resume(sim::Engine &engine) override;
 
@@ -137,6 +144,9 @@ class MutatorGroup : public sim::Agent
     std::size_t stalls_ = 0;
     bool oom_ = false;
     bool done_ = false;
+
+    trace::TraceSink *sink_ = nullptr;
+    trace::TrackId track_ = 0;
 
     std::vector<IterationRecord> iterations_;
 };

@@ -36,9 +36,20 @@ World::resumeTheWorld()
 void
 World::setMutatorSpeed(double factor)
 {
+    if (sink_ && factor != speed_) {
+        sink_->counter(track_, trace::Category::Runtime, "mutator-speed",
+                       engine_.now(), factor);
+    }
     speed_ = factor;
     for (auto id : mutators_)
         engine_.setSpeedFactor(id, factor);
+}
+
+void
+World::attachTrace(trace::TraceSink *sink, trace::TrackId track)
+{
+    sink_ = sink;
+    track_ = track;
 }
 
 } // namespace capo::runtime

@@ -46,6 +46,13 @@ class World
 
     double mutatorSpeed() const { return speed_; }
 
+    /**
+     * Emit pacing decisions (mutator-speed counter) on @p track of
+     * @p sink whenever setMutatorSpeed changes the factor. Null
+     * detaches.
+     */
+    void attachTrace(trace::TraceSink *sink, trace::TrackId track);
+
     const std::vector<sim::AgentId> &mutators() const { return mutators_; }
 
     sim::Engine &engine() { return engine_; }
@@ -55,6 +62,8 @@ class World
     std::vector<sim::AgentId> mutators_;
     bool stopped_ = false;
     double speed_ = 1.0;
+    trace::TraceSink *sink_ = nullptr;
+    trace::TrackId track_ = 0;
 };
 
 } // namespace capo::runtime

@@ -19,6 +19,12 @@ constexpr std::uint64_t kMaxDispatchBurst = 8'000'000;
 /// progress instead of deadlocking the fluid model.
 constexpr double kMinSpeed = 1e-6;
 
+/// Span names on agent trace tracks (static storage: TraceEvent keeps
+/// the pointer).
+constexpr const char *kSpanRun = "run";
+constexpr const char *kSpanWait = "wait";
+constexpr const char *kSpanSleep = "sleep";
+
 } // namespace
 
 Engine::Engine(double cpus)
@@ -88,7 +94,21 @@ void
 Engine::freeze(AgentId id)
 {
     CAPO_ASSERT(id < agents_.size(), "bad agent id");
-    agents_[id].frozen = true;
+    auto &slot = agents_[id];
+    if (sink_ && running_ && !slot.frozen &&
+        slot.state != State::Finished) {
+        sink_->instant(slot.track, trace::Category::Sim, "freeze", now_);
+        // Split an in-flight run span so the frozen window reads as
+        // not-running; unfreeze() reopens it.
+        if (slot.open == OpenSpan::Compute) {
+            sink_->endSpan(slot.track, trace::Category::Sim, kSpanRun,
+                           now_);
+            slot.open = OpenSpan::ComputeFrozen;
+        } else if (slot.open == OpenSpan::ComputeEndPending) {
+            traceClose(slot, kSpanRun);
+        }
+    }
+    slot.frozen = true;
 }
 
 void
@@ -99,6 +119,12 @@ Engine::unfreeze(AgentId id)
     if (!slot.frozen)
         return;
     slot.frozen = false;
+    if (sink_ && running_ && slot.state != State::Finished) {
+        sink_->instant(slot.track, trace::Category::Sim, "unfreeze",
+                       now_);
+        if (slot.open == OpenSpan::ComputeFrozen)
+            traceOpen(slot, OpenSpan::Compute, kSpanRun);
+    }
     if (slot.deferred_wake) {
         slot.deferred_wake = false;
         pending_.push_back(id);
@@ -121,6 +147,76 @@ Engine::tracePerWidthRate(AgentId id)
     CAPO_ASSERT(traced_ == kInvalidAgent || traced_ == id,
                 "only one agent may be traced per engine");
     traced_ = id;
+}
+
+void
+Engine::setTraceSink(trace::TraceSink *sink)
+{
+    CAPO_ASSERT(!running_, "trace sink must be set before run()");
+    sink_ = sink;
+}
+
+std::size_t
+Engine::runnableAgents() const
+{
+    std::size_t n = 0;
+    for (const auto &slot : agents_) {
+        if (!slot.frozen &&
+            (slot.state == State::Computing ||
+             slot.state == State::Pending))
+            ++n;
+    }
+    return n;
+}
+
+void
+Engine::traceOpen(AgentSlot &slot, OpenSpan kind, const char *name)
+{
+    if (!sink_)
+        return;
+    sink_->beginSpan(slot.track, trace::Category::Sim, name, now_);
+    slot.open = kind;
+}
+
+void
+Engine::traceClose(AgentSlot &slot, const char *name)
+{
+    if (!sink_)
+        return;
+    sink_->endSpan(slot.track, trace::Category::Sim, name, now_);
+    slot.open = OpenSpan::None;
+}
+
+void
+Engine::flushComputeEnd(AgentSlot &slot)
+{
+    if (slot.open == OpenSpan::ComputeEndPending)
+        traceClose(slot, kSpanRun);
+}
+
+void
+Engine::closeOpenSpans()
+{
+    if (!sink_)
+        return;
+    for (auto &slot : agents_) {
+        switch (slot.open) {
+          case OpenSpan::Compute:
+          case OpenSpan::ComputeEndPending:
+            traceClose(slot, kSpanRun);
+            break;
+          case OpenSpan::Wait:
+            traceClose(slot, kSpanWait);
+            break;
+          case OpenSpan::Sleep:
+            traceClose(slot, kSpanSleep);
+            break;
+          case OpenSpan::ComputeFrozen:  // run span already ended
+          case OpenSpan::None:
+            slot.open = OpenSpan::None;
+            break;
+        }
+    }
 }
 
 bool
@@ -183,12 +279,21 @@ Engine::apply(AgentId id, const Action &action)
             pending_.push_back(id);
             return;
         }
+        // Coalesce back-to-back computes into one run span: a chunked
+        // mutator dispatches thousands of computes at identical
+        // timestamps, which would otherwise flood the trace.
+        if (slot.open == OpenSpan::ComputeEndPending)
+            slot.open = OpenSpan::Compute;
+        else
+            traceOpen(slot, OpenSpan::Compute, kSpanRun);
         slot.state = State::Computing;
         slot.remaining = action.work;
         slot.width = action.width;
         return;
 
       case Action::Kind::SleepUntil: {
+        flushComputeEnd(slot);
+        traceOpen(slot, OpenSpan::Sleep, kSpanSleep);
         const Time due = std::max(action.until, now_);
         slot.state = State::Sleeping;
         slot.sleep_token = ++timer_seq_;
@@ -199,11 +304,14 @@ Engine::apply(AgentId id, const Action &action)
       case Action::Kind::Wait:
         CAPO_ASSERT(action.cond < conds_.size(),
                     "wait on bad condition from ", slot.agent->name());
+        flushComputeEnd(slot);
+        traceOpen(slot, OpenSpan::Wait, kSpanWait);
         slot.state = State::Waiting;
         conds_[action.cond].waiters.push_back(id);
         return;
 
       case Action::Kind::Exit:
+        flushComputeEnd(slot);
         slot.state = State::Finished;
         CAPO_ASSERT(live_agents_ > 0, "agent exited twice");
         --live_agents_;
@@ -231,6 +339,12 @@ Engine::drainPending()
                        " at t=", now_, " ns");
         }
         ++dispatches_;
+        // A dispatch out of wait/sleep ends that span; the action the
+        // agent returns decides what (if anything) opens next.
+        if (slot.open == OpenSpan::Wait)
+            traceClose(slot, kSpanWait);
+        else if (slot.open == OpenSpan::Sleep)
+            traceClose(slot, kSpanSleep);
         current_ = id;
         const Action action = slot.agent->resume(*this);
         current_ = kInvalidAgent;
@@ -337,6 +451,10 @@ Engine::advance(Time limit)
             (rate > 0.0 && slot.remaining <= rate * time_eps)) {
             slot.remaining = 0.0;
             slot.state = State::Pending;
+            // Defer the run-span end: if the agent immediately computes
+            // again the span coalesces (see apply()).
+            if (slot.open == OpenSpan::Compute)
+                slot.open = OpenSpan::ComputeEndPending;
             pending_.push_back(id);
         }
     }
@@ -356,7 +474,19 @@ Engine::advance(Time limit)
 Engine::StopReason
 Engine::run(Time until)
 {
+    if (sink_ && !running_) {
+        // One trace track per agent, named "<agent>#<id>" so multiple
+        // instances of one agent type stay distinguishable.
+        for (AgentId id = 0; id < agents_.size(); ++id) {
+            auto &slot = agents_[id];
+            slot.track = sink_->registerTrack(
+                std::string(slot.agent->name()) + "#" +
+                std::to_string(id));
+        }
+    }
     running_ = true;
+    // While the simulation runs, log output carries sim timestamps.
+    support::ScopedSimTimeHook time_hook([this] { return now_; });
     for (AgentId id = 0; id < agents_.size(); ++id) {
         if (agents_[id].state == State::Created) {
             agents_[id].state = State::Pending;
@@ -364,18 +494,21 @@ Engine::run(Time until)
         }
     }
     drainPending();
+    StopReason reason = StopReason::AllExited;
     while (live_agents_ > 0) {
-        switch (advance(until)) {
-          case AdvanceResult::Stalled:
-            return StopReason::Stalled;
-          case AdvanceResult::HitLimit:
-            return StopReason::TimeLimit;
-          case AdvanceResult::Progress:
+        const AdvanceResult result = advance(until);
+        if (result == AdvanceResult::Stalled) {
+            reason = StopReason::Stalled;
+            break;
+        }
+        if (result == AdvanceResult::HitLimit) {
+            reason = StopReason::TimeLimit;
             break;
         }
         drainPending();
     }
-    return StopReason::AllExited;
+    closeOpenSpans();
+    return reason;
 }
 
 } // namespace capo::sim

@@ -29,6 +29,7 @@
 
 #include "sim/agent.hh"
 #include "sim/time.hh"
+#include "trace/sink.hh"
 
 namespace capo::sim {
 
@@ -101,6 +102,15 @@ class Engine
     void tracePerWidthRate(AgentId id);
 
     /**
+     * Emit scheduling events (per-agent run/wait/sleep spans, freeze
+     * and unfreeze instants) into @p sink. One track is registered per
+     * agent when run() starts. Must be called before run(); the sink
+     * must outlive the engine. Null disables (the default): every
+     * trace point then costs a single pointer test.
+     */
+    void setTraceSink(trace::TraceSink *sink);
+
+    /**
      * Run the simulation.
      *
      * @param until Optional absolute time limit.
@@ -116,6 +126,10 @@ class Engine
     std::size_t agentCount() const { return agents_.size(); }
     bool finished(AgentId id) const;
     bool frozen(AgentId id) const;
+
+    /** Agents that could use CPU right now (computing or queued for
+     *  dispatch, not frozen); a metrics-sampler probe. */
+    std::size_t runnableAgents() const;
 
     /** CPU-ns consumed by one agent so far (its task-clock share). */
     double cpuTime(AgentId id) const;
@@ -146,6 +160,19 @@ class Engine
         Finished,   ///< Exited.
     };
 
+    /** What span (if any) is currently open on an agent's trace
+     *  track. ComputeEndPending defers the end of a finished compute
+     *  span so back-to-back computes at the same timestamp coalesce
+     *  into one span instead of flooding the buffer per chunk. */
+    enum class OpenSpan : std::uint8_t {
+        None,
+        Compute,
+        ComputeEndPending,
+        ComputeFrozen,  ///< Run span split around a freeze window.
+        Wait,
+        Sleep,
+    };
+
     struct AgentSlot {
         Agent *agent = nullptr;
         State state = State::Created;
@@ -156,6 +183,8 @@ class Engine
         double speed = 1.0;
         double cpu_time = 0.0;
         std::uint64_t sleep_token = 0;  ///< Matches the live timer.
+        trace::TrackId track = 0;
+        OpenSpan open = OpenSpan::None;
     };
 
     struct Timer {
@@ -195,6 +224,13 @@ class Engine
     /** Advance the fluid model to the next event. */
     AdvanceResult advance(Time limit);
 
+    /** @{ Trace emission (no-ops when no sink is installed). */
+    void traceOpen(AgentSlot &slot, OpenSpan kind, const char *name);
+    void traceClose(AgentSlot &slot, const char *name);
+    void flushComputeEnd(AgentSlot &slot);
+    void closeOpenSpans();
+    /** @} */
+
     double cpus_;
     Time now_ = 0.0;
     std::vector<AgentSlot> agents_;
@@ -211,6 +247,7 @@ class Engine
     AgentId traced_ = kInvalidAgent;
     std::vector<RateSegment> trace_;
     double frozen_wall_ = 0.0;
+    trace::TraceSink *sink_ = nullptr;
 };
 
 } // namespace capo::sim

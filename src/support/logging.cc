@@ -8,6 +8,7 @@ namespace capo::support {
 namespace {
 
 LogLevel global_level = LogLevel::Warn;
+std::function<double()> sim_time_hook;
 
 } // namespace
 
@@ -21,6 +22,25 @@ LogLevel
 logLevel()
 {
     return global_level;
+}
+
+std::function<double()>
+setSimTimeHook(std::function<double()> hook)
+{
+    auto previous = std::move(sim_time_hook);
+    sim_time_hook = std::move(hook);
+    return previous;
+}
+
+std::string
+simTimePrefix()
+{
+    if (!sim_time_hook)
+        return "";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "[%10.6fs] ",
+                  sim_time_hook() / 1e9);
+    return buf;
 }
 
 void
@@ -41,20 +61,23 @@ void
 warnMessage(const std::string &message)
 {
     if (global_level >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", message.c_str());
+        std::fprintf(stderr, "warn: %s%s\n", simTimePrefix().c_str(),
+                     message.c_str());
 }
 
 void
 informMessage(const std::string &message)
 {
     if (global_level >= LogLevel::Info)
-        std::fprintf(stderr, "info: %s\n", message.c_str());
+        std::fprintf(stderr, "info: %s%s\n", simTimePrefix().c_str(),
+                     message.c_str());
 }
 
 void
 debugMessage(const std::string &message)
 {
-    std::fprintf(stderr, "debug: %s\n", message.c_str());
+    std::fprintf(stderr, "debug: %s%s\n", simTimePrefix().c_str(),
+                 message.c_str());
 }
 
 } // namespace capo::support

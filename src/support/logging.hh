@@ -11,7 +11,9 @@
 #ifndef CAPO_SUPPORT_LOGGING_HH
 #define CAPO_SUPPORT_LOGGING_HH
 
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "support/strfmt.hh"
 
@@ -25,6 +27,35 @@ void setLogLevel(LogLevel level);
 
 /** Current global log threshold. */
 LogLevel logLevel();
+
+/**
+ * Install a hook returning the current simulated time (ns); while one
+ * is set, warn/inform/debug output is prefixed with that timestamp so
+ * interleaved log lines are orderable against traces. Pass an empty
+ * function to clear. Returns the previous hook (for nesting).
+ */
+std::function<double()> setSimTimeHook(std::function<double()> hook);
+
+/** The prefix the hook produces ("[  1.234567s] "), "" without one. */
+std::string simTimePrefix();
+
+/** RAII sim-time hook installation (used by sim::Engine::run). */
+class ScopedSimTimeHook
+{
+  public:
+    explicit ScopedSimTimeHook(std::function<double()> hook)
+        : previous_(setSimTimeHook(std::move(hook)))
+    {
+    }
+
+    ~ScopedSimTimeHook() { setSimTimeHook(std::move(previous_)); }
+
+    ScopedSimTimeHook(const ScopedSimTimeHook &) = delete;
+    ScopedSimTimeHook &operator=(const ScopedSimTimeHook &) = delete;
+
+  private:
+    std::function<double()> previous_;
+};
 
 /** @{ Raw (pre-formatted) reporting entry points. */
 [[noreturn]] void panicMessage(const char *file, int line,

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome trace-event JSON export.
+ *
+ * Serializes a TraceSink into the Trace Event Format understood by
+ * Perfetto (ui.perfetto.dev) and chrome://tracing: one named thread
+ * per track, B/E duration events for spans, instant events, and "C"
+ * counter events that render as counter tracks. Timestamps are
+ * microseconds with nanosecond fractional precision, emitted in
+ * non-decreasing order.
+ */
+
+#ifndef CAPO_TRACE_CHROME_EXPORT_HH
+#define CAPO_TRACE_CHROME_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "trace/sink.hh"
+
+namespace capo::trace {
+
+/**
+ * Write the whole sink as Chrome trace-event JSON.
+ * @return Number of trace events written (excluding metadata).
+ */
+std::size_t writeChromeTrace(const TraceSink &sink, std::ostream &out);
+
+/** Write the trace to @p path; fatal with a clear message on failure.
+ *  Warns if the sink dropped events (ring capacity exceeded). */
+void writeChromeTraceFile(const TraceSink &sink, const std::string &path);
+
+} // namespace capo::trace
+
+#endif // CAPO_TRACE_CHROME_EXPORT_HH

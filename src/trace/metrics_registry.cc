@@ -1,0 +1,148 @@
+#include "trace/metrics_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace capo::trace {
+
+void
+Histogram::record(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    sum_sq_ += value * value;
+    last_ = value;
+    ++buckets_[bucketOf(value)];
+}
+
+int
+Histogram::bucketOf(double value)
+{
+    if (!(value > 0.0))
+        return 0;
+    const double position =
+        kBucketsPerDecade * std::log10(value / kFirstBucketValue);
+    const int bucket = 1 + static_cast<int>(std::floor(position));
+    return std::clamp(bucket, 1, kBuckets - 1);
+}
+
+double
+Histogram::bucketMid(int bucket)
+{
+    if (bucket == 0)
+        return 0.0;
+    // Geometric midpoint of [lo, lo * step).
+    const double step = std::pow(10.0, 1.0 / kBucketsPerDecade);
+    const double lo =
+        kFirstBucketValue * std::pow(step, bucket - 1);
+    return lo * std::sqrt(step);
+}
+
+double
+Histogram::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+Histogram::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = std::max(0.0, sum_sq_ / n - mean() * mean());
+    return std::sqrt(var);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    CAPO_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        cumulative += buckets_[b];
+        if (cumulative >= std::max<std::uint64_t>(target, 1))
+            return std::clamp(bucketMid(b), min_, max_);
+    }
+    return max_;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::fetch(const std::string &name, Kind kind)
+{
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+        auto &entry = entries_[it->second];
+        CAPO_ASSERT(entry.kind == kind, "metric '", name,
+                    "' already registered as ", kindName(entry.kind));
+        return entry;
+    }
+    by_name_.emplace(name, entries_.size());
+    entries_.push_back(Entry{name, kind, {}, {}, {}});
+    return entries_.back();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return fetch(name, Kind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return fetch(name, Kind::Gauge).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return fetch(name, Kind::Histogram).histogram;
+}
+
+bool
+MetricsRegistry::contains(const std::string &name) const
+{
+    return by_name_.count(name) != 0;
+}
+
+const char *
+MetricsRegistry::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Counter:
+        return "counter";
+      case Kind::Gauge:
+        return "gauge";
+      case Kind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+} // namespace capo::trace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Named metrics: counters, gauges and log-bucketed histograms.
+ *
+ * The registry is the aggregate side of the tracing subsystem: where
+ * the TraceSink keeps the raw timeline, the registry keeps summary
+ * statistics (how much, how often, how spread) cheap enough to update
+ * on every sample. The periodic sampler (trace/sampler.hh) feeds both:
+ * each probe reading becomes a counter-track event *and* a histogram
+ * observation, so offline CSV summaries and the Perfetto view can
+ * never disagree about what was measured.
+ */
+
+#ifndef CAPO_TRACE_METRICS_REGISTRY_HH
+#define CAPO_TRACE_METRICS_REGISTRY_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace capo::trace {
+
+/** A monotonically accumulating value (bytes allocated, events seen). */
+class Counter
+{
+  public:
+    void add(double delta) { value_ += delta; }
+    void increment() { value_ += 1.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A point-in-time value that may move either way (heap occupancy). */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; ever_set_ = true; }
+    double value() const { return value_; }
+    bool everSet() const { return ever_set_; }
+
+  private:
+    double value_ = 0.0;
+    bool ever_set_ = false;
+};
+
+/**
+ * Log-bucketed histogram of non-negative samples.
+ *
+ * Buckets are spaced 8 per decade from 1e-3 upward (16 decades), with
+ * a dedicated bucket for values <= 0; quantile() returns the geometric
+ * midpoint of the selected bucket, so it is approximate to roughly
+ * +/- 15 % — plenty for summary tables of heap sizes and durations.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBucketsPerDecade = 8;
+    static constexpr int kDecades = 16;
+    static constexpr double kFirstBucketValue = 1e-3;
+    static constexpr int kBuckets = kBucketsPerDecade * kDecades + 1;
+
+    void record(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double stddev() const;
+    double last() const { return last_; }
+
+    /** Approximate @p q quantile (q in [0, 1]); 0 when empty. */
+    double quantile(double q) const;
+
+  private:
+    static int bucketOf(double value);
+    static double bucketMid(int bucket);
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double last_ = 0.0;
+};
+
+/**
+ * Insertion-ordered registry of named metrics.
+ *
+ * Accessors create on first use and return stable references (storage
+ * is a deque); registering the same name with a different kind is a
+ * usage bug and panics.
+ */
+class MetricsRegistry
+{
+  public:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry {
+        std::string name;
+        Kind kind;
+        Counter counter;
+        Gauge gauge;
+        Histogram histogram;
+    };
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Entries in registration order (for reports and CSV export). */
+    const std::deque<Entry> &entries() const { return entries_; }
+
+    /** Printable name of a metric kind. */
+    static const char *kindName(Kind kind);
+
+  private:
+    Entry &fetch(const std::string &name, Kind kind);
+
+    std::deque<Entry> entries_;
+    std::map<std::string, std::size_t> by_name_;
+};
+
+} // namespace capo::trace
+
+#endif // CAPO_TRACE_METRICS_REGISTRY_HH

@@ -1,0 +1,152 @@
+#include "trace/sink.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace capo::trace {
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Sim:
+        return "sim";
+      case Category::Runtime:
+        return "runtime";
+      case Category::Gc:
+        return "gc";
+      case Category::Harness:
+        return "harness";
+      case Category::Metrics:
+        return "metrics";
+    }
+    return "?";
+}
+
+std::uint32_t
+parseCategories(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::stringstream ss(spec);
+    std::string item;
+    bool any = false;
+    while (std::getline(ss, item, ',')) {
+        // Trim surrounding whitespace.
+        const auto begin = item.find_first_not_of(" \t");
+        if (begin == std::string::npos)
+            continue;
+        const auto end = item.find_last_not_of(" \t");
+        item = item.substr(begin, end - begin + 1);
+        any = true;
+
+        if (item == "all")
+            mask |= kAllCategories;
+        else if (item == "none")
+            ;  // contributes nothing
+        else if (item == "sim")
+            mask |= static_cast<std::uint32_t>(Category::Sim);
+        else if (item == "runtime")
+            mask |= static_cast<std::uint32_t>(Category::Runtime);
+        else if (item == "gc")
+            mask |= static_cast<std::uint32_t>(Category::Gc);
+        else if (item == "harness")
+            mask |= static_cast<std::uint32_t>(Category::Harness);
+        else if (item == "metrics")
+            mask |= static_cast<std::uint32_t>(Category::Metrics);
+        else
+            support::fatal("unknown trace category '", item,
+                           "' (known: sim, runtime, gc, harness, "
+                           "metrics, all, none)");
+    }
+    if (!any)
+        support::fatal("empty trace category list");
+    return mask;
+}
+
+TraceSink::TraceSink(const Options &options)
+    : mask_(options.categories), capacity_(options.track_capacity)
+{
+    CAPO_ASSERT(capacity_ > 0, "trace track capacity must be positive");
+}
+
+TrackId
+TraceSink::registerTrack(const std::string &name)
+{
+    const auto it = track_by_name_.find(name);
+    if (it != track_by_name_.end())
+        return it->second;
+    const auto id = static_cast<TrackId>(tracks_.size());
+    tracks_.push_back(Track{name, {}, 0});
+    track_by_name_.emplace(name, id);
+    return id;
+}
+
+const char *
+TraceSink::internName(const std::string &name)
+{
+    const auto it = interned_by_name_.find(name);
+    if (it != interned_by_name_.end())
+        return it->second;
+    interned_.push_back(name);
+    const char *stable = interned_.back().c_str();
+    interned_by_name_.emplace(name, stable);
+    return stable;
+}
+
+const std::string &
+TraceSink::trackName(TrackId track) const
+{
+    CAPO_ASSERT(track < tracks_.size(), "bad track id");
+    return tracks_[track].name;
+}
+
+void
+TraceSink::push(TrackId track, const TraceEvent &event)
+{
+    CAPO_ASSERT(track < tracks_.size(), "bad track id");
+    auto &t = tracks_[track];
+    if (t.ring.size() < capacity_)
+        t.ring.push_back(event);
+    else
+        t.ring[t.head % capacity_] = event;
+    ++t.head;
+}
+
+std::vector<TraceEvent>
+TraceSink::events(TrackId track) const
+{
+    CAPO_ASSERT(track < tracks_.size(), "bad track id");
+    const auto &t = tracks_[track];
+    if (t.head <= capacity_)
+        return t.ring;
+    // Ring wrapped: the oldest retained event sits at head % capacity.
+    std::vector<TraceEvent> out;
+    out.reserve(capacity_);
+    const std::size_t start = t.head % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i)
+        out.push_back(t.ring[(start + i) % capacity_]);
+    return out;
+}
+
+std::uint64_t
+TraceSink::droppedEvents() const
+{
+    std::uint64_t dropped = 0;
+    for (const auto &t : tracks_) {
+        if (t.head > capacity_)
+            dropped += t.head - capacity_;
+    }
+    return dropped;
+}
+
+std::size_t
+TraceSink::eventCount() const
+{
+    std::size_t count = 0;
+    for (const auto &t : tracks_)
+        count += t.ring.size();
+    return count;
+}
+
+} // namespace capo::trace

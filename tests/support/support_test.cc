@@ -11,12 +11,39 @@
 
 #include "support/csv.hh"
 #include "support/flags.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/strfmt.hh"
 #include "support/table.hh"
 
 namespace capo::support {
 namespace {
+
+TEST(LoggingTest, SimTimePrefixEmptyWithoutHook)
+{
+    EXPECT_EQ(simTimePrefix(), "");
+}
+
+TEST(LoggingTest, SimTimeHookFormatsSeconds)
+{
+    auto previous = setSimTimeHook([] { return 1.5e9; });
+    EXPECT_EQ(simTimePrefix(), "[  1.500000s] ");
+    setSimTimeHook([] { return 0.0; });
+    EXPECT_EQ(simTimePrefix(), "[  0.000000s] ");
+    setSimTimeHook(std::move(previous));
+    EXPECT_EQ(simTimePrefix(), "");
+}
+
+TEST(LoggingTest, ScopedHookRestoresPrevious)
+{
+    ScopedSimTimeHook outer([] { return 2e9; });
+    EXPECT_EQ(simTimePrefix(), "[  2.000000s] ");
+    {
+        ScopedSimTimeHook inner([] { return 3e9; });
+        EXPECT_EQ(simTimePrefix(), "[  3.000000s] ");
+    }
+    EXPECT_EQ(simTimePrefix(), "[  2.000000s] ");
+}
 
 TEST(StrfmtTest, ConcatJoinsHeterogeneousValues)
 {
