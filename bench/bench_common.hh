@@ -12,8 +12,13 @@
 #ifndef CAPO_BENCH_BENCH_COMMON_HH
 #define CAPO_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/runner.hh"
 #include "support/flags.hh"
@@ -35,6 +40,11 @@ standardFlags(const std::string &description)
     flags.addInt("iterations", 0,
                  "override the number of iterations (0 = preset)");
     flags.addInt("seed", 0x5eed, "base random seed");
+    flags.addInt("jobs", 1,
+                 "cells/invocations to run concurrently (0 = all "
+                 "hardware threads); results are identical for any "
+                 "value");
+    flags.addAlias("j", "jobs");
     return flags;
 }
 
@@ -56,8 +66,83 @@ optionsFromFlags(const support::Flags &flags, int quick_invocations = 3,
     if (flags.getInt("iterations") > 0)
         options.iterations = static_cast<int>(flags.getInt("iterations"));
     options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    options.jobs = static_cast<int>(flags.getInt("jobs"));
     return options;
 }
+
+/** Monotonic seconds for measuring harness throughput. */
+inline double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Machine-readable benchmark report (BENCH_harness.json): flat
+ * key/value JSON recording harness throughput (cells/sec, sim
+ * events/sec) and the serial-vs-parallel speedup, for CI artifacts
+ * and cross-commit comparison.
+ */
+class BenchJson
+{
+  public:
+    void
+    set(const std::string &key, double value)
+    {
+        char buffer[64];
+        std::snprintf(buffer, sizeof buffer, "%.17g", value);
+        fields_.emplace_back(key, buffer);
+    }
+
+    void
+    set(const std::string &key, std::uint64_t value)
+    {
+        fields_.emplace_back(key, std::to_string(value));
+    }
+
+    void
+    set(const std::string &key, int value)
+    {
+        fields_.emplace_back(key, std::to_string(value));
+    }
+
+    void
+    set(const std::string &key, bool value)
+    {
+        fields_.emplace_back(key, value ? "true" : "false");
+    }
+
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        fields_.emplace_back(key, "\"" + value + "\"");
+    }
+
+    /** Write the report; fatal-free (a bench must not fail on an
+     *  unwritable report path — it warns instead). */
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "warning: cannot write bench report to "
+                      << path << "\n";
+            return;
+        }
+        out << "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            out << "  \"" << fields_[i].first
+                << "\": " << fields_[i].second
+                << (i + 1 < fields_.size() ? "," : "") << "\n";
+        }
+        out << "}\n";
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /** Print a figure/table banner. */
 inline void

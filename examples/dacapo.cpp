@@ -12,6 +12,7 @@
  * the `-p` flag for the per-workload nominal-statistics report.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
@@ -68,6 +69,11 @@ main(int argc, char **argv)
 {
     support::Flags flags("dacapo-style runner for the simulated suite");
     flags.addInt("n", 5, "iterations (the last is timed)");
+    flags.addInt("invocations", 1, "invocations of the benchmark");
+    flags.addInt("jobs", 1,
+                 "invocations to run concurrently (0 = all hardware "
+                 "threads); results are identical for any value");
+    flags.addAlias("j", "jobs");
     flags.addString("gc", "g1", "collector");
     flags.addDouble("heap-factor", 2.0,
                     "heap as a multiple of the minimum (GMD)");
@@ -108,7 +114,9 @@ main(int argc, char **argv)
 
     harness::ExperimentOptions options;
     options.iterations = static_cast<int>(flags.getInt("n"));
-    options.invocations = 1;
+    options.invocations =
+        std::max(1, static_cast<int>(flags.getInt("invocations")));
+    options.jobs = static_cast<int>(flags.getInt("jobs"));
     options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
     options.trace_rate = workload.latency_sensitive;
 

@@ -165,19 +165,22 @@ runMinHeap(const harness::ExperimentPlan &plan,
     aligns[0] = support::TextTable::Align::Left;
     table.columns(header, aligns);
 
+    std::cerr << "  minheap grid: " << plan.workloads.size() << " x "
+              << plan.collectors.size() << " cells\n";
+    const auto grid = harness::findMinHeapGrid(
+        plan.workloads, plan.collectors, plan.options);
+
     std::string csv_rows = "workload,collector,min_heap_mb\n";
     for (const auto &name : plan.workloads) {
-        std::cerr << "  minheap: " << name << "\n";
         std::vector<std::string> row = {name};
         for (auto algorithm : plan.collectors) {
-            const auto found = harness::findMinHeapMb(
-                workloads::byName(name), algorithm, plan.options);
-            row.push_back(support::fixed(found.min_heap_mb, 1));
+            const auto *found = grid.at(name, algorithm);
+            row.push_back(support::fixed(found->min_heap_mb, 1));
             csv_rows += name;
             csv_rows += ",";
             csv_rows += gc::algorithmName(algorithm);
             csv_rows += ",";
-            csv_rows += support::fixed(found.min_heap_mb, 2) + "\n";
+            csv_rows += support::fixed(found->min_heap_mb, 2) + "\n";
         }
         table.row(row);
     }
@@ -206,6 +209,11 @@ main(int argc, char **argv)
     flags.addDouble("metrics-interval", -1.0,
                     "counter sampling period in sim-ms (overrides the "
                     "plan; 0 disables)");
+    flags.addInt("jobs", -1,
+                 "cells/invocations to run concurrently (overrides the "
+                 "plan's jobs key; 0 = all hardware threads); results "
+                 "are identical for any value");
+    flags.addAlias("j", "jobs");
     flags.parse(argc, argv);
 
     if (flags.positionals().size() != 1) {
@@ -224,6 +232,8 @@ main(int argc, char **argv)
         plan.options.metrics_interval_ms =
             flags.getDouble("metrics-interval");
     }
+    if (flags.getInt("jobs") >= 0)
+        plan.options.jobs = static_cast<int>(flags.getInt("jobs"));
 
     std::unique_ptr<trace::TraceSink> sink;
     trace::MetricsRegistry registry;

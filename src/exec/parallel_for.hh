@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structured fork-join on top of the work-stealing pool.
+ *
+ * parallel_for(pool, n, body) runs body(0..n-1) with the calling
+ * thread participating: indices are claimed from a shared atomic
+ * cursor, helper tasks submitted to the pool claim alongside the
+ * caller, and the call returns only when every body has finished.
+ * Because the caller always helps, nested parallel_for calls (sweep
+ * cells fanning invocations) compose without deadlock — a worker
+ * inside a body simply opens an inner join on the same pool.
+ *
+ * There are no futures and no per-index result allocations: bodies
+ * write into caller-owned, pre-sized storage indexed by the loop
+ * index, which is also what makes parallel runs bit-identical to
+ * serial ones (see exec/pool.hh's determinism contract).
+ */
+
+#ifndef CAPO_EXEC_PARALLEL_FOR_HH
+#define CAPO_EXEC_PARALLEL_FOR_HH
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "exec/pool.hh"
+
+namespace capo::exec {
+
+/**
+ * One fork-join region: an index cursor plus a completion latch.
+ * Used through parallel_for; exposed for tests.
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup(std::size_t count, std::function<void(std::size_t)> body)
+        : count_(count), body_(std::move(body))
+    {
+    }
+
+    /** Claim and run indices until the cursor is exhausted. */
+    void
+    runSome()
+    {
+        for (;;) {
+            const std::size_t i =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count_)
+                return;
+            body_(i);
+            std::size_t done;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done = ++done_;
+            }
+            if (done == count_)
+                cv_.notify_all();
+        }
+    }
+
+    /** Block until every index has completed. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return done_ == count_; });
+    }
+
+  private:
+    const std::size_t count_;
+    std::function<void(std::size_t)> body_;
+    std::atomic<std::size_t> next_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t done_ = 0;
+};
+
+/**
+ * Run body(0..n-1) across the pool and the calling thread; returns
+ * when all bodies have completed. @p max_parallel caps the fan-out
+ * (total parallelism is min(max_parallel, n), where the caller
+ * counts as one); 0 means "use every pool worker".
+ *
+ * The body must not throw: errors are reported through the logging
+ * layer's fatal/panic, which never unwind across the pool.
+ */
+template <typename Body>
+void
+parallel_for(Pool &pool, std::size_t n, Body &&body,
+             std::size_t max_parallel = 0)
+{
+    if (n == 0)
+        return;
+    std::size_t helpers = max_parallel == 0 ? pool.workerCount()
+                                            : max_parallel - 1;
+    helpers = std::min(helpers, n - 1);
+    if (helpers == 0) {
+        // Degenerate join: run inline, skip the group machinery.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Helpers share ownership of the group: a straggler task that is
+    // dequeued only after the join completes still touches a live
+    // cursor, finds it exhausted, and releases the last reference.
+    // The body's captures are caller-owned, but only claimed indices
+    // touch them and the latch holds until all of those finish.
+    auto group = std::make_shared<TaskGroup>(
+        n, std::function<void(std::size_t)>(std::forward<Body>(body)));
+    for (std::size_t h = 0; h < helpers; ++h)
+        pool.submit([group] { group->runSome(); });
+    group->runSome();
+    group->wait();
+}
+
+} // namespace capo::exec
+
+#endif // CAPO_EXEC_PARALLEL_FOR_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Work-stealing thread pool: the substrate for parallel experiment
+ * execution.
+ *
+ * The paper's methodology is sweep-shaped — workloads x collectors x
+ * heap factors x invocations — and every cell is an independent,
+ * seed-deterministic discrete-event simulation. The pool exploits that
+ * shape: each worker owns a deque it pushes and pops from the back,
+ * and idle workers steal from the front of their peers, so coarse
+ * tasks (whole simulations) balance across cores without a central
+ * bottleneck.
+ *
+ * Determinism contract: the pool schedules *when* a task runs, never
+ * *what* it computes. Tasks must derive all randomness from their own
+ * index (see exec/seed.hh) and write results into pre-sized slots
+ * keyed by that index, so completion order — which depends on worker
+ * count and steal order — is unobservable in the results.
+ *
+ * Blocking waits are help-first: a thread waiting on a TaskGroup
+ * (see exec/parallel_for.hh) claims and runs that group's remaining
+ * work itself instead of sleeping, so nested parallel sections (a
+ * sweep fanning cells whose cells fan invocations) cannot deadlock.
+ */
+
+#ifndef CAPO_EXEC_POOL_HH
+#define CAPO_EXEC_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capo::exec {
+
+/** A unit of pool work. */
+using Task = std::function<void()>;
+
+/**
+ * Fixed-size work-stealing thread pool.
+ */
+class Pool
+{
+  public:
+    /**
+     * @param workers Number of worker threads (>= 1). Note that a
+     *        parallel_for adds its calling thread, so total
+     *        parallelism is workers + 1.
+     */
+    explicit Pool(std::size_t workers);
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /**
+     * Enqueue a task. From a worker thread the task lands on that
+     * worker's own deque (back, LIFO — keeps nested work hot);
+     * external submissions round-robin across deques.
+     */
+    void submit(Task task);
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * The process-wide pool, created on first use with
+     * defaultWorkers() threads. Experiments share it so nested
+     * parallel sections multiplex onto one set of threads instead of
+     * oversubscribing the machine.
+     */
+    static Pool &shared();
+
+    /** Worker count for shared(): hardware concurrency - 1 (at least
+     *  1), or $CAPO_JOBS - 1 when that is set and positive. */
+    static std::size_t defaultWorkers();
+
+  private:
+    struct Deque {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    /** Pop from own back, else steal from peers' fronts. */
+    bool take(std::size_t self, Task &task);
+
+    void workerLoop(std::size_t index);
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::vector<std::thread> workers_;
+
+    std::mutex idle_mutex_;
+    std::condition_variable idle_cv_;
+    std::size_t pending_ = 0;  ///< Tasks submitted, not yet taken.
+    bool stopping_ = false;
+    std::size_t next_deque_ = 0;  ///< Round-robin for external submits.
+};
+
+/**
+ * Resolve a jobs request to a parallelism level: @p jobs >= 1 is
+ * taken literally, 0 means "auto" (all hardware threads).
+ */
+std::size_t resolveJobs(int jobs);
+
+} // namespace capo::exec
+
+#endif // CAPO_EXEC_POOL_HH

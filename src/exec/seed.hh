@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic per-cell seed derivation for parallel sweeps.
+ *
+ * Every invocation of every sweep cell must draw its noise from a
+ * seed that is a pure function of the cell's coordinates — never of
+ * execution order — so that results are bit-identical whether the
+ * sweep runs serially, on 2 workers or on 64, in any steal order.
+ * The derivation is a splitmix64-style mix (the same finalizer the
+ * Rng uses for seeding) folded over base seed, workload name,
+ * collector, heap size and invocation index.
+ */
+
+#ifndef CAPO_EXEC_SEED_HH
+#define CAPO_EXEC_SEED_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace capo::exec {
+
+/** splitmix64 finalizer: a strong 64-bit mixing step. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Fold one word into a running seed. */
+constexpr std::uint64_t
+seedCombine(std::uint64_t seed, std::uint64_t word)
+{
+    return mix64(seed ^ mix64(word));
+}
+
+/** FNV-1a over a string, for folding names into seeds. */
+constexpr std::uint64_t
+hashString(std::string_view text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Fold a double into a seed via its bit pattern (exact, not lossy). */
+inline std::uint64_t
+seedCombine(std::uint64_t seed, double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    return seedCombine(seed, bits);
+}
+
+/**
+ * The seed for one invocation of one sweep cell.
+ *
+ * @param base The experiment's base seed.
+ * @param workload Workload name.
+ * @param collector Collector discriminator (the gc::Algorithm value).
+ * @param heap_mb The cell's -Xmx in MB.
+ * @param invocation Invocation index within the cell.
+ */
+inline std::uint64_t
+cellSeed(std::uint64_t base, std::string_view workload,
+         std::uint64_t collector, double heap_mb, int invocation)
+{
+    std::uint64_t seed = mix64(base);
+    seed = seedCombine(seed, hashString(workload));
+    seed = seedCombine(seed, collector);
+    seed = seedCombine(seed, heap_mb);
+    seed = seedCombine(seed, static_cast<std::uint64_t>(invocation));
+    return seed;
+}
+
+} // namespace capo::exec
+
+#endif // CAPO_EXEC_SEED_HH

@@ -1,46 +1,95 @@
 #include "harness/lbo_experiment.hh"
 
+#include <memory>
+
+#include "exec/parallel_for.hh"
+#include "exec/pool.hh"
 #include "metrics/summary.hh"
 #include "support/logging.hh"
 
 namespace capo::harness {
 
+namespace {
+
+/** One (collector, factor) cell of the sweep grid. */
+struct SweepCell
+{
+    gc::Algorithm algorithm;
+    double factor = 0.0;
+    harness::InvocationSet set;
+    std::unique_ptr<trace::TraceSink> shard;
+};
+
+} // namespace
+
 WorkloadLbo
 runLboSweep(const workloads::Descriptor &workload,
             const LboSweepOptions &options)
 {
-    Runner runner(options.base);
     WorkloadLbo result;
     result.workload = workload.name;
 
     trace::TraceSink *sink = options.base.trace;
+
+    // Lay the grid out row-major (collector, then factor) so the
+    // merged timeline and the result maps read in the same order the
+    // old serial loop produced.
+    std::vector<SweepCell> cells;
+    cells.reserve(options.collectors.size() * options.factors.size());
+    for (auto algorithm : options.collectors) {
+        for (double factor : options.factors)
+            cells.push_back({algorithm, factor, {}, nullptr});
+    }
+
+    // Every cell runs through its own Runner writing into its own
+    // shard sink; cell seeds depend only on cell coordinates, so the
+    // fan-out is unobservable in the results. jobs also fans the
+    // invocations inside each cell (help-first scheduling makes the
+    // nesting deadlock-free).
+    const std::size_t jobs = exec::resolveJobs(options.base.jobs);
+    exec::parallel_for(
+        exec::Pool::shared(), cells.size(),
+        [&](std::size_t i) {
+            auto &cell = cells[i];
+            ExperimentOptions cell_options = options.base;
+            if (sink != nullptr) {
+                cell.shard = std::make_unique<trace::TraceSink>(
+                    sink->shardOptions());
+                cell_options.trace = cell.shard.get();
+            }
+            Runner runner(cell_options);
+            cell.set =
+                runner.run(workload, cell.algorithm, cell.factor);
+        },
+        jobs);
+
     const auto track =
         sink ? sink->registerTrack("harness") : trace::TrackId{0};
-
-    for (auto algorithm : options.collectors) {
-        const std::string name = gc::algorithmName(algorithm);
-        for (double factor : options.factors) {
-            // One sweep-cell span wrapping this cell's invocations.
-            const char *label = nullptr;
-            double cell_begin = 0.0;
-            if (sink) {
-                label = sink->internName(
-                    name + " @ " + support::concat(factor) + "x");
-                cell_begin = sink->timeBase();
-                sink->beginSpanAbs(track, trace::Category::Harness,
-                                   label, cell_begin);
-            }
-            const auto set = runner.run(workload, algorithm, factor);
-            if (sink) {
-                // The runner advanced the base past each invocation;
-                // close the cell at the current base (pre-gap).
-                sink->endSpanAbs(track, trace::Category::Harness, label,
-                                 sink->timeBase());
-            }
-            const bool ok = set.allCompleted();
-            result.completed[{name, factor}] = ok;
-            if (ok)
-                result.analysis.add(name, factor, set.meanTimedCost());
+    for (auto &cell : cells) {
+        const std::string name = gc::algorithmName(cell.algorithm);
+        if (sink) {
+            // One sweep-cell span wrapping this cell's invocations;
+            // the cell shard's time base advanced past every
+            // invocation, so it is also the cell's duration.
+            const char *label = sink->internName(
+                name + " @ " + support::concat(cell.factor) + "x");
+            const double cell_begin = sink->timeBase();
+            const double cell_end =
+                cell_begin + cell.shard->timeBase();
+            sink->beginSpanAbs(track, trace::Category::Harness, label,
+                               cell_begin);
+            sink->merge(*cell.shard, cell_begin);
+            sink->endSpanAbs(track, trace::Category::Harness, label,
+                             cell_end);
+            sink->setTimeBase(cell_end);
+        }
+        for (const auto &run : cell.set.runs)
+            result.dispatches += run.dispatches;
+        const bool ok = cell.set.allCompleted();
+        result.completed[{name, cell.factor}] = ok;
+        if (ok) {
+            result.analysis.add(name, cell.factor,
+                                cell.set.meanTimedCost());
         }
     }
     return result;

@@ -7,6 +7,7 @@
 #ifndef CAPO_HARNESS_LBO_EXPERIMENT_HH
 #define CAPO_HARNESS_LBO_EXPERIMENT_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +33,10 @@ struct WorkloadLbo
 {
     std::string workload;
     metrics::LboAnalysis analysis;
+
+    /** Engine events processed across every invocation of the sweep
+     *  (throughput denominator for bench reports). */
+    std::uint64_t dispatches = 0;
 
     /** (collector, factor) -> did every invocation complete? */
     std::map<std::pair<std::string, double>, bool> completed;

@@ -1,8 +1,12 @@
 #include "harness/minheap.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "exec/parallel_for.hh"
+#include "exec/pool.hh"
 #include "support/logging.hh"
+#include "workloads/registry.hh"
 
 namespace capo::harness {
 
@@ -56,6 +60,70 @@ findMinHeapMb(const workloads::Descriptor &workload,
     result.min_heap_mb = hi;
     result.converged = true;
     return result;
+}
+
+const MinHeapResult *
+MinHeapGrid::at(const std::string &workload,
+                gc::Algorithm algorithm) const
+{
+    for (const auto &cell : cells) {
+        if (cell.workload == workload && cell.algorithm == algorithm)
+            return &cell.result;
+    }
+    return nullptr;
+}
+
+MinHeapGrid
+findMinHeapGrid(const std::vector<std::string> &workload_names,
+                const std::vector<gc::Algorithm> &collectors,
+                const ExperimentOptions &options, double tolerance)
+{
+    MinHeapGrid grid;
+    grid.cells.reserve(workload_names.size() * collectors.size());
+    for (const auto &name : workload_names) {
+        for (auto algorithm : collectors)
+            grid.cells.push_back({name, algorithm, {}});
+    }
+
+    trace::TraceSink *sink = options.trace;
+    std::vector<std::unique_ptr<trace::TraceSink>> shards(
+        grid.cells.size());
+
+    const std::size_t jobs = exec::resolveJobs(options.jobs);
+    exec::parallel_for(
+        exec::Pool::shared(), grid.cells.size(),
+        [&](std::size_t i) {
+            auto &cell = grid.cells[i];
+            ExperimentOptions cell_options = options;
+            if (sink != nullptr) {
+                shards[i] = std::make_unique<trace::TraceSink>(
+                    sink->shardOptions());
+                cell_options.trace = shards[i].get();
+            }
+            cell.result =
+                findMinHeapMb(workloads::byName(cell.workload),
+                              cell.algorithm, cell_options, tolerance);
+        },
+        jobs);
+
+    if (sink != nullptr) {
+        const auto track = sink->registerTrack("harness");
+        for (std::size_t i = 0; i < grid.cells.size(); ++i) {
+            const auto &cell = grid.cells[i];
+            const char *label = sink->internName(
+                "minheap " + cell.workload + "/" +
+                gc::algorithmName(cell.algorithm));
+            const double begin = sink->timeBase();
+            const double end = begin + shards[i]->timeBase();
+            sink->beginSpanAbs(track, trace::Category::Harness, label,
+                               begin);
+            sink->merge(*shards[i], begin);
+            sink->endSpanAbs(track, trace::Category::Harness, label,
+                             end);
+            sink->setTimeBase(end);
+        }
+    }
+    return grid;
 }
 
 } // namespace capo::harness

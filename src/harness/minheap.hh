@@ -12,6 +12,9 @@
 #ifndef CAPO_HARNESS_MINHEAP_HH
 #define CAPO_HARNESS_MINHEAP_HH
 
+#include <string>
+#include <vector>
+
 #include "gc/factory.hh"
 #include "harness/runner.hh"
 #include "workloads/descriptor.hh"
@@ -37,6 +40,36 @@ struct MinHeapResult
  */
 MinHeapResult findMinHeapMb(const workloads::Descriptor &workload,
                             gc::Algorithm algorithm,
+                            const ExperimentOptions &options,
+                            double tolerance = 0.02);
+
+/** One cell of a min-heap search grid. */
+struct MinHeapCell
+{
+    std::string workload;
+    gc::Algorithm algorithm = gc::Algorithm::G1;
+    MinHeapResult result;
+};
+
+/** Min-heap results for every (workload, collector) pair. */
+struct MinHeapGrid
+{
+    /** Row-major: workloads outer, collectors inner. */
+    std::vector<MinHeapCell> cells;
+
+    const MinHeapResult *at(const std::string &workload,
+                            gc::Algorithm algorithm) const;
+};
+
+/**
+ * Run findMinHeapMb() for every (workload, collector) pair. Each
+ * bisection is inherently sequential, so the fan-out happens at the
+ * grid level: `options.jobs` searches run concurrently, each tracing
+ * into its own shard, with results and trace shards assembled in
+ * row-major grid order so any jobs value yields identical output.
+ */
+MinHeapGrid findMinHeapGrid(const std::vector<std::string> &workload_names,
+                            const std::vector<gc::Algorithm> &collectors,
                             const ExperimentOptions &options,
                             double tolerance = 0.02);
 

@@ -177,6 +177,19 @@ parsePlan(const std::string &text)
             plan.options.iterations = std::stoi(value);
         } else if (key == "invocations") {
             plan.options.invocations = std::stoi(value);
+        } else if (key == "jobs") {
+            int jobs = -1;
+            try {
+                jobs = std::stoi(value);
+            } catch (...) {
+                support::fatal("plan file: bad jobs '", value, "'");
+            }
+            if (jobs < 0) {
+                support::fatal("plan file: jobs must be >= 0 "
+                               "(0 = all hardware threads), got ",
+                               value);
+            }
+            plan.options.jobs = jobs;
         } else if (key == "size") {
             plan.options.size = resolveSize(value);
         } else if (key == "seed") {

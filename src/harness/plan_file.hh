@@ -14,6 +14,7 @@
  *     heap_factors = 1.5, 2, 3, 6
  *     iterations   = 5
  *     invocations  = 10
+ *     jobs         = 4              # parallel cells; 0 = all threads
  *     size         = default        # small | default | large | vlarge
  *     seed         = 1234
  *     trace_out    = run.trace.json   # Chrome/Perfetto trace output

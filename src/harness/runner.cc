@@ -1,5 +1,9 @@
 #include "harness/runner.hh"
 
+#include <memory>
+
+#include "exec/parallel_for.hh"
+#include "exec/seed.hh"
 #include "support/logging.hh"
 
 namespace capo::harness {
@@ -75,9 +79,10 @@ Runner::Runner(const ExperimentOptions &options)
 }
 
 runtime::ExecutionResult
-Runner::runOnce(const workloads::Descriptor &workload,
-                gc::Algorithm algorithm, double heap_mb,
-                int invocation) const
+Runner::executeInvocation(const workloads::Descriptor &workload,
+                          gc::Algorithm algorithm, double heap_mb,
+                          int invocation,
+                          trace::TraceSink *shard) const
 {
     const auto setup = workloads::makeSetup(
         workload, options_.machine, options_.size, options_.iterations);
@@ -93,24 +98,33 @@ Runner::runOnce(const workloads::Descriptor &workload,
     // examines at the calibration point (2x min heap).
     config.survivor_reference_bytes =
         0.95 * setup.reference_min_heap_bytes;
-    config.seed = options_.base_seed +
-                  0x9e3779b9ULL * static_cast<std::uint64_t>(invocation);
+    // The seed is a pure function of the cell coordinates, never of
+    // execution order — the determinism anchor for parallel sweeps.
+    config.seed = exec::cellSeed(
+        options_.base_seed, workload.name,
+        static_cast<std::uint64_t>(algorithm), heap_mb, invocation);
     config.trace_rate = options_.trace_rate;
     config.time_limit_sec = options_.time_limit_sec;
-    config.trace = options_.trace;
+    config.trace = shard;
     config.metrics = options_.metrics;
     config.metrics_interval_ns = options_.metrics_interval_ms * 1e6;
 
-    if (options_.trace == nullptr) {
-        return runtime::runExecution(config, setup.plan, setup.live,
-                                     *collector);
-    }
+    return runtime::runExecution(config, setup.plan, setup.live,
+                                 *collector);
+}
 
-    // Wrap the invocation in a harness-track span. The execution's
-    // engine emits run-relative timestamps which the sink offsets by
-    // its time base; afterwards the base advances past this
-    // invocation (plus a gap for readability) so invocations line up
-    // end-to-end on one timeline.
+void
+Runner::mergeInvocation(const workloads::Descriptor &workload,
+                        gc::Algorithm algorithm, int invocation,
+                        const runtime::ExecutionResult &result,
+                        const trace::TraceSink &shard) const
+{
+    // Wrap the invocation in a harness-track span. The shard carries
+    // run-relative timestamps (each engine starts at zero); merging
+    // offsets them by the sink's time base, which then advances past
+    // this invocation (plus a gap for readability) so invocations
+    // line up end-to-end on one monotonic timeline regardless of the
+    // order in which parallel invocations *finished*.
     trace::TraceSink &sink = *options_.trace;
     const auto track = sink.registerTrack("harness");
     const char *label = sink.internName(
@@ -118,13 +132,25 @@ Runner::runOnce(const workloads::Descriptor &workload,
         std::to_string(invocation));
     const double begin = sink.timeBase();
     sink.beginSpanAbs(track, trace::Category::Harness, label, begin);
-
-    auto result = runtime::runExecution(config, setup.plan, setup.live,
-                                        *collector);
-
+    sink.merge(shard, begin);
     sink.endSpanAbs(track, trace::Category::Harness, label,
                     begin + result.wall);
     sink.setTimeBase(begin + result.wall + 1e6 /* 1 ms gap */);
+}
+
+runtime::ExecutionResult
+Runner::runOnce(const workloads::Descriptor &workload,
+                gc::Algorithm algorithm, double heap_mb,
+                int invocation) const
+{
+    if (options_.trace == nullptr) {
+        return executeInvocation(workload, algorithm, heap_mb,
+                                 invocation, nullptr);
+    }
+    trace::TraceSink shard(options_.trace->shardOptions());
+    auto result = executeInvocation(workload, algorithm, heap_mb,
+                                    invocation, &shard);
+    mergeInvocation(workload, algorithm, invocation, result, shard);
     return result;
 }
 
@@ -132,9 +158,44 @@ InvocationSet
 Runner::runAtHeapMb(const workloads::Descriptor &workload,
                     gc::Algorithm algorithm, double heap_mb) const
 {
+    const auto n = static_cast<std::size_t>(options_.invocations);
+    const std::size_t jobs = exec::resolveJobs(options_.jobs);
+
     InvocationSet set;
-    for (int inv = 0; inv < options_.invocations; ++inv)
-        set.runs.push_back(runOnce(workload, algorithm, heap_mb, inv));
+    if (jobs <= 1 || n <= 1) {
+        set.runs.reserve(n);
+        for (int inv = 0; inv < options_.invocations; ++inv)
+            set.runs.push_back(
+                runOnce(workload, algorithm, heap_mb, inv));
+        return set;
+    }
+
+    // Fan invocations across the pool. Results land in pre-sized
+    // slots by invocation index and each invocation traces into its
+    // own shard, so neither completion order nor steal order is
+    // observable; shards merge afterwards in invocation order.
+    set.runs.resize(n);
+    std::vector<std::unique_ptr<trace::TraceSink>> shards(n);
+    trace::TraceSink *sink = options_.trace;
+    exec::parallel_for(
+        exec::Pool::shared(), n,
+        [&](std::size_t i) {
+            if (sink != nullptr) {
+                shards[i] = std::make_unique<trace::TraceSink>(
+                    sink->shardOptions());
+            }
+            set.runs[i] = executeInvocation(workload, algorithm,
+                                            heap_mb,
+                                            static_cast<int>(i),
+                                            shards[i].get());
+        },
+        jobs);
+    if (sink != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+            mergeInvocation(workload, algorithm, static_cast<int>(i),
+                            set.runs[i], *shards[i]);
+        }
+    }
     return set;
 }
 

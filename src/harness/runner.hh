@@ -35,6 +35,16 @@ struct ExperimentOptions
     bool trace_rate = false;       ///< Needed for latency synthesis.
     double time_limit_sec = 2000;  ///< Per-invocation sim-time cap.
 
+    /**
+     * Parallelism for invocations and sweep cells: 1 runs serially on
+     * the calling thread (the default), 0 uses every hardware thread,
+     * N >= 2 caps the fan-out at N. Every invocation's seed is a pure
+     * function of its cell coordinates (exec/seed.hh) and results
+     * land in pre-sized slots by index, so any jobs value produces
+     * bit-identical results.
+     */
+    int jobs = 1;
+
     /** @{ Observability (null disables). Every invocation appears as
      *  an "invocation" span on the sink's "harness" track; each engine
      *  starts at t=0, so the runner advances the sink's time base
@@ -95,6 +105,22 @@ class Runner
     const ExperimentOptions &options() const { return options_; }
 
   private:
+    /** Run one invocation, emitting trace events (if any) into
+     *  @p shard — never into the shared sink (thread safety). */
+    runtime::ExecutionResult
+    executeInvocation(const workloads::Descriptor &workload,
+                      gc::Algorithm algorithm, double heap_mb,
+                      int invocation, trace::TraceSink *shard) const;
+
+    /** Merge one finished invocation's shard onto the shared sink:
+     *  wrap it in a harness-track span at the current time base, then
+     *  advance the base past it. Caller must serialize calls in
+     *  invocation order (the fork-join owner does). */
+    void mergeInvocation(const workloads::Descriptor &workload,
+                         gc::Algorithm algorithm, int invocation,
+                         const runtime::ExecutionResult &result,
+                         const trace::TraceSink &shard) const;
+
     ExperimentOptions options_;
 };
 

@@ -107,6 +107,7 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     result.total_allocated = heap.totalAllocated();
     result.collections = heap.collections();
     result.stall_count = mutator.stallCount();
+    result.dispatches = engine.dispatchCount();
 
     if (result.completed && !result.iterations.empty()) {
         const auto &timed = result.iterations.back();

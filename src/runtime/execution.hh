@@ -66,6 +66,7 @@ struct ExecutionResult
     double total_allocated = 0.0;
     std::uint64_t collections = 0;
     std::size_t stall_count = 0;
+    std::uint64_t dispatches = 0;  ///< Engine events processed.
 
     /** Measurements over the timed (last completed) iteration. */
     struct TimedSlice {

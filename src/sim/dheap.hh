@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cache-friendly 4-ary min-heap for the engine's timer queue.
+ *
+ * A binary std::priority_queue pays one potential cache miss per
+ * level; a 4-ary layout halves the tree depth and keeps all four
+ * children of a node in one or two cache lines, which measurably
+ * speeds the sift-down on pop — the timer queue's hot operation,
+ * exercised once per sleep in every simulated run (see
+ * bench/micro_framework.cc).
+ *
+ * Ordering is total for the engine's Timer (due time with a unique
+ * sequence tie-break), so any correct heap pops the exact same
+ * sequence — swapping the container cannot perturb simulation
+ * results.
+ */
+
+#ifndef CAPO_SIM_DHEAP_HH
+#define CAPO_SIM_DHEAP_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace capo::sim {
+
+/**
+ * 4-ary min-heap over T using T::operator> ("a > b" means a pops
+ * later), matching std::priority_queue with std::greater.
+ */
+template <typename T>
+class QuadHeap
+{
+  public:
+    static constexpr std::size_t kArity = 4;
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    const T &top() const { return items_.front(); }
+
+    /** Pre-size the backing store (batched: one allocation up front
+     *  instead of doubling churn while the first events pour in). */
+    void reserve(std::size_t capacity) { items_.reserve(capacity); }
+
+    void
+    push(T item)
+    {
+        items_.push_back(std::move(item));
+        siftUp(items_.size() - 1);
+    }
+
+    void
+    pop()
+    {
+        items_.front() = std::move(items_.back());
+        items_.pop_back();
+        if (!items_.empty())
+            siftDown(0);
+    }
+
+  private:
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / kArity;
+            if (!(items_[parent] > items_[i]))
+                return;
+            std::swap(items_[parent], items_[i]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = items_.size();
+        for (;;) {
+            const std::size_t first_child = i * kArity + 1;
+            if (first_child >= n)
+                return;
+            std::size_t best = first_child;
+            const std::size_t last_child =
+                std::min(first_child + kArity, n);
+            for (std::size_t c = first_child + 1; c < last_child; ++c) {
+                if (items_[best] > items_[c])
+                    best = c;
+            }
+            if (!(items_[i] > items_[best]))
+                return;
+            std::swap(items_[i], items_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<T> items_;
+};
+
+} // namespace capo::sim
+
+#endif // CAPO_SIM_DHEAP_HH

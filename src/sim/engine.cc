@@ -56,11 +56,8 @@ Engine::notifyAll(CondId cond)
 {
     CAPO_ASSERT(cond < conds_.size(), "bad condition id");
     auto &waiters = conds_[cond].waiters;
-    while (!waiters.empty()) {
-        AgentId id = waiters.front();
-        waiters.pop_front();
-        wake(id);
-    }
+    while (!waiters.empty())
+        wake(waiters.pop());
 }
 
 void
@@ -68,11 +65,8 @@ Engine::notifyOne(CondId cond)
 {
     CAPO_ASSERT(cond < conds_.size(), "bad condition id");
     auto &waiters = conds_[cond].waiters;
-    if (waiters.empty())
-        return;
-    AgentId id = waiters.front();
-    waiters.pop_front();
-    wake(id);
+    if (!waiters.empty())
+        wake(waiters.pop());
 }
 
 void
@@ -87,7 +81,7 @@ Engine::wake(AgentId id)
         return;
     }
     slot.state = State::Pending;
-    pending_.push_back(id);
+    pending_.push(id);
 }
 
 void
@@ -95,6 +89,8 @@ Engine::freeze(AgentId id)
 {
     CAPO_ASSERT(id < agents_.size(), "bad agent id");
     auto &slot = agents_[id];
+    if (!slot.frozen && slot.state != State::Finished)
+        ++frozen_live_;
     if (sink_ && running_ && !slot.frozen &&
         slot.state != State::Finished) {
         sink_->instant(slot.track, trace::Category::Sim, "freeze", now_);
@@ -119,6 +115,10 @@ Engine::unfreeze(AgentId id)
     if (!slot.frozen)
         return;
     slot.frozen = false;
+    if (slot.state != State::Finished) {
+        CAPO_ASSERT(frozen_live_ > 0, "frozen bookkeeping underflow");
+        --frozen_live_;
+    }
     if (sink_ && running_ && slot.state != State::Finished) {
         sink_->instant(slot.track, trace::Category::Sim, "unfreeze",
                        now_);
@@ -127,7 +127,7 @@ Engine::unfreeze(AgentId id)
     }
     if (slot.deferred_wake) {
         slot.deferred_wake = false;
-        pending_.push_back(id);
+        pending_.push(id);
     }
 }
 
@@ -276,7 +276,7 @@ Engine::apply(AgentId id, const Action &action)
         if (action.work <= 0.0) {
             // Zero work completes instantly; requeue for dispatch.
             slot.state = State::Pending;
-            pending_.push_back(id);
+            pending_.push(id);
             return;
         }
         // Coalesce back-to-back computes into one run span: a chunked
@@ -289,6 +289,8 @@ Engine::apply(AgentId id, const Action &action)
         slot.state = State::Computing;
         slot.remaining = action.work;
         slot.width = action.width;
+        computing_.push_back(id);
+        computing_dirty_ = true;
         return;
 
       case Action::Kind::SleepUntil: {
@@ -307,7 +309,7 @@ Engine::apply(AgentId id, const Action &action)
         flushComputeEnd(slot);
         traceOpen(slot, OpenSpan::Wait, kSpanWait);
         slot.state = State::Waiting;
-        conds_[action.cond].waiters.push_back(id);
+        conds_[action.cond].waiters.push(id);
         return;
 
       case Action::Kind::Exit:
@@ -325,8 +327,7 @@ Engine::drainPending()
 {
     std::uint64_t burst = 0;
     while (!pending_.empty()) {
-        const AgentId id = pending_.front();
-        pending_.pop_front();
+        const AgentId id = pending_.pop();
         auto &slot = agents_[id];
         if (slot.state != State::Pending)
             continue;  // superseded (e.g.\ exited via another path)
@@ -355,21 +356,28 @@ Engine::drainPending()
 Engine::AdvanceResult
 Engine::advance(Time limit)
 {
+    // The fluid model only involves computing agents; keep the cached
+    // set id-sorted so floating-point accumulation order matches a
+    // full id-ascending scan exactly (non-computing agents contribute
+    // an exact 0.0, which cannot perturb the sums).
+    if (computing_dirty_) {
+        std::sort(computing_.begin(), computing_.end());
+        computing_dirty_ = false;
+    }
+
     // Fluid model: all runnable agents share the CPUs in proportion to
     // their demand, capped at full speed.
     double total_demand = 0.0;
-    bool any_frozen = false;
-    for (const auto &slot : agents_) {
-        total_demand += demand(slot);
-        if (slot.frozen && slot.state != State::Finished)
-            any_frozen = true;
-    }
+    for (const AgentId id : computing_)
+        total_demand += demand(agents_[id]);
+    const bool any_frozen = frozen_live_ > 0;
     const double share =
         total_demand > cpus_ ? cpus_ / total_demand : 1.0;
 
     // Earliest compute completion.
     Time next_completion = std::numeric_limits<Time>::infinity();
-    for (const auto &slot : agents_) {
+    for (const AgentId id : computing_) {
+        const auto &slot = agents_[id];
         const double d = demand(slot);
         if (d <= 0.0)
             continue;
@@ -404,7 +412,8 @@ Engine::advance(Time limit)
     CAPO_ASSERT(dt >= 0.0, "time went backwards");
 
     // Credit work and CPU time for the elapsed interval.
-    for (auto &slot : agents_) {
+    for (const AgentId id : computing_) {
+        auto &slot = agents_[id];
         const double d = demand(slot);
         if (d <= 0.0)
             continue;
@@ -442,22 +451,26 @@ Engine::advance(Time limit)
     // resolution of now_ (ulp ~= now_ * 2^-52), otherwise time could
     // stop advancing; now_ * 1e-12 dominates that comfortably.
     const double time_eps = std::max(1e-9, now_ * 1e-12);
-    for (AgentId id = 0; id < agents_.size(); ++id) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < computing_.size(); ++i) {
+        const AgentId id = computing_[i];
         auto &slot = agents_[id];
-        if (slot.state != State::Computing || slot.frozen)
-            continue;
         const double rate = demand(slot) * share;
-        if (slot.remaining <= 1e-6 ||
-            (rate > 0.0 && slot.remaining <= rate * time_eps)) {
+        if (!slot.frozen &&
+            (slot.remaining <= 1e-6 ||
+             (rate > 0.0 && slot.remaining <= rate * time_eps))) {
             slot.remaining = 0.0;
             slot.state = State::Pending;
             // Defer the run-span end: if the agent immediately computes
             // again the span coalesces (see apply()).
             if (slot.open == OpenSpan::Compute)
                 slot.open = OpenSpan::ComputeEndPending;
-            pending_.push_back(id);
+            pending_.push(id);
+        } else {
+            computing_[keep++] = id;  // order preserved: stays sorted
         }
     }
+    computing_.resize(keep);
 
     // Fire due timers.
     while (!timers_.empty() && timers_.top().due <= now_) {
@@ -485,12 +498,17 @@ Engine::run(Time until)
         }
     }
     running_ = true;
+    // Batched reserve: one allocation per structure up front instead
+    // of growth churn while the first events pour in.
+    pending_.reserve(agents_.size() + 8);
+    computing_.reserve(agents_.size());
+    timers_.reserve(4 * agents_.size() + 16);
     // While the simulation runs, log output carries sim timestamps.
     support::ScopedSimTimeHook time_hook([this] { return now_; });
     for (AgentId id = 0; id < agents_.size(); ++id) {
         if (agents_[id].state == State::Created) {
             agents_[id].state = State::Pending;
-            pending_.push_back(id);
+            pending_.push(id);
         }
     }
     drainPending();

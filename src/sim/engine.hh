@@ -22,13 +22,13 @@
 #define CAPO_SIM_ENGINE_HH
 
 #include <cstdint>
-#include <deque>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/agent.hh"
+#include "sim/dheap.hh"
 #include "sim/time.hh"
+#include "support/fifo.hh"
 #include "trace/sink.hh"
 
 namespace capo::sim {
@@ -204,7 +204,7 @@ class Engine
 
     struct Cond {
         std::string name;
-        std::deque<AgentId> waiters;
+        support::FifoQueue<AgentId> waiters;
     };
 
     enum class AdvanceResult { Progress, Stalled, HitLimit };
@@ -235,9 +235,19 @@ class Engine
     Time now_ = 0.0;
     std::vector<AgentSlot> agents_;
     std::vector<Cond> conds_;
-    std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
-        timers_;
-    std::deque<AgentId> pending_;
+    QuadHeap<Timer> timers_;
+    support::FifoQueue<AgentId> pending_;
+
+    /** Agents currently in State::Computing (frozen or not), kept
+     *  id-sorted so the fluid model's floating-point sums accumulate
+     *  in the same order a full id-ascending scan would — advance()
+     *  then touches only the computing set instead of every agent. */
+    std::vector<AgentId> computing_;
+    bool computing_dirty_ = false;
+
+    /** Frozen, not-finished agents (frozen_wall_ accounting). */
+    std::size_t frozen_live_ = 0;
+
     std::size_t live_agents_ = 0;
     std::uint64_t timer_seq_ = 0;
     std::uint64_t dispatches_ = 0;

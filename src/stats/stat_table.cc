@@ -27,6 +27,15 @@ StatTable::set(const std::string &workload, MetricId metric,
     values_[{workload, metric}] = value;
 }
 
+void
+StatTable::merge(const StatTable &other)
+{
+    for (const auto &w : other.workloads_)
+        addWorkload(w);
+    for (const auto &[key, value] : other.values_)
+        values_[key] = value;
+}
+
 std::optional<double>
 StatTable::get(const std::string &workload, MetricId metric) const
 {

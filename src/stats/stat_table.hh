@@ -36,6 +36,11 @@ class StatTable
     std::optional<double> get(const std::string &workload,
                               MetricId metric) const;
 
+    /** Append @p other's workloads (preserving their registration
+     *  order) and copy its values in. Lets parallel characterization
+     *  build per-workload tables and assemble them in suite order. */
+    void merge(const StatTable &other);
+
     /** Workloads in registration order. */
     const std::vector<std::string> &workloads() const
     {

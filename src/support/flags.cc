@@ -42,9 +42,24 @@ Flags::addBool(const std::string &name, bool def, const std::string &help)
 }
 
 void
+Flags::addAlias(const std::string &alias, const std::string &target)
+{
+    if (flags_.find(target) == flags_.end())
+        CAPO_PANIC("alias -", alias, " targets undeclared --", target);
+    aliases_[alias] = target;
+}
+
+const std::string &
+Flags::resolve(const std::string &name) const
+{
+    const auto it = aliases_.find(name);
+    return it == aliases_.end() ? name : it->second;
+}
+
+void
 Flags::set(const std::string &name, const std::string &value)
 {
-    auto it = flags_.find(name);
+    auto it = flags_.find(resolve(name));
     if (it == flags_.end())
         fatal("unknown flag --", name, "\n", usage());
     it->second.value = value;
@@ -61,13 +76,17 @@ Flags::parse(int argc, const char *const *argv)
             std::exit(0);
         }
         std::string body;
+        const std::string head =
+            arg.size() > 1 && arg[0] == '-'
+                ? resolve(arg.substr(
+                      1, std::min(arg.find('='), arg.size()) - 1))
+                : std::string();
         if (arg.rfind("--", 0) == 0) {
             body = arg.substr(2);
-        } else if (arg.size() > 1 && arg[0] == '-' &&
-                   flags_.count(arg.substr(
-                       1, std::min(arg.find('='), arg.size()) - 1))) {
-            // Single-dash form (-n 5, -p) for declared names only, so
-            // negative-number positionals still pass through.
+        } else if (!head.empty() && flags_.count(head)) {
+            // Single-dash form (-n 5, -j 4) for declared names and
+            // aliases only, so negative-number positionals still pass
+            // through.
             body = arg.substr(1);
         } else {
             pos_.push_back(arg);
@@ -78,7 +97,7 @@ Flags::parse(int argc, const char *const *argv)
             set(body.substr(0, eq), body.substr(eq + 1));
             continue;
         }
-        auto it = flags_.find(body);
+        auto it = flags_.find(resolve(body));
         if (it == flags_.end())
             fatal("unknown flag --", body, "\n", usage());
         if (it->second.kind == Kind::Bool) {
@@ -148,6 +167,10 @@ Flags::usage() const
                        " [flags]\n\nflags:\n";
     for (const auto &[name, flag] : flags_) {
         text += "  --" + name;
+        for (const auto &[alias, target] : aliases_) {
+            if (target == name)
+                text += ", -" + alias;
+        }
         text += " (default: " + flag.def + ")\n      " + flag.help + "\n";
     }
     return text;

@@ -36,6 +36,10 @@ class Flags
     void addBool(const std::string &name, bool def, const std::string &help);
     /** @} */
 
+    /** Declare @p alias as another spelling of @p target (typically a
+     *  short form, e.g. "j" for "jobs"; enables `-j 4`). */
+    void addAlias(const std::string &alias, const std::string &target);
+
     /**
      * Parse the command line. Exits with usage on --help or bad input.
      * Non-flag arguments are collected as positionals.
@@ -66,10 +70,12 @@ class Flags
 
     const Flag &find(const std::string &name, Kind kind) const;
     void set(const std::string &name, const std::string &value);
+    const std::string &resolve(const std::string &name) const;
 
     std::string description_;
     std::string program_;
     std::map<std::string, Flag> flags_;
+    std::map<std::string, std::string> aliases_;
     std::vector<std::string> pos_;
 };
 

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,21 +8,24 @@ namespace capo::support {
 
 namespace {
 
-LogLevel global_level = LogLevel::Warn;
-std::function<double()> sim_time_hook;
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+
+// Thread-local: each pool worker runs its own simulation engine, and
+// every engine installs a hook for the duration of its run.
+thread_local std::function<double()> sim_time_hook;
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 std::function<double()>
@@ -60,7 +64,7 @@ fatalMessage(const std::string &message)
 void
 warnMessage(const std::string &message)
 {
-    if (global_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s%s\n", simTimePrefix().c_str(),
                      message.c_str());
 }
@@ -68,7 +72,7 @@ warnMessage(const std::string &message)
 void
 informMessage(const std::string &message)
 {
-    if (global_level >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s%s\n", simTimePrefix().c_str(),
                      message.c_str());
 }

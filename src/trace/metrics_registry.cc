@@ -10,18 +10,13 @@ namespace capo::trace {
 void
 Histogram::record(double value)
 {
-    if (count_ == 0) {
-        min_ = value;
-        max_ = value;
-    } else {
-        min_ = std::min(min_, value);
-        max_ = std::max(max_, value);
-    }
-    ++count_;
-    sum_ += value;
-    sum_sq_ += value * value;
-    last_ = value;
-    ++buckets_[bucketOf(value)];
+    detail::atomicMin(min_, value);
+    detail::atomicMax(max_, value);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAdd(sum_, value);
+    detail::atomicAdd(sum_sq_, value * value);
+    last_.store(value, std::memory_order_relaxed);
+    buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 int
@@ -50,28 +45,31 @@ Histogram::bucketMid(int bucket)
 double
 Histogram::min() const
 {
-    return count_ == 0 ? 0.0 : min_;
+    return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
 }
 
 double
 Histogram::max() const
 {
-    return count_ == 0 ? 0.0 : max_;
+    return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 double
 Histogram::mean() const
 {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
 double
 Histogram::stddev() const
 {
-    if (count_ < 2)
+    const auto n_samples = count();
+    if (n_samples < 2)
         return 0.0;
-    const double n = static_cast<double>(count_);
-    const double var = std::max(0.0, sum_sq_ / n - mean() * mean());
+    const double n = static_cast<double>(n_samples);
+    const double sq = sum_sq_.load(std::memory_order_relaxed);
+    const double var = std::max(0.0, sq / n - mean() * mean());
     return std::sqrt(var);
 }
 
@@ -79,22 +77,23 @@ double
 Histogram::quantile(double q) const
 {
     CAPO_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
-    if (count_ == 0)
+    if (count() == 0)
         return 0.0;
     const auto target = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(count_)));
+        std::ceil(q * static_cast<double>(count())));
     std::uint64_t cumulative = 0;
     for (int b = 0; b < kBuckets; ++b) {
-        cumulative += buckets_[b];
+        cumulative += buckets_[b].load(std::memory_order_relaxed);
         if (cumulative >= std::max<std::uint64_t>(target, 1))
-            return std::clamp(bucketMid(b), min_, max_);
+            return std::clamp(bucketMid(b), min(), max());
     }
-    return max_;
+    return max();
 }
 
 MetricsRegistry::Entry &
 MetricsRegistry::fetch(const std::string &name, Kind kind)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = by_name_.find(name);
     if (it != by_name_.end()) {
         auto &entry = entries_[it->second];
@@ -103,7 +102,7 @@ MetricsRegistry::fetch(const std::string &name, Kind kind)
         return entry;
     }
     by_name_.emplace(name, entries_.size());
-    entries_.push_back(Entry{name, kind, {}, {}, {}});
+    entries_.emplace_back(name, kind);
     return entries_.back();
 }
 
@@ -128,7 +127,15 @@ MetricsRegistry::histogram(const std::string &name)
 bool
 MetricsRegistry::contains(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return by_name_.count(name) != 0;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
 }
 
 const char *

@@ -129,6 +129,30 @@ TraceSink::events(TrackId track) const
     return out;
 }
 
+TraceSink::Options
+TraceSink::shardOptions() const
+{
+    Options options;
+    options.categories = mask_;
+    options.track_capacity = capacity_;
+    return options;
+}
+
+void
+TraceSink::merge(const TraceSink &shard, double offset)
+{
+    for (TrackId t = 0; t < shard.trackCount(); ++t) {
+        const TrackId track = registerTrack(shard.trackName(t));
+        for (auto event : shard.events(t)) {
+            // The shard's name pointers may reference its own interned
+            // storage; re-intern so the copy outlives the shard.
+            event.name = internName(event.name);
+            event.ts += offset;
+            push(track, event);
+        }
+    }
+}
+
 std::uint64_t
 TraceSink::droppedEvents() const
 {

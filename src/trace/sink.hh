@@ -12,10 +12,13 @@
  * sample), stamped from the sim clock, and category-filtered so a
  * disabled category costs a single branch and no allocation.
  *
- * Everything here is single-threaded (the simulation is), so the ring
+ * Everything here is single-writer (each simulation is), so the ring
  * buffers are wait-free single-producer structures: an emit is one
  * mask test plus one indexed store — cheap enough to leave enabled in
- * measurement runs (see bench/micro_trace.cc).
+ * measurement runs (see bench/micro_trace.cc). Parallel sweeps give
+ * every invocation its own shard sink (see makeShard()) and merge the
+ * shards into the main sink in deterministic invocation order once
+ * the fork-join completes, so no sink is ever written concurrently.
  */
 
 #ifndef CAPO_TRACE_SINK_HH
@@ -179,6 +182,21 @@ class TraceSink
     void setTimeBase(double base_ns) { base_ = base_ns; }
     double timeBase() const { return base_; }
     /** @} */
+
+    /**
+     * Create an empty shard sink with this sink's category filter and
+     * track capacity, for one invocation of a parallel sweep to write
+     * into from its own thread.
+     */
+    Options shardOptions() const;
+
+    /**
+     * Append every event of @p shard, shifted by @p offset ns, onto
+     * this sink's same-named tracks (registered on demand). Event
+     * names are re-interned here, so the shard may be destroyed
+     * afterwards. Single-threaded, like every other mutation.
+     */
+    void merge(const TraceSink &shard, double offset);
 
     /** @{ Introspection and export support. */
     std::size_t trackCount() const { return tracks_.size(); }

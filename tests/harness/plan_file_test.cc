@@ -29,6 +29,7 @@ TEST(PlanFileTest, ParsesFullDefinition)
         heap_factors = 1.5, 2, 6
         iterations   = 4
         invocations  = 7
+        jobs         = 4
         size         = small
         seed         = 99
     )");
@@ -43,6 +44,15 @@ TEST(PlanFileTest, ParsesFullDefinition)
     EXPECT_EQ(plan.options.invocations, 7);
     EXPECT_EQ(plan.options.size, workloads::SizeConfig::Small);
     EXPECT_EQ(plan.options.base_seed, 99u);
+    EXPECT_EQ(plan.options.jobs, 4);
+}
+
+TEST(PlanFileTest, JobsKeyRoundTrip)
+{
+    // Default is serial; 0 means "all hardware threads".
+    EXPECT_EQ(parsePlan("").options.jobs, 1);
+    EXPECT_EQ(parsePlan("jobs = 0\n").options.jobs, 0);
+    EXPECT_EQ(parsePlan("jobs = 16\n").options.jobs, 16);
 }
 
 TEST(PlanFileTest, LatencyFiltersToLatencySensitive)
@@ -79,6 +89,10 @@ TEST(PlanFileDeathTest, RejectsMalformedInput)
                 ::testing::ExitedWithCode(1), "unknown key");
     EXPECT_EXIT(parsePlan("heap_factors = soon\n"),
                 ::testing::ExitedWithCode(1), "bad heap factor");
+    EXPECT_EXIT(parsePlan("jobs = -2\n"),
+                ::testing::ExitedWithCode(1), "jobs must be >= 0");
+    EXPECT_EXIT(parsePlan("jobs = many\n"),
+                ::testing::ExitedWithCode(1), "bad jobs");
     EXPECT_EXIT(loadPlan("/nonexistent/plan.capo"),
                 ::testing::ExitedWithCode(1), "cannot read");
 }
