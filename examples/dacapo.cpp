@@ -16,6 +16,7 @@
 #include <iostream>
 #include <memory>
 
+#include "fault/fault.hh"
 #include "harness/runner.hh"
 #include "metrics/export.hh"
 #include "runtime/gc_log.hh"
@@ -96,6 +97,14 @@ main(int argc, char **argv)
                     "counter sampling period in sim-ms (0 disables)");
     flags.addString("metrics-csv", "",
                     "save sampled-metrics summary to this CSV file");
+    flags.addString("faults", "",
+                    "fault-injection spec, e.g. '0.01' or "
+                    "'alloc=0.01,gc=0.005' ('none' disables); a "
+                    "faulted run that fails exits 0 with the failure "
+                    "quarantined in the report");
+    flags.addInt("retries", 0,
+                 "extra attempts per faulty invocation (only "
+                 "meaningful with --faults)");
     flags.parse(argc, argv);
 
     if (flags.positionals().size() != 1) {
@@ -119,6 +128,14 @@ main(int argc, char **argv)
     options.jobs = static_cast<int>(flags.getInt("jobs"));
     options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
     options.trace_rate = workload.latency_sensitive;
+    if (!flags.getString("faults").empty()) {
+        std::string error;
+        if (!fault::parseFaultSpec(flags.getString("faults"),
+                                   options.faults, error))
+            support::fatal("--faults: ", error);
+    }
+    options.retries =
+        std::max(0, static_cast<int>(flags.getInt("retries")));
 
     const std::string trace_out = flags.getString("trace-out");
     const std::string metrics_csv = flags.getString("metrics-csv");
@@ -186,8 +203,17 @@ main(int argc, char **argv)
                   << " FAILED ("
                   << (run.oom ? "OutOfMemoryError" : "timeout")
                   << ") =====\n";
+        if (!run.faults.empty()) {
+            std::cout << "===== DaCapo-sim " << workload.name
+                      << " quarantined: " << run.faults.size()
+                      << " injected fault(s), " << run.attempts
+                      << " attempt(s), kind "
+                      << harness::errorKind(run) << " =====\n";
+        }
         writeObservability();
-        return 1;
+        // A failure under fault injection is the experiment working as
+        // designed, not an error of the harness.
+        return options.faults.enabled() ? 0 : 1;
     }
 
     if (flags.getBool("verbose-gc")) {

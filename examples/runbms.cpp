@@ -20,6 +20,9 @@
 #include <iostream>
 #include <memory>
 
+#include "exec/seed.hh"
+#include "fault/fault.hh"
+#include "harness/checkpoint.hh"
 #include "harness/lbo_experiment.hh"
 #include "harness/minheap.hh"
 #include "harness/plan_file.hh"
@@ -37,18 +40,85 @@ using namespace capo;
 
 namespace {
 
+/**
+ * Hash every parameter that shapes sweep results, for the checkpoint
+ * journal header. Deliberately excludes jobs (results are identical at
+ * any --jobs, so a resumed sweep may change it) and trace/CSV output
+ * paths (they shape where results land, not what they are).
+ */
+std::uint64_t
+configHash(const harness::ExperimentPlan &plan)
+{
+    std::string canon = harness::planKindName(plan.kind);
+    for (const auto &name : plan.workloads)
+        canon += "|w:" + name;
+    for (auto algorithm : plan.collectors)
+        canon += std::string("|c:") + gc::algorithmName(algorithm);
+    for (double f : plan.heap_factors)
+        canon += "|f:" + harness::CheckpointJournal::encodeDouble(f);
+    canon += "|i:" + std::to_string(plan.options.iterations);
+    canon += "|n:" + std::to_string(plan.options.invocations);
+    canon += "|z:" + std::to_string(static_cast<int>(plan.options.size));
+    canon += "|s:" + std::to_string(plan.options.base_seed);
+    canon += "|r:" + std::to_string(plan.options.retries);
+    canon += "|fs:" + std::to_string(plan.options.faults.seed);
+    for (std::size_t i = 0; i < fault::kSiteCount; ++i) {
+        canon += "|fr:" + harness::CheckpointJournal::encodeDouble(
+                              plan.options.faults.rates[i]);
+    }
+    return exec::hashString(canon);
+}
+
+/** Print quarantined cells, one row per failed invocation. */
 void
-runLbo(const harness::ExperimentPlan &plan, const std::string &csv_dir)
+reportErrors(const std::vector<harness::CellError> &errors)
+{
+    if (errors.empty())
+        return;
+    std::cout << "\n## quarantined cells (" << errors.size()
+              << " failed invocation(s))\n";
+    support::TextTable table;
+    table.columns({"workload", "collector", "heap", "invocation",
+                   "attempts", "kind"},
+                  {support::TextTable::Align::Left,
+                   support::TextTable::Align::Left,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Right,
+                   support::TextTable::Align::Left});
+    for (const auto &e : errors) {
+        const std::string heap =
+            e.heap_factor > 0.0
+                ? support::fixed(e.heap_factor, 2) + "x"
+                : support::fixed(e.heap_mb, 1) + "MB";
+        table.row({e.workload, e.collector, heap,
+                   std::to_string(e.invocation),
+                   std::to_string(e.attempts), e.kind});
+    }
+    table.render(std::cout);
+}
+
+void
+runLbo(const harness::ExperimentPlan &plan, const std::string &csv_dir,
+       harness::CheckpointJournal *journal)
 {
     harness::LboSweepOptions sweep;
     sweep.factors = plan.heap_factors;
     sweep.collectors = plan.collectors;
     sweep.base = plan.options;
+    sweep.journal = journal;
 
+    std::vector<harness::CellError> errors;
     for (const auto &name : plan.workloads) {
         std::cerr << "  lbo sweep: " << name << "\n";
         const auto result =
             harness::runLboSweep(workloads::byName(name), sweep);
+        if (result.restored_cells > 0) {
+            std::cerr << "    restored " << result.restored_cells
+                      << " cell(s) from checkpoint\n";
+        }
+        errors.insert(errors.end(), result.errors.begin(),
+                      result.errors.end());
 
         std::cout << "\n## " << name << " (wall / cpu LBO)\n";
         support::TextTable table;
@@ -83,6 +153,7 @@ runLbo(const harness::ExperimentPlan &plan, const std::string &csv_dir)
                 });
         }
     }
+    reportErrors(errors);
 }
 
 void
@@ -154,7 +225,8 @@ runLatency(const harness::ExperimentPlan &plan,
 
 void
 runMinHeap(const harness::ExperimentPlan &plan,
-           const std::string &csv_dir)
+           const std::string &csv_dir,
+           harness::CheckpointJournal *journal)
 {
     support::TextTable table;
     std::vector<std::string> header = {"workload"};
@@ -168,7 +240,7 @@ runMinHeap(const harness::ExperimentPlan &plan,
     std::cerr << "  minheap grid: " << plan.workloads.size() << " x "
               << plan.collectors.size() << " cells\n";
     const auto grid = harness::findMinHeapGrid(
-        plan.workloads, plan.collectors, plan.options);
+        plan.workloads, plan.collectors, plan.options, 0.02, journal);
 
     std::string csv_rows = "workload,collector,min_heap_mb\n";
     for (const auto &name : plan.workloads) {
@@ -214,14 +286,35 @@ main(int argc, char **argv)
                  "plan's jobs key; 0 = all hardware threads); results "
                  "are identical for any value");
     flags.addAlias("j", "jobs");
+    flags.addString("faults", "",
+                    "fault-injection spec, e.g. '0.01' or "
+                    "'alloc=0.01,gc=0.005' (overrides the plan's "
+                    "faults key; 'none' disables)");
+    flags.addInt("retries", -1,
+                 "extra attempts per faulty invocation (overrides the "
+                 "plan; only meaningful with faults)");
+    flags.addString("checkpoint", "",
+                    "checkpoint journal path (overrides the plan's "
+                    "checkpoint key); completed cells append here");
+    flags.addBool("resume", false,
+                  "resume from an existing checkpoint journal: "
+                  "journaled cells restore instead of re-running, and "
+                  "output is bit-identical to an uninterrupted run");
     flags.parse(argc, argv);
 
     if (flags.positionals().size() != 1) {
         std::cerr << "usage: runbms <plan-file> [--csv dir] "
-                     "[--trace-out file.json]\n";
+                     "[--trace-out file.json] [--checkpoint file "
+                     "[--resume]]\n";
         return 2;
     }
-    auto plan = harness::loadPlan(flags.positionals()[0]);
+    harness::ExperimentPlan plan;
+    try {
+        plan = harness::loadPlan(flags.positionals()[0]);
+    } catch (const harness::ParseError &e) {
+        std::cerr << "runbms: " << e.what() << "\n";
+        return 2;
+    }
     if (!flags.getString("trace-out").empty())
         plan.trace_out = flags.getString("trace-out");
     if (!flags.getString("trace-categories").empty()) {
@@ -234,6 +327,39 @@ main(int argc, char **argv)
     }
     if (flags.getInt("jobs") >= 0)
         plan.options.jobs = static_cast<int>(flags.getInt("jobs"));
+    if (!flags.getString("faults").empty()) {
+        std::string error;
+        if (!fault::parseFaultSpec(flags.getString("faults"),
+                                   plan.options.faults, error)) {
+            std::cerr << "runbms: --faults: " << error << "\n";
+            return 2;
+        }
+    }
+    if (flags.getInt("retries") >= 0)
+        plan.options.retries = static_cast<int>(flags.getInt("retries"));
+    if (!flags.getString("checkpoint").empty())
+        plan.checkpoint = flags.getString("checkpoint");
+
+    std::unique_ptr<harness::CheckpointJournal> journal;
+    if (!plan.checkpoint.empty()) {
+        std::string error;
+        journal = harness::CheckpointJournal::open(
+            plan.checkpoint, configHash(plan), flags.getBool("resume"),
+            error);
+        if (!journal) {
+            std::cerr << "runbms: checkpoint: " << error << "\n";
+            return 2;
+        }
+        if (flags.getBool("resume")) {
+            std::cerr << "  resume: " << journal->entryCount()
+                      << " journaled cell(s) in " << plan.checkpoint
+                      << "\n";
+        }
+    } else if (flags.getBool("resume")) {
+        std::cerr << "runbms: --resume needs a checkpoint path (plan "
+                     "key or --checkpoint)\n";
+        return 2;
+    }
 
     std::unique_ptr<trace::TraceSink> sink;
     trace::MetricsRegistry registry;
@@ -252,13 +378,15 @@ main(int argc, char **argv)
     const std::string csv_dir = flags.getString("csv");
     switch (plan.kind) {
       case harness::ExperimentPlan::Kind::Lbo:
-        runLbo(plan, csv_dir);
+        runLbo(plan, csv_dir, journal.get());
         break;
       case harness::ExperimentPlan::Kind::Latency:
+        // No checkpoint support: latency runs are single-invocation
+        // and cheap relative to sweeps.
         runLatency(plan, csv_dir);
         break;
       case harness::ExperimentPlan::Kind::MinHeap:
-        runMinHeap(plan, csv_dir);
+        runMinHeap(plan, csv_dir, journal.get());
         break;
     }
 

@@ -36,6 +36,21 @@ Pool::~Pool()
 }
 
 void
+Pool::armWorkerDeath(const fault::FaultPlan &plan)
+{
+    CAPO_ASSERT(!death_armed_.load(std::memory_order_relaxed),
+                "worker death already armed");
+    reapers_.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        // Each worker draws from its own stream keyed by worker index,
+        // so death schedules do not depend on task interleaving.
+        reapers_.push_back(std::make_unique<fault::FaultInjector>(
+            plan, static_cast<std::uint64_t>(i)));
+    }
+    death_armed_.store(true, std::memory_order_release);
+}
+
+void
 Pool::submit(Task task)
 {
     std::size_t target;
@@ -108,6 +123,13 @@ Pool::workerLoop(std::size_t index)
             continue;
         }
         task();
+        // Injected worker death fires only between tasks: a claimed
+        // task always completes, so no join can lose an index.
+        if (death_armed_.load(std::memory_order_acquire) &&
+            reapers_[index]->fire(fault::Site::WorkerDeath, 0.0)) {
+            dead_workers_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 #ifndef CAPO_EXEC_POOL_HH
 #define CAPO_EXEC_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -34,6 +35,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "fault/fault.hh"
 
 namespace capo::exec {
 
@@ -67,6 +70,24 @@ class Pool
     std::size_t workerCount() const { return workers_.size(); }
 
     /**
+     * Arm the WorkerDeath fault site: after each completed task, a
+     * worker consults its private injector (seeded from @p plan's seed
+     * and the worker index) and, when the site fires, silently exits —
+     * modelling a crashed executor thread. Joins still complete
+     * because waits are help-first (the calling thread drains the
+     * cursor itself; see parallel_for), and results stay bit-identical
+     * because tasks write into index-keyed slots. Must be called while
+     * the pool is idle, typically right after construction.
+     */
+    void armWorkerDeath(const fault::FaultPlan &plan);
+
+    /** Workers that have exited through an injected death. */
+    std::size_t deadWorkers() const
+    {
+        return dead_workers_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * The process-wide pool, created on first use with
      * defaultWorkers() threads. Experiments share it so nested
      * parallel sections multiplex onto one set of threads instead of
@@ -91,6 +112,11 @@ class Pool
 
     std::vector<std::unique_ptr<Deque>> deques_;
     std::vector<std::thread> workers_;
+
+    /** Per-worker WorkerDeath injectors (null until armed). */
+    std::vector<std::unique_ptr<fault::FaultInjector>> reapers_;
+    std::atomic<bool> death_armed_{false};
+    std::atomic<std::size_t> dead_workers_{0};
 
     std::mutex idle_mutex_;
     std::condition_variable idle_cv_;

@@ -42,4 +42,13 @@ CollectorBase::kickController()
     engine().notifyAll(wake_cond_);
 }
 
+void
+CollectorBase::injectPhaseAbort()
+{
+    if (phase_aborted_ || ctx_.fault == nullptr)
+        return;
+    if (ctx_.fault->fire(fault::Site::GcPhaseAbort, engine().now()))
+        phase_aborted_ = true;
+}
+
 } // namespace capo::gc

@@ -61,6 +61,20 @@ class CollectorBase : public runtime::CollectorRuntime
     /** Wake the controller (called from allocation requests). */
     void kickController();
 
+    /**
+     * Consult the GcPhaseAbort fault site. Collectors call this at
+     * phase-completion points — after the cycle is recorded, the world
+     * resumed and stalled mutators notified — so an abort can never
+     * strand a frozen world or a waiting mutator. Once fired, the
+     * collector is poisoned: phaseAborted() stays true and request()
+     * implementations fail subsequent allocations as OOM, which takes
+     * the run down through the ordinary abort path.
+     */
+    void injectPhaseAbort();
+
+    /** True once an injected phase abort has poisoned this collector. */
+    bool phaseAborted() const { return phase_aborted_; }
+
     bool shutdownRequested() const { return shutdown_requested_; }
 
     sim::CondId wakeCond() const { return wake_cond_; }
@@ -76,6 +90,7 @@ class CollectorBase : public runtime::CollectorRuntime
     sim::CondId wake_cond_ = sim::kInvalidCond;
     sim::CondId stall_cond_ = sim::kInvalidCond;
     bool shutdown_requested_ = false;
+    bool phase_aborted_ = false;
 };
 
 } // namespace capo::gc

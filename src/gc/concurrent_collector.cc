@@ -64,6 +64,8 @@ ConcurrentCollector::updatePacing()
 runtime::AllocResponse
 ConcurrentCollector::request(double bytes)
 {
+    if (phaseAborted())
+        return runtime::AllocResponse::oom();
     auto &h = heap();
     const double eff = effectiveCapacity();
 
@@ -188,6 +190,7 @@ ConcurrentCollector::resume(sim::Engine &engine)
             world().resumeTheWorld();
             updatePacing();
             engine.notifyAll(stallCond());
+            injectPhaseAbort();
             state_ = State::Idle;
             continue;
           }

@@ -30,8 +30,8 @@ algorithmName(Algorithm algorithm)
     return "?";
 }
 
-Algorithm
-algorithmFromName(const std::string &name)
+bool
+tryAlgorithmFromName(const std::string &name, Algorithm &out)
 {
     std::string lower;
     for (char c : name)
@@ -40,20 +40,32 @@ algorithmFromName(const std::string &name)
     while (!lower.empty() && (lower.back() == '*' || lower.back() == '.'))
         lower.pop_back();
     if (lower == "serial")
-        return Algorithm::Serial;
-    if (lower == "parallel")
-        return Algorithm::Parallel;
-    if (lower == "g1")
-        return Algorithm::G1;
-    if (lower == "shenandoah" || lower == "shen")
-        return Algorithm::Shenandoah;
-    if (lower == "zgc")
-        return Algorithm::Zgc;
-    if (lower == "genzgc" || lower == "generational-zgc")
-        return Algorithm::GenZgc;
-    support::fatal("unknown collector '", name,
-                   "' (expected serial, parallel, g1, shenandoah, zgc "
-                   "or genzgc)");
+        out = Algorithm::Serial;
+    else if (lower == "parallel")
+        out = Algorithm::Parallel;
+    else if (lower == "g1")
+        out = Algorithm::G1;
+    else if (lower == "shenandoah" || lower == "shen")
+        out = Algorithm::Shenandoah;
+    else if (lower == "zgc")
+        out = Algorithm::Zgc;
+    else if (lower == "genzgc" || lower == "generational-zgc")
+        out = Algorithm::GenZgc;
+    else
+        return false;
+    return true;
+}
+
+Algorithm
+algorithmFromName(const std::string &name)
+{
+    Algorithm out;
+    if (!tryAlgorithmFromName(name, out)) {
+        support::fatal("unknown collector '", name,
+                       "' (expected serial, parallel, g1, shenandoah, "
+                       "zgc or genzgc)");
+    }
+    return out;
 }
 
 std::vector<Algorithm>

@@ -31,6 +31,10 @@ const char *algorithmName(Algorithm algorithm);
 /** Parse a name (case-insensitive); fatal on unknown names. */
 Algorithm algorithmFromName(const std::string &name);
 
+/** Non-fatal variant: false on unknown names (plan-file parsing
+ *  surfaces the failure as a ParseError instead of exiting). */
+bool tryAlgorithmFromName(const std::string &name, Algorithm &out);
+
 /**
  * The paper's five production collectors, in introduction order
  * (Figure 1 legend).

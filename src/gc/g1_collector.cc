@@ -39,6 +39,8 @@ G1Collector::youngTarget() const
 runtime::AllocResponse
 G1Collector::request(double bytes)
 {
+    if (phaseAborted())
+        return runtime::AllocResponse::oom();
     auto &h = heap();
     const double eff = effectiveCapacity();
 
@@ -171,6 +173,7 @@ G1Collector::Controller::resume(sim::Engine &engine)
 
             gc.world().resumeTheWorld();
             engine.notifyAll(gc.stallCond());
+            gc.injectPhaseAbort();
             state_ = State::Idle;
             continue;
           }
@@ -209,6 +212,7 @@ G1Collector::Marker::resume(sim::Engine &engine)
             gc.log().endPhase(phase_token_, engine.now(), cpu);
             gc.marking_ = false;
             gc.mixed_credits_ = gc.tuning().mixed_pause_count;
+            gc.injectPhaseAbort();
             state_ = State::Idle;
             continue;
           }

@@ -31,6 +31,8 @@ StwCollector::youngTarget() const
 runtime::AllocResponse
 StwCollector::request(double bytes)
 {
+    if (phaseAborted())
+        return runtime::AllocResponse::oom();
     auto &h = heap();
     const double eff = effectiveCapacity();
 
@@ -126,6 +128,7 @@ StwCollector::resume(sim::Engine &engine)
 
             world().resumeTheWorld();
             engine.notifyAll(stallCond());
+            injectPhaseAbort();
             state_ = State::Idle;
             continue;
           }

@@ -1,0 +1,200 @@
+#include "harness/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+#include "support/strfmt.hh"
+
+namespace capo::harness {
+
+namespace {
+
+constexpr const char *kMagic = "capo-checkpoint";
+constexpr const char *kVersion = "v1";
+
+std::string
+headerLine(std::uint64_t config_hash)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s %s %016llx", kMagic, kVersion,
+                  static_cast<unsigned long long>(config_hash));
+    return buf;
+}
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    for (;;) {
+        const auto tab = line.find('\t', begin);
+        if (tab == std::string::npos) {
+            out.push_back(line.substr(begin));
+            return out;
+        }
+        out.push_back(line.substr(begin, tab - begin));
+        begin = tab + 1;
+    }
+}
+
+} // namespace
+
+std::string
+CheckpointJournal::encodeDouble(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+bool
+CheckpointJournal::decodeDouble(const std::string &text, double &value)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : text) {
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<std::uint64_t>(c - 'A') + 10;
+        else
+            return false;
+        bits = (bits << 4) | digit;
+    }
+    std::memcpy(&value, &bits, sizeof value);
+    return true;
+}
+
+std::unique_ptr<CheckpointJournal>
+CheckpointJournal::open(const std::string &path,
+                        std::uint64_t config_hash, bool resume,
+                        std::string &error)
+{
+    std::unique_ptr<CheckpointJournal> journal(new CheckpointJournal());
+
+    bool have_existing = false;
+    if (resume) {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            have_existing = true;
+            std::string contents((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+            // A file killed mid-append may end in a torn line: only
+            // newline-terminated records are trusted. Dropping the
+            // tail re-runs at most one cell.
+            const bool torn =
+                !contents.empty() && contents.back() != '\n';
+
+            std::vector<std::string> lines;
+            std::size_t begin = 0;
+            while (begin < contents.size()) {
+                auto nl = contents.find('\n', begin);
+                if (nl == std::string::npos) {
+                    if (!torn)
+                        lines.push_back(contents.substr(begin));
+                    break;
+                }
+                lines.push_back(contents.substr(begin, nl - begin));
+                begin = nl + 1;
+            }
+            if (torn && begin < contents.size()) {
+                support::warn("checkpoint ", path,
+                              ": dropping torn final record");
+            }
+
+            if (lines.empty()) {
+                error = support::concat("checkpoint ", path,
+                                        ": empty or torn header");
+                return nullptr;
+            }
+            if (lines.front() != headerLine(config_hash)) {
+                error = support::concat(
+                    "checkpoint ", path,
+                    ": header mismatch (expected \"",
+                    headerLine(config_hash), "\", found \"",
+                    lines.front(),
+                    "\"); the sweep configuration changed — remove "
+                    "the file or drop --resume");
+                return nullptr;
+            }
+            for (std::size_t i = 1; i < lines.size(); ++i) {
+                if (lines[i].empty())
+                    continue;
+                auto fields = splitTabs(lines[i]);
+                std::string key = std::move(fields.front());
+                fields.erase(fields.begin());
+                // Duplicate keys: last record wins (a re-run cell
+                // re-journals identically anyway).
+                journal->entries_[std::move(key)] = std::move(fields);
+            }
+        }
+    }
+
+    const auto mode = have_existing
+                          ? std::ios::binary | std::ios::app
+                          : std::ios::binary | std::ios::trunc;
+    journal->out_.open(path, mode);
+    if (!journal->out_) {
+        error = support::concat("checkpoint ", path,
+                                ": cannot open for writing");
+        return nullptr;
+    }
+    if (!have_existing) {
+        journal->out_ << headerLine(config_hash) << '\n';
+        journal->out_.flush();
+    }
+    return journal;
+}
+
+bool
+CheckpointJournal::lookup(const std::string &key,
+                          std::vector<std::string> &fields) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    fields = it->second;
+    return true;
+}
+
+void
+CheckpointJournal::append(const std::string &key,
+                          const std::vector<std::string> &fields)
+{
+    CAPO_ASSERT(key.find_first_of("\t\n") == std::string::npos,
+                "checkpoint key contains a separator");
+    std::string line = key;
+    for (const auto &field : fields) {
+        CAPO_ASSERT(field.find_first_of("\t\n") == std::string::npos,
+                    "checkpoint field contains a separator");
+        line += '\t';
+        line += field;
+    }
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Whole-record writes plus an immediate flush: a kill between
+    // appends loses nothing, a kill mid-append loses one torn line.
+    out_ << line;
+    out_.flush();
+    entries_[key] = fields;
+}
+
+std::size_t
+CheckpointJournal::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace capo::harness

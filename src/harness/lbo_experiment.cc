@@ -1,5 +1,6 @@
 #include "harness/lbo_experiment.hh"
 
+#include <cstdlib>
 #include <memory>
 
 #include "exec/parallel_for.hh"
@@ -18,7 +19,89 @@ struct SweepCell
     double factor = 0.0;
     harness::InvocationSet set;
     std::unique_ptr<trace::TraceSink> shard;
+
+    /** @{ Cell summary — computed from `set` after a live run, or
+     *  decoded from the checkpoint journal on restore. */
+    bool restored = false;
+    bool ok = false;
+    std::uint64_t dispatches = 0;
+    metrics::RunCost cost;
+    std::vector<CellError> errors;
+    /** @} */
 };
+
+std::string
+cellKey(const std::string &workload, const std::string &collector,
+        double factor)
+{
+    // The factor is keyed by its exact bit pattern: a sweep resumed
+    // with even slightly different factors must miss, not alias.
+    return "lbo/" + workload + "/" + collector + "/" +
+           CheckpointJournal::encodeDouble(factor);
+}
+
+/** Journal fields: ok, dispatches, cost (4 exact doubles), then one
+ *  "e:<invocation>:<attempts>:<kind>" field per quarantined error. */
+std::vector<std::string>
+encodeCell(const SweepCell &cell)
+{
+    std::vector<std::string> fields;
+    fields.reserve(6 + cell.errors.size());
+    fields.push_back(cell.ok ? "1" : "0");
+    fields.push_back(std::to_string(cell.dispatches));
+    fields.push_back(CheckpointJournal::encodeDouble(cell.cost.wall));
+    fields.push_back(CheckpointJournal::encodeDouble(cell.cost.cpu));
+    fields.push_back(
+        CheckpointJournal::encodeDouble(cell.cost.stw_wall));
+    fields.push_back(
+        CheckpointJournal::encodeDouble(cell.cost.stw_cpu));
+    for (const auto &e : cell.errors) {
+        fields.push_back("e:" + std::to_string(e.invocation) + ":" +
+                         std::to_string(e.attempts) + ":" + e.kind);
+    }
+    return fields;
+}
+
+bool
+decodeCell(const std::vector<std::string> &fields,
+           const std::string &workload, const std::string &collector,
+           SweepCell &cell)
+{
+    if (fields.size() < 6)
+        return false;
+    cell.ok = fields[0] == "1";
+    char *end = nullptr;
+    cell.dispatches = std::strtoull(fields[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    if (!CheckpointJournal::decodeDouble(fields[2], cell.cost.wall) ||
+        !CheckpointJournal::decodeDouble(fields[3], cell.cost.cpu) ||
+        !CheckpointJournal::decodeDouble(fields[4],
+                                         cell.cost.stw_wall) ||
+        !CheckpointJournal::decodeDouble(fields[5],
+                                         cell.cost.stw_cpu)) {
+        return false;
+    }
+    for (std::size_t i = 6; i < fields.size(); ++i) {
+        const auto &f = fields[i];
+        if (f.rfind("e:", 0) != 0)
+            return false;
+        const auto c1 = f.find(':', 2);
+        const auto c2 =
+            c1 == std::string::npos ? c1 : f.find(':', c1 + 1);
+        if (c2 == std::string::npos)
+            return false;
+        CellError e;
+        e.workload = workload;
+        e.collector = collector;
+        e.heap_factor = cell.factor;
+        e.invocation = std::atoi(f.substr(2, c1 - 2).c_str());
+        e.attempts = std::atoi(f.substr(c1 + 1, c2 - c1 - 1).c_str());
+        e.kind = f.substr(c2 + 1);
+        cell.errors.push_back(std::move(e));
+    }
+    return true;
+}
 
 } // namespace
 
@@ -30,6 +113,11 @@ runLboSweep(const workloads::Descriptor &workload,
     result.workload = workload.name;
 
     trace::TraceSink *sink = options.base.trace;
+    CheckpointJournal *journal = options.journal;
+    // The journal stores cell summaries, not event timelines, so a
+    // traced sweep re-runs every cell (deterministically — the trace
+    // comes out identical) and only CSV-producing sweeps restore.
+    const bool restore = journal != nullptr && sink == nullptr;
 
     // Lay the grid out row-major (collector, then factor) so the
     // merged timeline and the result maps read in the same order the
@@ -39,6 +127,20 @@ runLboSweep(const workloads::Descriptor &workload,
     for (auto algorithm : options.collectors) {
         for (double factor : options.factors)
             cells.push_back({algorithm, factor, {}, nullptr});
+    }
+
+    if (restore) {
+        for (auto &cell : cells) {
+            const std::string name = gc::algorithmName(cell.algorithm);
+            std::vector<std::string> fields;
+            if (journal->lookup(cellKey(workload.name, name,
+                                        cell.factor),
+                                fields) &&
+                decodeCell(fields, workload.name, name, cell)) {
+                cell.restored = true;
+                ++result.restored_cells;
+            }
+        }
     }
 
     // Every cell runs through its own Runner writing into its own
@@ -51,6 +153,8 @@ runLboSweep(const workloads::Descriptor &workload,
         exec::Pool::shared(), cells.size(),
         [&](std::size_t i) {
             auto &cell = cells[i];
+            if (cell.restored)
+                return;
             ExperimentOptions cell_options = options.base;
             if (sink != nullptr) {
                 cell.shard = std::make_unique<trace::TraceSink>(
@@ -67,6 +171,32 @@ runLboSweep(const workloads::Descriptor &workload,
         sink ? sink->registerTrack("harness") : trace::TrackId{0};
     for (auto &cell : cells) {
         const std::string name = gc::algorithmName(cell.algorithm);
+        if (!cell.restored) {
+            for (const auto &run : cell.set.runs)
+                cell.dispatches += run.dispatches;
+            cell.ok = cell.set.allCompleted();
+            if (cell.ok)
+                cell.cost = cell.set.meanTimedCost();
+            for (std::size_t inv = 0; inv < cell.set.runs.size();
+                 ++inv) {
+                const auto &run = cell.set.runs[inv];
+                if (run.usable())
+                    continue;
+                CellError e;
+                e.workload = workload.name;
+                e.collector = name;
+                e.heap_factor = cell.factor;
+                e.invocation = static_cast<int>(inv);
+                e.attempts = run.attempts;
+                e.kind = errorKind(run);
+                cell.errors.push_back(std::move(e));
+            }
+            if (journal != nullptr) {
+                journal->append(cellKey(workload.name, name,
+                                        cell.factor),
+                                encodeCell(cell));
+            }
+        }
         if (sink) {
             // One sweep-cell span wrapping this cell's invocations;
             // the cell shard's time base advanced past every
@@ -83,14 +213,12 @@ runLboSweep(const workloads::Descriptor &workload,
                              cell_end);
             sink->setTimeBase(cell_end);
         }
-        for (const auto &run : cell.set.runs)
-            result.dispatches += run.dispatches;
-        const bool ok = cell.set.allCompleted();
-        result.completed[{name, cell.factor}] = ok;
-        if (ok) {
-            result.analysis.add(name, cell.factor,
-                                cell.set.meanTimedCost());
-        }
+        result.dispatches += cell.dispatches;
+        result.completed[{name, cell.factor}] = cell.ok;
+        if (cell.ok)
+            result.analysis.add(name, cell.factor, cell.cost);
+        result.errors.insert(result.errors.end(), cell.errors.begin(),
+                             cell.errors.end());
     }
     return result;
 }

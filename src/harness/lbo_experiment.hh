@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gc/factory.hh"
+#include "harness/checkpoint.hh"
 #include "harness/runner.hh"
 #include "metrics/lbo.hh"
 
@@ -26,6 +27,17 @@ struct LboSweepOptions
     std::vector<gc::Algorithm> collectors =
         gc::productionCollectors();
     ExperimentOptions base;
+
+    /**
+     * Optional checkpoint journal (non-owning; null disables). Every
+     * finished cell appends its result; on resume, journaled cells are
+     * restored from their recorded bit patterns instead of re-running
+     * — except when tracing is on: the journal cannot carry a cell's
+     * event timeline, so restore is bypassed and every cell re-runs
+     * (deterministically, so the trace is identical) while the journal
+     * still extends for CSV-only resumes later.
+     */
+    CheckpointJournal *journal = nullptr;
 };
 
 /** LBO sweep results for one workload. */
@@ -40,6 +52,13 @@ struct WorkloadLbo
 
     /** (collector, factor) -> did every invocation complete? */
     std::map<std::pair<std::string, double>, bool> completed;
+
+    /** Quarantined failures (one per failed invocation), in grid
+     *  order. A faulty sweep reports these instead of aborting. */
+    std::vector<CellError> errors;
+
+    /** Cells restored from the checkpoint journal (not re-run). */
+    std::size_t restored_cells = 0;
 
     bool
     completedAt(const std::string &collector, double factor) const

@@ -73,10 +73,22 @@ MinHeapGrid::at(const std::string &workload,
     return nullptr;
 }
 
+namespace {
+
+std::string
+minHeapKey(const std::string &workload, gc::Algorithm algorithm)
+{
+    return "minheap/" + workload + "/" +
+           gc::algorithmName(algorithm);
+}
+
+} // namespace
+
 MinHeapGrid
 findMinHeapGrid(const std::vector<std::string> &workload_names,
                 const std::vector<gc::Algorithm> &collectors,
-                const ExperimentOptions &options, double tolerance)
+                const ExperimentOptions &options, double tolerance,
+                CheckpointJournal *journal)
 {
     MinHeapGrid grid;
     grid.cells.reserve(workload_names.size() * collectors.size());
@@ -89,11 +101,38 @@ findMinHeapGrid(const std::vector<std::string> &workload_names,
     std::vector<std::unique_ptr<trace::TraceSink>> shards(
         grid.cells.size());
 
+    // Restore journaled searches (CSV-only runs; see LboSweepOptions
+    // for why tracing bypasses restore). Fields: exact min-heap bit
+    // pattern, probe count, converged flag.
+    std::vector<char> restored(grid.cells.size(), 0);
+    if (journal != nullptr && sink == nullptr) {
+        for (std::size_t i = 0; i < grid.cells.size(); ++i) {
+            auto &cell = grid.cells[i];
+            std::vector<std::string> fields;
+            if (!journal->lookup(minHeapKey(cell.workload,
+                                            cell.algorithm),
+                                 fields) ||
+                fields.size() != 3) {
+                continue;
+            }
+            MinHeapResult r;
+            if (!CheckpointJournal::decodeDouble(fields[0],
+                                                 r.min_heap_mb))
+                continue;
+            r.probes = std::atoi(fields[1].c_str());
+            r.converged = fields[2] == "1";
+            cell.result = r;
+            restored[i] = 1;
+        }
+    }
+
     const std::size_t jobs = exec::resolveJobs(options.jobs);
     exec::parallel_for(
         exec::Pool::shared(), grid.cells.size(),
         [&](std::size_t i) {
             auto &cell = grid.cells[i];
+            if (restored[i])
+                return;
             ExperimentOptions cell_options = options;
             if (sink != nullptr) {
                 shards[i] = std::make_unique<trace::TraceSink>(
@@ -103,6 +142,14 @@ findMinHeapGrid(const std::vector<std::string> &workload_names,
             cell.result =
                 findMinHeapMb(workloads::byName(cell.workload),
                               cell.algorithm, cell_options, tolerance);
+            if (journal != nullptr) {
+                journal->append(
+                    minHeapKey(cell.workload, cell.algorithm),
+                    {CheckpointJournal::encodeDouble(
+                         cell.result.min_heap_mb),
+                     std::to_string(cell.result.probes),
+                     cell.result.converged ? "1" : "0"});
+            }
         },
         jobs);
 

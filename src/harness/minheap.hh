@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "gc/factory.hh"
+#include "harness/checkpoint.hh"
 #include "harness/runner.hh"
 #include "workloads/descriptor.hh"
 
@@ -67,11 +68,17 @@ struct MinHeapGrid
  * grid level: `options.jobs` searches run concurrently, each tracing
  * into its own shard, with results and trace shards assembled in
  * row-major grid order so any jobs value yields identical output.
+ *
+ * @param journal Optional checkpoint journal (non-owning): finished
+ *        searches append their exact result and, on resume, journaled
+ *        cells restore instead of re-bisecting — unless tracing is on
+ *        (the journal carries no timelines; see LboSweepOptions).
  */
 MinHeapGrid findMinHeapGrid(const std::vector<std::string> &workload_names,
                             const std::vector<gc::Algorithm> &collectors,
                             const ExperimentOptions &options,
-                            double tolerance = 0.02);
+                            double tolerance = 0.02,
+                            CheckpointJournal *journal = nullptr);
 
 } // namespace capo::harness
 

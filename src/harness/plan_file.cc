@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "support/strfmt.hh"
 #include "workloads/plans.hh"
 #include "workloads/registry.hh"
 
@@ -49,8 +50,73 @@ splitList(const std::string &text)
     return out;
 }
 
+template <typename... Args>
+[[noreturn]] void
+fail(int line, Args &&...args)
+{
+    std::string message = line > 0
+                              ? support::concat("plan file line ",
+                                                line, ": ")
+                              : std::string("plan file: ");
+    message += support::concat(std::forward<Args>(args)...);
+    throw ParseError(line, message);
+}
+
+/** @{ Guarded numeric conversions: the whole value must parse and
+ *  stay in range, else ParseError. The unguarded std::stoi calls
+ *  these replaced crashed the executor on inputs like "5x" or
+ *  "99999999999999999999". */
+int
+parseInt(const std::string &value, int line, const char *what)
+{
+    try {
+        std::size_t pos = 0;
+        const int out = std::stoi(value, &pos);
+        if (pos != value.size())
+            fail(line, "bad ", what, " '", value, "'");
+        return out;
+    } catch (const ParseError &) {
+        throw;
+    } catch (...) {
+        fail(line, "bad ", what, " '", value, "'");
+    }
+}
+
+std::uint64_t
+parseU64(const std::string &value, int line, const char *what)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t out = std::stoull(value, &pos);
+        if (pos != value.size() || value.front() == '-')
+            fail(line, "bad ", what, " '", value, "'");
+        return out;
+    } catch (const ParseError &) {
+        throw;
+    } catch (...) {
+        fail(line, "bad ", what, " '", value, "'");
+    }
+}
+
+double
+parseDouble(const std::string &value, int line, const char *what)
+{
+    try {
+        std::size_t pos = 0;
+        const double out = std::stod(value, &pos);
+        if (pos != value.size())
+            fail(line, "bad ", what, " '", value, "'");
+        return out;
+    } catch (const ParseError &) {
+        throw;
+    } catch (...) {
+        fail(line, "bad ", what, " '", value, "'");
+    }
+}
+/** @} */
+
 std::vector<std::string>
-resolveWorkloads(const std::string &value)
+resolveWorkloads(const std::string &value, int line)
 {
     const std::string spec = lower(trim(value));
     if (spec == "all")
@@ -64,16 +130,16 @@ resolveWorkloads(const std::string &value)
     std::vector<std::string> out;
     for (const auto &name : splitList(value)) {
         if (!workloads::contains(name))
-            support::fatal("plan file: unknown workload '", name, "'");
+            fail(line, "unknown workload '", name, "'");
         out.push_back(name);
     }
     if (out.empty())
-        support::fatal("plan file: empty workload list");
+        fail(line, "empty workload list");
     return out;
 }
 
 std::vector<gc::Algorithm>
-resolveCollectors(const std::string &value)
+resolveCollectors(const std::string &value, int line)
 {
     const std::string spec = lower(trim(value));
     if (spec == "production")
@@ -81,15 +147,22 @@ resolveCollectors(const std::string &value)
     if (spec == "all")
         return gc::allCollectors();
     std::vector<gc::Algorithm> out;
-    for (const auto &name : splitList(value))
-        out.push_back(gc::algorithmFromName(name));
+    for (const auto &name : splitList(value)) {
+        gc::Algorithm algorithm;
+        if (!gc::tryAlgorithmFromName(name, algorithm)) {
+            fail(line, "unknown collector '", name,
+                 "' (expected serial, parallel, g1, shenandoah, zgc "
+                 "or genzgc)");
+        }
+        out.push_back(algorithm);
+    }
     if (out.empty())
-        support::fatal("plan file: empty collector list");
+        fail(line, "empty collector list");
     return out;
 }
 
 workloads::SizeConfig
-resolveSize(const std::string &value)
+resolveSize(const std::string &value, int line)
 {
     const std::string spec = lower(trim(value));
     if (spec == "small")
@@ -100,7 +173,7 @@ resolveSize(const std::string &value)
         return workloads::SizeConfig::Large;
     if (spec == "vlarge")
         return workloads::SizeConfig::VLarge;
-    support::fatal("plan file: unknown size '", value, "'");
+    fail(line, "unknown size '", value, "'");
 }
 
 } // namespace
@@ -140,8 +213,7 @@ parsePlan(const std::string &text)
 
         const auto eq = line.find('=');
         if (eq == std::string::npos) {
-            support::fatal("plan file line ", line_no,
-                           ": expected key = value, got '", line, "'");
+            fail(line_no, "expected key = value, got '", line, "'");
         }
         const std::string key = lower(trim(line.substr(0, eq)));
         const std::string value = trim(line.substr(eq + 1));
@@ -155,61 +227,75 @@ parsePlan(const std::string &text)
             else if (kind == "minheap")
                 plan.kind = ExperimentPlan::Kind::MinHeap;
             else
-                support::fatal("plan file: unknown experiment '", value,
-                               "'");
+                fail(line_no, "unknown experiment '", value, "'");
         } else if (key == "workloads") {
-            plan.workloads = resolveWorkloads(value);
+            plan.workloads = resolveWorkloads(value, line_no);
         } else if (key == "collectors") {
-            plan.collectors = resolveCollectors(value);
+            plan.collectors = resolveCollectors(value, line_no);
         } else if (key == "heap_factors") {
             plan.heap_factors.clear();
             for (const auto &item : splitList(value)) {
-                try {
-                    plan.heap_factors.push_back(std::stod(item));
-                } catch (...) {
-                    support::fatal("plan file: bad heap factor '", item,
-                                   "'");
+                const double factor =
+                    parseDouble(item, line_no, "heap factor");
+                if (factor <= 0.0) {
+                    fail(line_no, "heap factor must be positive, got ",
+                         item);
                 }
+                plan.heap_factors.push_back(factor);
             }
             if (plan.heap_factors.empty())
-                support::fatal("plan file: empty heap_factors");
+                fail(line_no, "empty heap_factors");
         } else if (key == "iterations") {
-            plan.options.iterations = std::stoi(value);
+            plan.options.iterations =
+                parseInt(value, line_no, "iterations");
+            if (plan.options.iterations < 1)
+                fail(line_no, "iterations must be >= 1, got ", value);
         } else if (key == "invocations") {
-            plan.options.invocations = std::stoi(value);
+            plan.options.invocations =
+                parseInt(value, line_no, "invocations");
+            if (plan.options.invocations < 1)
+                fail(line_no, "invocations must be >= 1, got ", value);
         } else if (key == "jobs") {
-            int jobs = -1;
-            try {
-                jobs = std::stoi(value);
-            } catch (...) {
-                support::fatal("plan file: bad jobs '", value, "'");
-            }
+            const int jobs = parseInt(value, line_no, "jobs");
             if (jobs < 0) {
-                support::fatal("plan file: jobs must be >= 0 "
-                               "(0 = all hardware threads), got ",
-                               value);
+                fail(line_no, "jobs must be >= 0 (0 = all hardware "
+                              "threads), got ",
+                     value);
             }
             plan.options.jobs = jobs;
         } else if (key == "size") {
-            plan.options.size = resolveSize(value);
+            plan.options.size = resolveSize(value, line_no);
         } else if (key == "seed") {
-            plan.options.base_seed = std::stoull(value);
+            plan.options.base_seed = parseU64(value, line_no, "seed");
         } else if (key == "trace_out") {
             plan.trace_out = value;
         } else if (key == "trace_categories") {
-            plan.trace_categories = trace::parseCategories(value);
+            trace::CategoryMask mask = 0;
+            std::string error;
+            if (!trace::tryParseCategories(value, mask, error))
+                fail(line_no, error);
+            plan.trace_categories = mask;
         } else if (key == "metrics_interval") {
-            try {
-                plan.options.metrics_interval_ms = std::stod(value);
-            } catch (...) {
-                support::fatal("plan file: bad metrics_interval '",
-                               value, "'");
-            }
+            plan.options.metrics_interval_ms =
+                parseDouble(value, line_no, "metrics_interval");
             if (plan.options.metrics_interval_ms < 0.0)
-                support::fatal("plan file: negative metrics_interval");
+                fail(line_no, "negative metrics_interval");
+        } else if (key == "faults") {
+            std::string error;
+            if (!fault::parseFaultSpec(value, plan.options.faults,
+                                       error))
+                fail(line_no, error);
+        } else if (key == "fault_seed") {
+            plan.options.faults.seed =
+                parseU64(value, line_no, "fault_seed");
+        } else if (key == "retries") {
+            plan.options.retries = parseInt(value, line_no, "retries");
+            if (plan.options.retries < 0)
+                fail(line_no, "retries must be >= 0, got ", value);
+        } else if (key == "checkpoint") {
+            plan.checkpoint = value;
         } else {
-            support::fatal("plan file line ", line_no,
-                           ": unknown key '", key, "'");
+            fail(line_no, "unknown key '", key, "'");
         }
     }
 
@@ -221,9 +307,10 @@ parsePlan(const std::string &text)
             if (workloads::byName(name).latency_sensitive)
                 filtered.push_back(name);
         }
-        if (filtered.empty())
-            support::fatal("plan file: latency experiment with no "
-                           "latency-sensitive workloads");
+        if (filtered.empty()) {
+            fail(0, "latency experiment with no latency-sensitive "
+                    "workloads");
+        }
         plan.workloads = filtered;
         plan.options.trace_rate = true;
     }
@@ -235,7 +322,7 @@ loadPlan(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        support::fatal("cannot read plan file '", path, "'");
+        fail(0, "cannot read plan file '", path, "'");
     std::stringstream buffer;
     buffer << in.rdbuf();
     return parsePlan(buffer.str());

@@ -20,13 +20,20 @@
  *     trace_out    = run.trace.json   # Chrome/Perfetto trace output
  *     trace_categories = gc, harness  # or "all" / "none"
  *     metrics_interval = 10           # counter sampling period (ms)
+ *     faults       = alloc=0.01,gc=0.005  # fault spec (see fault.hh)
+ *     fault_seed   = 7                # fault-stream salt
+ *     retries      = 2                # attempts per faulty invocation
+ *     checkpoint   = run.ckpt         # journal path (--resume reuses)
  *
- * See `examples/runbms.cpp` for the executor.
+ * See `examples/runbms.cpp` for the executor. Malformed input raises
+ * ParseError (never exits or crashes — the parser is fuzzed on that
+ * contract); executors catch it and report.
  */
 
 #ifndef CAPO_HARNESS_PLAN_FILE_HH
 #define CAPO_HARNESS_PLAN_FILE_HH
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,24 @@
 #include "harness/runner.hh"
 
 namespace capo::harness {
+
+/**
+ * Malformed experiment definition. what() carries the full message
+ * including the 1-based line number (0 = whole-file problem).
+ */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(int line, const std::string &message)
+        : std::runtime_error(message), line_(line)
+    {
+    }
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
 
 /** What a definition file asks capo to run. */
 struct ExperimentPlan
@@ -53,12 +78,18 @@ struct ExperimentPlan
     std::string trace_out;
     trace::CategoryMask trace_categories = trace::kAllCategories;
     /** @} */
+
+    /** Checkpoint journal path (empty disables); the executor opens
+     *  the journal and decides resume-vs-fresh. (faults, fault_seed
+     *  and retries land directly in `options`.) */
+    std::string checkpoint;
 };
 
-/** Parse a definition from text; fatal on malformed input. */
+/** Parse a definition from text; throws ParseError when malformed. */
 ExperimentPlan parsePlan(const std::string &text);
 
-/** Load and parse a definition file; fatal if unreadable. */
+/** Load and parse a definition file; throws ParseError if unreadable
+ *  or malformed. */
 ExperimentPlan loadPlan(const std::string &path);
 
 /** Printable name of an experiment kind. */

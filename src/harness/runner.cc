@@ -1,6 +1,8 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "exec/parallel_for.hh"
 #include "exec/seed.hh"
@@ -13,6 +15,16 @@ namespace {
 constexpr double kMb = 1024.0 * 1024.0;
 
 } // namespace
+
+std::string
+errorKind(const runtime::ExecutionResult &result)
+{
+    if (result.oom)
+        return "oom";
+    if (result.timed_out)
+        return "timeout";
+    return "failed";
+}
 
 bool
 InvocationSet::allCompleted() const
@@ -81,7 +93,7 @@ Runner::Runner(const ExperimentOptions &options)
 runtime::ExecutionResult
 Runner::executeInvocation(const workloads::Descriptor &workload,
                           gc::Algorithm algorithm, double heap_mb,
-                          int invocation,
+                          int invocation, int attempt,
                           trace::TraceSink *shard) const
 {
     const auto setup = workloads::makeSetup(
@@ -108,9 +120,46 @@ Runner::executeInvocation(const workloads::Descriptor &workload,
     config.trace = shard;
     config.metrics = options_.metrics;
     config.metrics_interval_ns = options_.metrics_interval_ms * 1e6;
+    if (options_.faults.enabled()) {
+        config.faults = &options_.faults;
+        config.fault_attempt = attempt;
+    }
 
     return runtime::runExecution(config, setup.plan, setup.live,
                                  *collector);
+}
+
+runtime::ExecutionResult
+Runner::runWithRetry(const workloads::Descriptor &workload,
+                     gc::Algorithm algorithm, double heap_mb,
+                     int invocation,
+                     std::unique_ptr<trace::TraceSink> &shard) const
+{
+    // Without fault injection a failed run re-fails bit-identically,
+    // so only injected faults earn retries.
+    const int attempts =
+        1 + (options_.faults.enabled() ? std::max(0, options_.retries)
+                                       : 0);
+    runtime::ExecutionResult result;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0 && options_.retry_backoff_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    options_.retry_backoff_ms * attempt));
+        }
+        // Fresh shard per attempt: a failed attempt's events must not
+        // pollute the merged timeline.
+        if (options_.trace != nullptr) {
+            shard = std::make_unique<trace::TraceSink>(
+                options_.trace->shardOptions());
+        }
+        result = executeInvocation(workload, algorithm, heap_mb,
+                                   invocation, attempt, shard.get());
+        result.attempts = attempt + 1;
+        if (result.usable())
+            break;
+    }
+    return result;
 }
 
 void
@@ -143,14 +192,13 @@ Runner::runOnce(const workloads::Descriptor &workload,
                 gc::Algorithm algorithm, double heap_mb,
                 int invocation) const
 {
-    if (options_.trace == nullptr) {
-        return executeInvocation(workload, algorithm, heap_mb,
-                                 invocation, nullptr);
+    std::unique_ptr<trace::TraceSink> shard;
+    auto result =
+        runWithRetry(workload, algorithm, heap_mb, invocation, shard);
+    if (options_.trace != nullptr) {
+        mergeInvocation(workload, algorithm, invocation, result,
+                        *shard);
     }
-    trace::TraceSink shard(options_.trace->shardOptions());
-    auto result = executeInvocation(workload, algorithm, heap_mb,
-                                    invocation, &shard);
-    mergeInvocation(workload, algorithm, invocation, result, shard);
     return result;
 }
 
@@ -180,14 +228,9 @@ Runner::runAtHeapMb(const workloads::Descriptor &workload,
     exec::parallel_for(
         exec::Pool::shared(), n,
         [&](std::size_t i) {
-            if (sink != nullptr) {
-                shards[i] = std::make_unique<trace::TraceSink>(
-                    sink->shardOptions());
-            }
-            set.runs[i] = executeInvocation(workload, algorithm,
-                                            heap_mb,
-                                            static_cast<int>(i),
-                                            shards[i].get());
+            set.runs[i] =
+                runWithRetry(workload, algorithm, heap_mb,
+                             static_cast<int>(i), shards[i]);
         },
         jobs);
     if (sink != nullptr) {

@@ -12,9 +12,12 @@
 #define CAPO_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "counters/machine.hh"
+#include "fault/fault.hh"
 #include "gc/factory.hh"
 #include "metrics/lbo.hh"
 #include "metrics/summary.hh"
@@ -53,7 +56,41 @@ struct ExperimentOptions
     trace::MetricsRegistry *metrics = nullptr;
     double metrics_interval_ms = 10.0;  ///< Sampling period (sim-ms).
     /** @} */
+
+    /** @{ Resilience. When @c faults has any nonzero rate, every
+     *  invocation runs under a deterministic fault injector (see
+     *  fault/fault.hh) and a failed invocation is retried up to
+     *  @c retries extra attempts — each attempt salts the fault
+     *  stream, so transient injected failures clear while genuine
+     *  failures (heap too small) fail every attempt. Retries are
+     *  skipped when faults are disabled: a deterministic simulation
+     *  re-fails identically, so re-running it would be pure waste.
+     *  @c retry_backoff_ms spaces attempts in real time (attempt
+     *  index × backoff); it never affects simulated results. */
+    fault::FaultPlan faults;
+    int retries = 0;
+    double retry_backoff_ms = 0.0;
+    /** @} */
 };
+
+/**
+ * A quarantined experiment cell: the invocation failed (after any
+ * retries), the sweep recorded why and moved on. Sweeps with fault
+ * injection report these instead of aborting.
+ */
+struct CellError
+{
+    std::string workload;
+    std::string collector;
+    double heap_factor = 0.0;  ///< 0 when the cell is heap-mb keyed.
+    double heap_mb = 0.0;      ///< 0 when the cell is factor keyed.
+    int invocation = -1;
+    int attempts = 1;          ///< Attempts consumed (all failed).
+    std::string kind;          ///< "oom", "timeout" or "failed".
+};
+
+/** Classify a failed run for CellError::kind. */
+std::string errorKind(const runtime::ExecutionResult &result);
 
 /** Results of all invocations of one configuration. */
 struct InvocationSet
@@ -110,7 +147,16 @@ class Runner
     runtime::ExecutionResult
     executeInvocation(const workloads::Descriptor &workload,
                       gc::Algorithm algorithm, double heap_mb,
-                      int invocation, trace::TraceSink *shard) const;
+                      int invocation, int attempt,
+                      trace::TraceSink *shard) const;
+
+    /** executeInvocation plus the retry loop. Each attempt traces
+     *  into a fresh shard (@p shard holds the final attempt's). */
+    runtime::ExecutionResult
+    runWithRetry(const workloads::Descriptor &workload,
+                 gc::Algorithm algorithm, double heap_mb,
+                 int invocation,
+                 std::unique_ptr<trace::TraceSink> &shard) const;
 
     /** Merge one finished invocation's shard onto the shared sink:
      *  wrap it in a harness-track span at the current time base, then

@@ -12,6 +12,7 @@
 
 #include <string_view>
 
+#include "fault/fault.hh"
 #include "heap/heap_space.hh"
 #include "runtime/allocator.hh"
 #include "runtime/gc_event_log.hh"
@@ -29,6 +30,9 @@ struct CollectorContext
     heap::HeapSpace *heap = nullptr;
     GcEventLog *log = nullptr;
     World *world = nullptr;
+
+    /** Optional fault injector (GcPhaseAbort site); may be null. */
+    fault::FaultInjector *fault = nullptr;
 };
 
 /**

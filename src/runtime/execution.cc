@@ -27,11 +27,25 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     GcEventLog log;
     World world(engine);
 
+    // Fault injection: one injector per invocation, seeded from the
+    // fault-plan seed, the invocation seed and the retry attempt, so
+    // fault schedules are a pure function of cell coordinates (and
+    // retries see independent schedules).
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (config.faults != nullptr && config.faults->enabled()) {
+        injector = std::make_unique<fault::FaultInjector>(
+            *config.faults, config.seed, config.fault_attempt);
+        engine.setFaultInjector(injector.get());
+        if (config.metrics != nullptr)
+            injector->attachMetrics(config.metrics);
+    }
+
     CollectorContext context;
     context.engine = &engine;
     context.heap = &heap;
     context.log = &log;
     context.world = &world;
+    context.fault = injector.get();
     collector.attach(context);
 
     // Bake the collector's barrier tax into the mutator's work: the
@@ -42,6 +56,8 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     MutatorGroup mutator(taxed_plan, collector, heap, log,
                          support::Rng(config.seed));
     mutator.attach(engine, world);
+    if (injector)
+        mutator.setFaultInjector(injector.get());
 
     // Observability wiring: scheduling spans from the engine, phase
     // spans from the event log and mutator, pacing from the world,
@@ -54,6 +70,8 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
                         sink.registerTrack("gc/concurrent"));
         world.attachTrace(&sink, sink.registerTrack("pacing"));
         mutator.attachTrace(&sink, sink.registerTrack("mutator"));
+        if (injector)
+            injector->attachTrace(&sink, sink.registerTrack("fault"));
 
         if (config.metrics_interval_ns > 0.0) {
             sampler = std::make_unique<trace::MetricsSampler>(
@@ -108,6 +126,8 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     result.collections = heap.collections();
     result.stall_count = mutator.stallCount();
     result.dispatches = engine.dispatchCount();
+    if (injector)
+        result.faults = injector->injected();
 
     if (result.completed && !result.iterations.empty()) {
         const auto &timed = result.iterations.back();

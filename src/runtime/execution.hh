@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "heap/heap_space.hh"
 #include "heap/live_set.hh"
 #include "runtime/collector_runtime.hh"
@@ -43,6 +44,17 @@ struct ExecutionConfig
     trace::MetricsRegistry *metrics = nullptr;
     double metrics_interval_ns = 0.0;
     /** @} */
+
+    /** @{ Deterministic fault injection (see fault/fault.hh). When
+     *  @c faults is non-null and enabled, an injector seeded from the
+     *  plan seed, this invocation's @c seed and @c fault_attempt is
+     *  wired into the engine (timer perturbation), the mutator
+     *  (alloc OOM/stall sites) and the collector (phase aborts).
+     *  @c fault_attempt salts the stream so harness-level retries of
+     *  the same cell see an independent fault schedule. */
+    const fault::FaultPlan *faults = nullptr;
+    int fault_attempt = 0;
+    /** @} */
 };
 
 /** Everything measured during one invocation. */
@@ -67,6 +79,13 @@ struct ExecutionResult
     std::uint64_t collections = 0;
     std::size_t stall_count = 0;
     std::uint64_t dispatches = 0;  ///< Engine events processed.
+
+    /** Faults injected into this invocation (in firing order). */
+    std::vector<fault::InjectedFault> faults;
+
+    /** Execution attempts consumed (harness retries; 1 = first try
+     *  sufficed). Set by the harness, not by runExecution. */
+    int attempts = 1;
 
     /** Measurements over the timed (last completed) iteration. */
     struct TimedSlice {

@@ -42,6 +42,12 @@ MutatorGroup::attachTrace(trace::TraceSink *sink, trace::TrackId track)
 }
 
 void
+MutatorGroup::setFaultInjector(fault::FaultInjector *injector)
+{
+    fault_ = injector;
+}
+
+void
 MutatorGroup::beginIteration(sim::Engine &engine)
 {
     IterationRecord rec;
@@ -116,7 +122,15 @@ MutatorGroup::resume(sim::Engine &engine)
             continue;
 
           case Phase::Allocate: {
-            const auto response = allocator_.request(chunk_alloc_);
+            auto response = allocator_.request(chunk_alloc_);
+            // Injected OOM kill: a granted allocation is converted to
+            // an out-of-memory verdict, exercising the abort path on
+            // configurations that would otherwise succeed.
+            if (response.verdict == AllocVerdict::Granted &&
+                fault_ != nullptr &&
+                fault_->fire(fault::Site::AllocOom, engine.now())) {
+                response = AllocResponse::oom();
+            }
             switch (response.verdict) {
               case AllocVerdict::Granted:
                 if (stall_begin_ >= 0.0) {
@@ -127,6 +141,24 @@ MutatorGroup::resume(sim::Engine &engine)
                     }
                     stall_begin_ = -1.0;
                     ++stalls_;
+                }
+                // Injected stall overrun: the grant succeeds but the
+                // mutator pays a pathological stall first (page-fault
+                // storm, pacing overrun). The run completes; only its
+                // timing degrades.
+                if (fault_ != nullptr &&
+                    fault_->fire(fault::Site::AllocStall,
+                                 engine.now())) {
+                    fault_stall_until_ =
+                        engine.now() + fault_->stallOverrunNs();
+                    log_.recordStall(engine.now(), fault_stall_until_);
+                    if (sink_) {
+                        sink_->beginSpan(track_,
+                                         trace::Category::Runtime,
+                                         "alloc-stall", engine.now());
+                    }
+                    phase_ = Phase::FaultStall;
+                    return sim::Action::sleepUntil(fault_stall_until_);
                 }
                 phase_ = Phase::Computed;
                 return sim::Action::compute(chunkWork(), plan_.width);
@@ -158,6 +190,16 @@ MutatorGroup::resume(sim::Engine &engine)
             }
             CAPO_PANIC("unhandled allocation verdict");
           }
+
+          case Phase::FaultStall:
+            // Injected stall overrun elapsed; resume the chunk.
+            ++stalls_;
+            if (sink_) {
+                sink_->endSpan(track_, trace::Category::Runtime,
+                               "alloc-stall", engine.now());
+            }
+            phase_ = Phase::Computed;
+            return sim::Action::compute(chunkWork(), plan_.width);
 
           case Phase::Computed: {
             // A chunk of work just finished.

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "heap/heap_space.hh"
 #include "runtime/allocator.hh"
 #include "runtime/gc_event_log.hh"
@@ -99,6 +100,14 @@ class MutatorGroup : public sim::Agent
      */
     void attachTrace(trace::TraceSink *sink, trace::TrackId track);
 
+    /**
+     * Consult @p injector at allocation grants: the AllocOom site
+     * converts a granted allocation into a simulated OOM kill, the
+     * AllocStall site makes the grant pay a stall-overrun sleep. Null
+     * detaches; the injector must outlive the run.
+     */
+    void setFaultInjector(fault::FaultInjector *injector);
+
     std::string_view name() const override { return "mutator"; }
     sim::Action resume(sim::Engine &engine) override;
 
@@ -133,7 +142,7 @@ class MutatorGroup : public sim::Agent
     sim::AgentId id_ = sim::kInvalidAgent;
     std::function<void()> shutdown_hook_;
 
-    enum class Phase { Start, Allocate, Computed, Done };
+    enum class Phase { Start, Allocate, FaultStall, Computed, Done };
     Phase phase_ = Phase::Start;
     int iteration_ = 0;
     int chunk_ = 0;
@@ -144,6 +153,9 @@ class MutatorGroup : public sim::Agent
     std::size_t stalls_ = 0;
     bool oom_ = false;
     bool done_ = false;
+
+    fault::FaultInjector *fault_ = nullptr;
+    sim::Time fault_stall_until_ = 0.0;
 
     trace::TraceSink *sink_ = nullptr;
     trace::TrackId track_ = 0;

@@ -296,7 +296,14 @@ Engine::apply(AgentId id, const Action &action)
       case Action::Kind::SleepUntil: {
         flushComputeEnd(slot);
         traceOpen(slot, OpenSpan::Sleep, kSpanSleep);
-        const Time due = std::max(action.until, now_);
+        Time requested = action.until;
+        // Injected timer perturbation: a deterministic jitter on the
+        // due time, modelling noisy timers / late wakeups. The jitter
+        // stream depends only on the injector's seed and consultation
+        // order, which is serial within one simulation.
+        if (fault_ != nullptr)
+            requested += fault_->timerJitter(now_);
+        const Time due = std::max(requested, now_);
         slot.state = State::Sleeping;
         slot.sleep_token = ++timer_seq_;
         timers_.push(Timer{due, timer_seq_, id, slot.sleep_token});

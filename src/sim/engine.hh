@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "sim/agent.hh"
 #include "sim/dheap.hh"
 #include "sim/time.hh"
@@ -109,6 +110,16 @@ class Engine
      * trace point then costs a single pointer test.
      */
     void setTraceSink(trace::TraceSink *sink);
+
+    /**
+     * Install a fault injector (see fault/fault.hh): timer due times
+     * are perturbed at the TimerPerturb site. Null disables (the
+     * default); the injector must outlive the run.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
 
     /**
      * Run the simulation.
@@ -258,6 +269,7 @@ class Engine
     std::vector<RateSegment> trace_;
     double frozen_wall_ = 0.0;
     trace::TraceSink *sink_ = nullptr;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace capo::sim

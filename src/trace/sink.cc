@@ -20,14 +20,17 @@ categoryName(Category cat)
         return "harness";
       case Category::Metrics:
         return "metrics";
+      case Category::Fault:
+        return "fault";
     }
     return "?";
 }
 
-std::uint32_t
-parseCategories(const std::string &spec)
+bool
+tryParseCategories(const std::string &spec, CategoryMask &mask,
+                   std::string &error)
 {
-    std::uint32_t mask = 0;
+    mask = 0;
     std::stringstream ss(spec);
     std::string item;
     bool any = false;
@@ -54,13 +57,29 @@ parseCategories(const std::string &spec)
             mask |= static_cast<std::uint32_t>(Category::Harness);
         else if (item == "metrics")
             mask |= static_cast<std::uint32_t>(Category::Metrics);
-        else
-            support::fatal("unknown trace category '", item,
-                           "' (known: sim, runtime, gc, harness, "
-                           "metrics, all, none)");
+        else if (item == "fault")
+            mask |= static_cast<std::uint32_t>(Category::Fault);
+        else {
+            error = "unknown trace category '" + item +
+                    "' (known: sim, runtime, gc, harness, metrics, "
+                    "fault, all, none)";
+            return false;
+        }
     }
-    if (!any)
-        support::fatal("empty trace category list");
+    if (!any) {
+        error = "empty trace category list";
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t
+parseCategories(const std::string &spec)
+{
+    CategoryMask mask = 0;
+    std::string error;
+    if (!tryParseCategories(spec, mask, error))
+        support::fatal(error);
     return mask;
 }
 

@@ -39,13 +39,14 @@ enum class Category : std::uint32_t {
     Gc = 1u << 2,       ///< Collector phases and trigger decisions.
     Harness = 1u << 3,  ///< Invocations, iterations, sweep cells.
     Metrics = 1u << 4,  ///< Periodic counter samples.
+    Fault = 1u << 5,    ///< Injected faults and retry bookkeeping.
 };
 
 /** Bitwise-or of Category values. */
 using CategoryMask = std::uint32_t;
 
 /** Mask with every category enabled. */
-constexpr CategoryMask kAllCategories = 0x1f;
+constexpr CategoryMask kAllCategories = 0x3f;
 
 /** Printable name of one category. */
 const char *categoryName(Category cat);
@@ -56,6 +57,11 @@ const char *categoryName(Category cat);
  * silently drop data).
  */
 std::uint32_t parseCategories(const std::string &spec);
+
+/** Non-fatal variant: false (with @p error set) on unknown names or
+ *  an empty list; @p mask is valid only on success. */
+bool tryParseCategories(const std::string &spec, CategoryMask &mask,
+                        std::string &error);
 
 /** The type of a trace event. */
 enum class EventKind : std::uint8_t {

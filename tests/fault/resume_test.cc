@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume tests. The journal is append-only and
+ * flushed per record, so a killed run's file is a prefix of a full
+ * run's file (possibly plus one torn line); these tests simulate every
+ * kill point by truncating a complete journal and assert the resumed
+ * sweep's CSV is bitwise-identical to the uninterrupted run — at any
+ * --jobs, across all five production collectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.hh"
+#include "harness/lbo_experiment.hh"
+#include "harness/minheap.hh"
+#include "metrics/export.hh"
+#include "workloads/registry.hh"
+
+namespace capo::harness {
+namespace {
+
+constexpr std::uint64_t kHash = 0x5eedf00dcafe;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "capo_resume_" + name + ".ckpt";
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+// ---------------------------------------------------------------------
+// Journal unit tests.
+
+TEST(CheckpointJournalTest, DoublesRoundTripExactly)
+{
+    for (double v : {0.0, -0.0, 1.0, -1.5, 3.141592653589793,
+                     1.23456789e300, 4.9e-324, 1e9 + 1.0 / 3.0}) {
+        double back = 0.0;
+        ASSERT_TRUE(CheckpointJournal::decodeDouble(
+            CheckpointJournal::encodeDouble(v), back));
+        EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0);
+    }
+    double out;
+    EXPECT_FALSE(CheckpointJournal::decodeDouble("", out));
+    EXPECT_FALSE(CheckpointJournal::decodeDouble("123", out));
+    EXPECT_FALSE(
+        CheckpointJournal::decodeDouble("zz00000000000000", out));
+}
+
+TEST(CheckpointJournalTest, AppendLookupPersistResume)
+{
+    const auto path = tempPath("unit");
+    std::string error;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        EXPECT_EQ(journal->entryCount(), 0u);
+        journal->append("k1", {"a", "b"});
+        journal->append("k2", {"c"});
+        std::vector<std::string> fields;
+        ASSERT_TRUE(journal->lookup("k1", fields));
+        EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+        EXPECT_FALSE(journal->lookup("k3", fields));
+    }
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, true, error);
+        ASSERT_NE(journal, nullptr) << error;
+        EXPECT_EQ(journal->entryCount(), 2u);
+        std::vector<std::string> fields;
+        ASSERT_TRUE(journal->lookup("k2", fields));
+        EXPECT_EQ(fields, (std::vector<std::string>{"c"}));
+        journal->append("k3", {"d"});
+    }
+    // Without resume the file is truncated and starts fresh.
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        EXPECT_EQ(journal->entryCount(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournalTest, HashMismatchRefusesResume)
+{
+    const auto path = tempPath("hash");
+    std::string error;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+    }
+    auto journal =
+        CheckpointJournal::open(path, kHash + 1, true, error);
+    EXPECT_EQ(journal, nullptr);
+    EXPECT_NE(error.find("header mismatch"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournalTest, TornFinalRecordIsDropped)
+{
+    const auto path = tempPath("torn");
+    std::string error;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        journal->append("whole", {"1"});
+        journal->append("doomed", {"2"});
+    }
+    // Chop mid-way through the final record, as a kill during the
+    // append would.
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    writeFile(path, contents.substr(0, contents.size() - 3));
+
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_EQ(journal->entryCount(), 1u);
+    std::vector<std::string> fields;
+    EXPECT_TRUE(journal->lookup("whole", fields));
+    EXPECT_FALSE(journal->lookup("doomed", fields));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournalTest, MissingFileOnResumeStartsFresh)
+{
+    const auto path = tempPath("missing");
+    std::remove(path.c_str());
+    std::string error;
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_EQ(journal->entryCount(), 0u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-resume over a real sweep, all five production collectors.
+
+LboSweepOptions
+sweepOptions(int jobs)
+{
+    LboSweepOptions sweep;
+    sweep.factors = {2.0, 3.0};
+    sweep.collectors = gc::productionCollectors();
+    sweep.base.iterations = 2;
+    sweep.base.invocations = 2;
+    sweep.base.time_limit_sec = 300;
+    sweep.base.jobs = jobs;
+    return sweep;
+}
+
+std::string
+sweepCsv(const WorkloadLbo &result)
+{
+    std::stringstream out;
+    metrics::exportLboCsv(result.analysis, out);
+    return out.str();
+}
+
+TEST(ResumeSweepTest, ResumeFromAnyPrefixIsBitIdentical)
+{
+    const auto &fop = workloads::byName("fop");
+    const auto path = tempPath("prefix");
+    std::string error;
+
+    // Uninterrupted reference run, journaling as it goes.
+    auto sweep = sweepOptions(1);
+    std::string full_csv;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        sweep.journal = journal.get();
+        const auto result = runLboSweep(fop, sweep);
+        EXPECT_EQ(result.restored_cells, 0u);
+        full_csv = sweepCsv(result);
+        // Ten cells (5 collectors x 2 factors), one record each.
+        EXPECT_EQ(journal->entryCount(), 10u);
+    }
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 11u);  // header + 10 cells
+
+    // Because the journal is append-only and per-record flushed, a
+    // SIGKILL at any moment leaves some prefix of these lines.
+    // Replay a spread of kill points — header only, early, midway,
+    // one-cell-short, complete — at both -j1 and -j8.
+    for (std::size_t keep : {1u, 2u, 6u, 10u, 11u}) {
+        std::string prefix;
+        for (std::size_t i = 0; i < keep; ++i)
+            prefix += lines[i] + "\n";
+        for (int jobs : {1, 8}) {
+            writeFile(path, prefix);
+            auto journal =
+                CheckpointJournal::open(path, kHash, true, error);
+            ASSERT_NE(journal, nullptr) << error;
+            EXPECT_EQ(journal->entryCount(), keep - 1);
+
+            auto resumed = sweepOptions(jobs);
+            resumed.journal = journal.get();
+            const auto result = runLboSweep(fop, resumed);
+            EXPECT_EQ(result.restored_cells, keep - 1);
+            EXPECT_EQ(sweepCsv(result), full_csv)
+                << "prefix " << keep << " jobs " << jobs;
+            // The journal is complete again after the resumed run.
+            EXPECT_EQ(journal->entryCount(), 10u);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ResumeSweepTest, TornLineResumesAndRerunsThatCell)
+{
+    const auto &fop = workloads::byName("fop");
+    const auto path = tempPath("sweep_torn");
+    std::string error;
+
+    auto sweep = sweepOptions(1);
+    std::string full_csv;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        sweep.journal = journal.get();
+        full_csv = sweepCsv(runLboSweep(fop, sweep));
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    writeFile(path, contents.substr(0, contents.size() - 5));
+
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_EQ(journal->entryCount(), 9u);  // torn record dropped
+
+    auto resumed = sweepOptions(8);
+    resumed.journal = journal.get();
+    const auto result = runLboSweep(fop, resumed);
+    EXPECT_EQ(result.restored_cells, 9u);
+    EXPECT_EQ(sweepCsv(result), full_csv);
+    std::remove(path.c_str());
+}
+
+TEST(ResumeSweepTest, TracedSweepBypassesRestoreButStillJournals)
+{
+    const auto &fop = workloads::byName("fop");
+    const auto path = tempPath("traced");
+    std::string error;
+
+    auto sweep = sweepOptions(1);
+    sweep.factors = {2.0};
+    sweep.collectors = {gc::Algorithm::G1};
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        sweep.journal = journal.get();
+        runLboSweep(fop, sweep);
+        EXPECT_EQ(journal->entryCount(), 1u);
+    }
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    trace::TraceSink sink;
+    sweep.journal = journal.get();
+    sweep.base.trace = &sink;
+    const auto result = runLboSweep(fop, sweep);
+    // Cells re-ran (the journal has no timelines) yet the trace is
+    // fully populated and the journal is intact.
+    EXPECT_EQ(result.restored_cells, 0u);
+    EXPECT_GT(sink.eventCount(), 0u);
+    EXPECT_EQ(journal->entryCount(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ResumeSweepTest, MinHeapGridResumes)
+{
+    const std::vector<std::string> names = {"fop"};
+    const std::vector<gc::Algorithm> collectors = {
+        gc::Algorithm::Serial, gc::Algorithm::G1};
+    ExperimentOptions options;
+    options.iterations = 2;
+    options.invocations = 1;
+    options.time_limit_sec = 300;
+
+    const auto path = tempPath("minheap");
+    std::string error;
+    MinHeapGrid full;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        full = findMinHeapGrid(names, collectors, options, 0.05,
+                               journal.get());
+    }
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);  // header + 2 cells
+
+    // Keep only the first cell; the resumed grid must match exactly.
+    writeFile(path, lines[0] + "\n" + lines[1] + "\n");
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    options.jobs = 8;
+    const auto resumed = findMinHeapGrid(names, collectors, options,
+                                         0.05, journal.get());
+    ASSERT_EQ(resumed.cells.size(), full.cells.size());
+    for (std::size_t i = 0; i < full.cells.size(); ++i) {
+        EXPECT_EQ(resumed.cells[i].result.min_heap_mb,
+                  full.cells[i].result.min_heap_mb);
+        EXPECT_EQ(resumed.cells[i].result.probes,
+                  full.cells[i].result.probes);
+        EXPECT_EQ(resumed.cells[i].result.converged,
+                  full.cells[i].result.converged);
+    }
+    EXPECT_EQ(journal->entryCount(), 2u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace capo::harness

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Golden-snapshot tests: small reference outputs for the paper's key
+ * artifacts — the fig01 suite LBO geomean curve, the tab03 nominal
+ * statistics table, and the figA heap timeline — checked in under
+ * tests/golden/data/ and diffed against current output at a fixed
+ * seed.
+ *
+ * The diff is numeric-tolerant (relative 1e-9) so cosmetic printf
+ * differences never fail the suite while any real change in simulated
+ * results does. On mismatch the current output lands next to the
+ * golden file as "<name>.actual" for inspection (CI uploads these).
+ *
+ * Regenerating after an intentional behaviour change:
+ *
+ *     CAPO_REGEN_GOLDEN=1 ./build/tests/golden_test
+ *
+ * then review the diff and commit the updated files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/lbo_experiment.hh"
+#include "harness/runner.hh"
+#include "metrics/export.hh"
+#include "stats/stat_table.hh"
+#include "support/strfmt.hh"
+#include "workloads/registry.hh"
+
+#ifndef CAPO_GOLDEN_DIR
+#error "golden_test needs CAPO_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace capo {
+namespace {
+
+bool
+regenerating()
+{
+    const char *env = std::getenv("CAPO_REGEN_GOLDEN");
+    return env != nullptr && std::string(env) == "1";
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(CAPO_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << contents;
+}
+
+bool
+parseNumber(const std::string &token, double &value)
+{
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string>
+splitCells(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+        out.push_back(cell);
+    return out;
+}
+
+/**
+ * Numeric-tolerant equality: cell-by-cell, numbers at relative 1e-9,
+ * everything else exact. Returns a human-readable location of the
+ * first difference, or empty when equal.
+ */
+std::string
+diffTables(const std::string &expected, const std::string &actual)
+{
+    std::stringstream es(expected), as(actual);
+    std::string eline, aline;
+    int line_no = 0;
+    for (;;) {
+        const bool have_e = static_cast<bool>(std::getline(es, eline));
+        const bool have_a = static_cast<bool>(std::getline(as, aline));
+        ++line_no;
+        if (!have_e && !have_a)
+            return "";
+        if (have_e != have_a) {
+            return support::concat("line ", line_no, ": ",
+                                   have_e ? "missing from actual"
+                                          : "extra in actual");
+        }
+        const auto ecells = splitCells(eline);
+        const auto acells = splitCells(aline);
+        if (ecells.size() != acells.size()) {
+            return support::concat("line ", line_no, ": ",
+                                   ecells.size(), " vs ",
+                                   acells.size(), " cells");
+        }
+        for (std::size_t c = 0; c < ecells.size(); ++c) {
+            double ev, av;
+            if (parseNumber(ecells[c], ev) &&
+                parseNumber(acells[c], av)) {
+                const double scale =
+                    std::max(std::abs(ev), std::abs(av));
+                if (std::abs(ev - av) > 1e-9 * std::max(scale, 1e-300))
+                    return support::concat("line ", line_no, " cell ",
+                                           c + 1, ": ", ecells[c],
+                                           " vs ", acells[c]);
+            } else if (ecells[c] != acells[c]) {
+                return support::concat("line ", line_no, " cell ",
+                                       c + 1, ": '", ecells[c],
+                                       "' vs '", acells[c], "'");
+            }
+        }
+    }
+}
+
+void
+expectMatchesGolden(const std::string &name, const std::string &actual)
+{
+    const auto path = goldenPath(name);
+    if (regenerating()) {
+        writeFile(path, actual);
+        std::cerr << "regenerated " << path << "\n";
+        return;
+    }
+    std::string expected;
+    if (!readFile(path, expected)) {
+        writeFile(path + ".actual", actual);
+        FAIL() << "missing golden file " << path
+               << " — run CAPO_REGEN_GOLDEN=1 ./golden_test and "
+                  "commit it (current output saved as .actual)";
+    }
+    const auto diff = diffTables(expected, actual);
+    if (!diff.empty()) {
+        writeFile(path + ".actual", actual);
+        FAIL() << name << " diverged from golden (" << diff
+               << "); current output saved to " << path
+               << ".actual — if the change is intentional, regen "
+                  "with CAPO_REGEN_GOLDEN=1";
+    }
+}
+
+// ---------------------------------------------------------------------
+// fig01: suite-wide LBO geomean curve at a fixed seed.
+
+TEST(GoldenTest, Fig01SuiteLboGeomean)
+{
+    harness::LboSweepOptions sweep;
+    sweep.factors = {2.0, 3.0};
+    sweep.collectors = gc::productionCollectors();
+    sweep.base.iterations = 2;
+    sweep.base.invocations = 2;
+    sweep.base.time_limit_sec = 300;
+    sweep.base.jobs = 2;  // any value: results are jobs-invariant
+
+    std::vector<harness::WorkloadLbo> per_workload;
+    for (const char *name : {"fop", "luindex"}) {
+        per_workload.push_back(
+            harness::runLboSweep(workloads::byName(name), sweep));
+    }
+    const auto points = harness::aggregateSuiteLbo(per_workload, sweep);
+
+    std::stringstream out;
+    out << "collector,factor,plotted,completed,wall_geomean,"
+           "cpu_geomean\n";
+    for (const auto &p : points) {
+        out << p.collector << "," << support::general(p.factor, 12)
+            << "," << (p.plotted ? 1 : 0) << "," << p.completed << ","
+            << support::general(p.wall_geomean, 12) << ","
+            << support::general(p.cpu_geomean, 12) << "\n";
+    }
+    expectMatchesGolden("fig01_suite_lbo.csv", out.str());
+}
+
+// ---------------------------------------------------------------------
+// tab03: the shipped nominal-statistics table (value, rank, score).
+
+TEST(GoldenTest, Tab03NominalStats)
+{
+    const auto table = stats::shippedStats();
+    std::stringstream out;
+    out << "workload,metric,value,score,rank\n";
+    for (const auto &workload : table.workloads()) {
+        for (const auto &info : stats::catalog()) {
+            const auto value = table.get(workload, info.id);
+            if (!value)
+                continue;
+            const auto rs = table.rankScore(workload, info.id);
+            out << workload << "," << info.code << ","
+                << support::general(*value, 12) << "," << rs.score
+                << "," << rs.rank << "\n";
+        }
+    }
+    expectMatchesGolden("tab03_nominal_stats.csv", out.str());
+}
+
+// ---------------------------------------------------------------------
+// figA: post-GC heap timeline of one fixed invocation.
+
+TEST(GoldenTest, FigAHeapTimeline)
+{
+    harness::ExperimentOptions options;
+    options.iterations = 2;
+    options.time_limit_sec = 300;
+    harness::Runner runner(options);
+    const auto &fop = workloads::byName("fop");
+    const auto run =
+        runner.runOnce(fop, gc::Algorithm::G1, fop.gc.gmd_mb * 2.0, 0);
+    ASSERT_TRUE(run.usable());
+
+    std::stringstream out;
+    metrics::exportHeapTimelineCsv(run.log, out);
+    expectMatchesGolden("figA_heap_timeline.csv", out.str());
+}
+
+} // namespace
+} // namespace capo

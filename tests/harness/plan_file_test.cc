@@ -77,24 +77,78 @@ TEST(PlanFileTest, WorkloadGroups)
     EXPECT_EQ(parsePlan("workloads = all\n").workloads.size(), 22u);
 }
 
-TEST(PlanFileDeathTest, RejectsMalformedInput)
+/** parsePlan(text) must throw a ParseError mentioning @p needle. */
+void
+expectParseError(const std::string &text, const std::string &needle)
 {
-    EXPECT_EXIT(parsePlan("no equals sign here\n"),
-                ::testing::ExitedWithCode(1), "expected key = value");
-    EXPECT_EXIT(parsePlan("workloads = quake\n"),
-                ::testing::ExitedWithCode(1), "unknown workload");
-    EXPECT_EXIT(parsePlan("experiment = frobnicate\n"),
-                ::testing::ExitedWithCode(1), "unknown experiment");
-    EXPECT_EXIT(parsePlan("bogus_key = 1\n"),
-                ::testing::ExitedWithCode(1), "unknown key");
-    EXPECT_EXIT(parsePlan("heap_factors = soon\n"),
-                ::testing::ExitedWithCode(1), "bad heap factor");
-    EXPECT_EXIT(parsePlan("jobs = -2\n"),
-                ::testing::ExitedWithCode(1), "jobs must be >= 0");
-    EXPECT_EXIT(parsePlan("jobs = many\n"),
-                ::testing::ExitedWithCode(1), "bad jobs");
-    EXPECT_EXIT(loadPlan("/nonexistent/plan.capo"),
-                ::testing::ExitedWithCode(1), "cannot read");
+    try {
+        parsePlan(text);
+        FAIL() << "no ParseError for: " << text;
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "message \"" << e.what() << "\" lacks \"" << needle
+            << "\"";
+    }
+}
+
+TEST(PlanFileTest, RejectsMalformedInput)
+{
+    expectParseError("no equals sign here\n", "expected key = value");
+    expectParseError("workloads = quake\n", "unknown workload");
+    expectParseError("experiment = frobnicate\n", "unknown experiment");
+    expectParseError("bogus_key = 1\n", "unknown key");
+    expectParseError("heap_factors = soon\n", "bad heap factor");
+    expectParseError("jobs = -2\n", "jobs must be >= 0");
+    expectParseError("jobs = many\n", "bad jobs");
+    EXPECT_THROW(loadPlan("/nonexistent/plan.capo"), ParseError);
+}
+
+TEST(PlanFileTest, RejectsMalformedNumericValues)
+{
+    // These crashed (uncaught std::invalid_argument / out_of_range)
+    // before the conversions were guarded.
+    expectParseError("iterations = abc\n", "bad iterations");
+    expectParseError("iterations = 0\n", "iterations must be >= 1");
+    expectParseError("invocations = 5x\n", "bad invocations");
+    expectParseError("invocations = 99999999999999999999\n",
+                     "bad invocations");
+    expectParseError("seed = -3\n", "bad seed");
+    expectParseError("seed = banana\n", "bad seed");
+    expectParseError("heap_factors = 0\n",
+                     "heap factor must be positive");
+    expectParseError("retries = -1\n", "retries must be >= 0");
+    expectParseError("faults = alloc=2.0\n", "rate");
+    expectParseError("trace_categories = bogus\n",
+                     "unknown trace category");
+}
+
+TEST(PlanFileTest, ParsesResilienceKeys)
+{
+    const auto plan = parsePlan("faults = alloc=0.01,gc=0.005\n"
+                                "fault_seed = 7\n"
+                                "retries = 2\n"
+                                "checkpoint = run.ckpt\n");
+    EXPECT_TRUE(plan.options.faults.enabled());
+    EXPECT_DOUBLE_EQ(plan.options.faults.rate(fault::Site::AllocOom),
+                     0.01);
+    EXPECT_DOUBLE_EQ(
+        plan.options.faults.rate(fault::Site::GcPhaseAbort), 0.005);
+    EXPECT_EQ(plan.options.faults.seed, 7u);
+    EXPECT_EQ(plan.options.retries, 2);
+    EXPECT_EQ(plan.checkpoint, "run.ckpt");
+}
+
+TEST(PlanFileTest, ParseErrorCarriesLineNumber)
+{
+    try {
+        parsePlan("jobs = 1\n\nworkloads = quake\n");
+        FAIL() << "no ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

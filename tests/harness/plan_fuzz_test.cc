@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fuzz tests for the experiment-definition parser: for arbitrary
+ * (seeded) mutations of valid plans — and for outright garbage — the
+ * parser must either return a plan or throw ParseError. Anything else
+ * (a crash, an uncaught std::invalid_argument from a raw stoi, a
+ * fatal() exit) is a bug; several of those were fixed by the guarded
+ * conversions this suite pins down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/plan_file.hh"
+#include "support/rng.hh"
+
+namespace capo::harness {
+namespace {
+
+/** The contract under test: parse, or throw ParseError. */
+void
+mustParseOrThrowParseError(const std::string &text)
+{
+    try {
+        const auto plan = parsePlan(text);
+        // Structural sanity on success: resolved lists are non-empty.
+        EXPECT_FALSE(plan.workloads.empty());
+        EXPECT_FALSE(plan.collectors.empty());
+        EXPECT_FALSE(plan.heap_factors.empty());
+    } catch (const ParseError &) {
+        // The one sanctioned failure mode.
+    }
+    // Any other exception propagates and fails the test.
+}
+
+const char *const kValidPlan =
+    "# exercise every key\n"
+    "experiment   = lbo\n"
+    "workloads    = lusearch, h2\n"
+    "collectors   = serial, g1, zgc\n"
+    "heap_factors = 1.5, 2, 3, 6\n"
+    "iterations   = 3\n"
+    "invocations  = 2\n"
+    "jobs         = 2\n"
+    "size         = small\n"
+    "seed         = 1234\n"
+    "trace_out    = out.json\n"
+    "trace_categories = gc, harness\n"
+    "metrics_interval = 5\n"
+    "faults       = alloc=0.01,gc=0.005\n"
+    "fault_seed   = 7\n"
+    "retries      = 2\n"
+    "checkpoint   = run.ckpt\n";
+
+TEST(PlanFuzzTest, TruncationsNeverCrash)
+{
+    const std::string base = kValidPlan;
+    for (std::size_t cut = 0; cut <= base.size(); ++cut)
+        mustParseOrThrowParseError(base.substr(0, cut));
+}
+
+class PlanFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PlanFuzz, RandomByteMutationsNeverCrash)
+{
+    support::Rng rng(GetParam());
+    const std::string base = kValidPlan;
+    for (int round = 0; round < 400; ++round) {
+        std::string text = base;
+        const int edits = 1 + static_cast<int>(rng.uniformInt(8));
+        for (int e = 0; e < edits; ++e) {
+            const auto pos =
+                static_cast<std::size_t>(rng.uniformInt(text.size()));
+            switch (rng.uniformInt(3)) {
+              case 0:  // flip a byte to random printable-ish junk
+                text[pos] = static_cast<char>(rng.uniformInt(256));
+                break;
+              case 1:  // delete a byte
+                text.erase(pos, 1);
+                break;
+              default:  // insert a hostile character
+                text.insert(pos, 1, "=#,\n\t -.e9x"[rng.uniformInt(11)]);
+                break;
+            }
+            if (text.empty())
+                break;
+        }
+        mustParseOrThrowParseError(text);
+    }
+}
+
+TEST_P(PlanFuzz, RandomKeyValueSplicesNeverCrash)
+{
+    support::Rng rng(GetParam());
+    const std::vector<std::string> keys = {
+        "experiment", "workloads",   "collectors",
+        "heap_factors", "iterations", "invocations",
+        "jobs",       "size",        "seed",
+        "trace_out",  "trace_categories", "metrics_interval",
+        "faults",     "fault_seed",  "retries",
+        "checkpoint", "bogus",       "",
+    };
+    const std::vector<std::string> values = {
+        "",      "0",        "1",     "-1",     "1e308",  "-1e308",
+        "nan",   "inf",      "0.5",   "lbo",    "minheap", "all",
+        "none",  "x",        "5x",    "1,2,3",  ",",       ",,,",
+        "99999999999999999999", "-99999999999999999999",
+        "alloc=0.5", "alloc=2", "alloc=", "=0.5", "g1", "serial, bogus",
+        "\t",    " ",        "0x10",  "1.5.2",  "--",     "lusearch",
+    };
+    for (int round = 0; round < 400; ++round) {
+        std::string text;
+        const int lines = 1 + static_cast<int>(rng.uniformInt(12));
+        for (int l = 0; l < lines; ++l) {
+            // Duplicate keys are deliberately likely: last-wins must
+            // hold, never a crash.
+            text += keys[rng.uniformInt(keys.size())];
+            if (rng.uniformInt(8) != 0)
+                text += " = ";
+            text += values[rng.uniformInt(values.size())];
+            if (rng.uniformInt(8) != 0)
+                text += "\n";
+        }
+        mustParseOrThrowParseError(text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz,
+                         ::testing::Values(1, 7, 42, 1337, 90210));
+
+} // namespace
+} // namespace capo::harness
