@@ -15,6 +15,8 @@
  *    fallbacks replace mixed collections.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "gc/concurrent_collector.hh"
 #include "gc/g1_collector.hh"
@@ -25,11 +27,6 @@
 using namespace capo;
 
 namespace {
-
-struct Variant {
-    std::string label;
-    std::unique_ptr<runtime::CollectorRuntime> collector;
-};
 
 runtime::ExecutionResult
 runVariant(const workloads::Descriptor &workload, double factor,
@@ -51,12 +48,19 @@ runVariant(const workloads::Descriptor &workload, double factor,
 }
 
 void
-report(support::TextTable &table, const std::string &workload,
-       const std::string &label,
+report(support::TextTable &table, report::ResultTable &rows,
+       const std::string &workload, const std::string &label,
        const runtime::ExecutionResult &result)
 {
     if (!result.usable()) {
         table.row({workload, label, "-", "-", "-", "-", "-"});
+        rows.addRow({report::Value::str(workload),
+                     report::Value::str(label),
+                     report::Value::boolean(false),
+                     report::Value::dbl(0.0), report::Value::dbl(0.0),
+                     report::Value::dbl(0.0),
+                     report::Value::uinteger(0),
+                     report::Value::dbl(0.0)});
         return;
     }
     table.row({workload, label,
@@ -65,21 +69,33 @@ report(support::TextTable &table, const std::string &workload,
                support::fixed(result.log.stwWall() / 1e6, 1),
                std::to_string(result.stall_count),
                support::fixed(result.log.stallWall() / 1e6, 1)});
+    rows.addRow(
+        {report::Value::str(workload), report::Value::str(label),
+         report::Value::boolean(true),
+         report::Value::dbl(result.timed.wall / 1e9),
+         report::Value::dbl(result.timed.cpu / 1e9),
+         report::Value::dbl(result.log.stwWall() / 1e6),
+         report::Value::uinteger(
+             static_cast<std::uint64_t>(result.stall_count)),
+         report::Value::dbl(result.log.stallWall() / 1e6)});
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runAblation(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Ablations of the collector mechanism models");
-    flags.parse(argc, argv);
-
-    bench::banner("Collector-mechanism ablations", "DESIGN.md section 4");
-
-    auto options = bench::optionsFromFlags(flags, 1, 2);
+    auto options = context.options;
     options.invocations = 1;
+
+    auto &rows = context.store.table(
+        "ablations",
+        report::Schema{{"workload", report::Type::String},
+                       {"variant", report::Type::String},
+                       {"usable", report::Type::Bool},
+                       {"timed_wall_s", report::Type::Double},
+                       {"timed_cpu_s", report::Type::Double},
+                       {"stw_ms", report::Type::Double},
+                       {"stalls", report::Type::Uint},
+                       {"stall_wall_ms", report::Type::Double}});
 
     support::TextTable table;
     table.columns({"workload", "variant", "timed wall (s)",
@@ -104,9 +120,9 @@ main(int argc, char **argv)
         // Moderate pressure (3x): pacing, not stalling, is the
         // operative mechanism; at very tight heaps both variants are
         // reclamation-bound and converge.
-        report(table, "lusearch@3x", "Shenandoah (pacing)",
+        report(table, rows, "lusearch@3x", "Shenandoah (pacing)",
                runVariant(lusearch, 3.0, with, options));
-        report(table, "lusearch@3x", "Shenandoah (no pacing)",
+        report(table, rows, "lusearch@3x", "Shenandoah (no pacing)",
                runVariant(lusearch, 3.0, without, options));
         table.separator();
     }
@@ -118,9 +134,9 @@ main(int argc, char **argv)
                                     biojava.pointerFootprint());
         gc::ConcurrentCollector slim("ZGC-compressed", 2018,
                                      gc::zgcTuning(), 1.0);
-        report(table, "biojava@2x", "ZGC (no compressed oops)",
+        report(table, rows, "biojava@2x", "ZGC (no compressed oops)",
                runVariant(biojava, 2.0, fat, options));
-        report(table, "biojava@2x", "ZGC (compressed oops)",
+        report(table, rows, "biojava@2x", "ZGC (compressed oops)",
                runVariant(biojava, 2.0, slim, options));
         table.separator();
     }
@@ -134,9 +150,9 @@ main(int argc, char **argv)
         flat_tuning.generational = false;
         gc::ConcurrentCollector flat("GenZGC-flat", 2023, flat_tuning,
                                      1.0);
-        report(table, "h2@3x", "GenZGC (generational)",
+        report(table, rows, "h2@3x", "GenZGC (generational)",
                runVariant(h2, 3.0, gen, options));
-        report(table, "h2@3x", "GenZGC (single-generation)",
+        report(table, rows, "h2@3x", "GenZGC (single-generation)",
                runVariant(h2, 3.0, flat, options));
         table.separator();
     }
@@ -151,13 +167,27 @@ main(int argc, char **argv)
         auto no_mark_tuning = gc::g1Tuning();
         no_mark_tuning.ihop_fraction = 10.0;  // never triggers
         gc::G1Collector no_mark(no_mark_tuning);
-        report(table, "lusearch@2x", "G1 (concurrent marking)",
+        report(table, rows, "lusearch@2x", "G1 (concurrent marking)",
                runVariant(lusearch, 2.0, normal, options));
-        report(table, "lusearch@2x", "G1 (no marking: full-GC "
-                                     "fallback)",
+        report(table, rows, "lusearch@2x", "G1 (no marking: full-GC "
+                                           "fallback)",
                runVariant(lusearch, 2.0, no_mark, options));
     }
 
     table.render(std::cout);
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "ablation_collectors";
+    e.title = "Collector-mechanism ablations";
+    e.paper_ref = "DESIGN.md section 4";
+    e.description = "Ablations of the collector mechanism models";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.run = runAblation;
+    return e;
+}()};
+
+} // namespace

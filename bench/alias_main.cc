@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Shared main() for the historical one-binary-per-figure targets:
+ * each alias target compiles this file with CAPO_BENCH_EXPERIMENT set
+ * to its registry name, so `./fig01_lbo_geomean --full` keeps working
+ * exactly as before while the experiment logic lives in the registry
+ * (see report/experiment.hh and the capo-bench multiplexer).
+ */
+
+#include "report/experiment.hh"
+
+#ifndef CAPO_BENCH_EXPERIMENT
+#error "alias targets must define CAPO_BENCH_EXPERIMENT"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return capo::report::runExperimentMain(CAPO_BENCH_EXPERIMENT, argc,
+                                           argv);
+}

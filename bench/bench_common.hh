@@ -1,12 +1,14 @@
 /**
  * @file
- * Shared plumbing for the experiment-reproduction binaries.
+ * Shared helpers for the experiment-reproduction bodies.
  *
- * Each bench binary regenerates one table or figure from the paper.
- * By default they run in a reduced configuration (fewer invocations
- * and iterations) so the full set completes in minutes; pass --full
- * for the paper's methodology (5 iterations timing the last, 10
- * invocations, 95 % confidence intervals).
+ * Each bench target regenerates one table or figure from the paper.
+ * The binaries themselves are registry-driven (report/experiment.hh):
+ * flag handling, --full presets, banners and artifact flushing all
+ * live in the registry runner, so what remains here is just the
+ * formatting and reporting helpers the experiment bodies share. All
+ * file output goes through the context's ArtifactSink — bench code
+ * never opens files directly.
  */
 
 #ifndef CAPO_BENCH_BENCH_COMMON_HH
@@ -14,61 +16,16 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "harness/runner.hh"
-#include "support/flags.hh"
+#include "report/artifact.hh"
+#include "report/experiment.hh"
 #include "support/strfmt.hh"
 #include "support/table.hh"
 
 namespace capo::bench {
-
-/** Standard flags shared by every reproduction binary. */
-inline support::Flags
-standardFlags(const std::string &description)
-{
-    support::Flags flags(description);
-    flags.addBool("full", false,
-                  "use the paper's full methodology (10 invocations, "
-                  "5 iterations) instead of the quick configuration");
-    flags.addInt("invocations", 0,
-                 "override the number of invocations (0 = preset)");
-    flags.addInt("iterations", 0,
-                 "override the number of iterations (0 = preset)");
-    flags.addInt("seed", 0x5eed, "base random seed");
-    flags.addInt("jobs", 1,
-                 "cells/invocations to run concurrently (0 = all "
-                 "hardware threads); results are identical for any "
-                 "value");
-    flags.addAlias("j", "jobs");
-    return flags;
-}
-
-/** Experiment options derived from the standard flags. */
-inline harness::ExperimentOptions
-optionsFromFlags(const support::Flags &flags, int quick_invocations = 3,
-                 int quick_iterations = 3)
-{
-    harness::ExperimentOptions options;
-    if (flags.getBool("full")) {
-        options.invocations = 10;
-        options.iterations = 5;
-    } else {
-        options.invocations = quick_invocations;
-        options.iterations = quick_iterations;
-    }
-    if (flags.getInt("invocations") > 0)
-        options.invocations = static_cast<int>(flags.getInt("invocations"));
-    if (flags.getInt("iterations") > 0)
-        options.iterations = static_cast<int>(flags.getInt("iterations"));
-    options.base_seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-    options.jobs = static_cast<int>(flags.getInt("jobs"));
-    return options;
-}
 
 /** Monotonic seconds for measuring harness throughput. */
 inline double
@@ -120,38 +77,26 @@ class BenchJson
         fields_.emplace_back(key, "\"" + value + "\"");
     }
 
-    /** Write the report; fatal-free (a bench must not fail on an
-     *  unwritable report path — it warns instead). */
-    void
-    write(const std::string &path) const
+    /** Write the report through the artifact sink; fatal-free (the
+     *  sink retries and quarantines — a bench must not fail on an
+     *  unwritable report path). */
+    bool
+    write(report::ArtifactSink &sink, const std::string &path) const
     {
-        std::ofstream out(path);
-        if (!out) {
-            std::cerr << "warning: cannot write bench report to "
-                      << path << "\n";
-            return;
-        }
-        out << "{\n";
-        for (std::size_t i = 0; i < fields_.size(); ++i) {
-            out << "  \"" << fields_[i].first
-                << "\": " << fields_[i].second
-                << (i + 1 < fields_.size() ? "," : "") << "\n";
-        }
-        out << "}\n";
+        return sink.write(path, [this](std::ostream &out) {
+            out << "{\n";
+            for (std::size_t i = 0; i < fields_.size(); ++i) {
+                out << "  \"" << fields_[i].first
+                    << "\": " << fields_[i].second
+                    << (i + 1 < fields_.size() ? "," : "") << "\n";
+            }
+            out << "}\n";
+        });
     }
 
   private:
     std::vector<std::pair<std::string, std::string>> fields_;
 };
-
-/** Print a figure/table banner. */
-inline void
-banner(const std::string &title, const std::string &paper_ref)
-{
-    std::cout << "# " << title << "\n# (reproduces " << paper_ref
-              << " of 'Rethinking Java Performance Analysis', "
-                 "ASPLOS'25)\n\n";
-}
 
 /** Format an LBO overhead value ("1.153"). */
 inline std::string

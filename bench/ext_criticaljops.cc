@@ -9,6 +9,8 @@
  * requests themselves, the paper's recurring theme.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "support/logging.hh"
 #include "metrics/request_synth.hh"
@@ -17,25 +19,17 @@
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runExtCriticalJops(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Extension: SPECjbb-style critical-jOPS per collector");
-    flags.addDouble("factor", 3.0, "heap factor (x min heap)");
-    flags.addString("workload", "cassandra",
-                    "latency-sensitive workload to load");
-    flags.parse(argc, argv);
-
-    bench::banner("critical-jOPS under open-loop load",
-                  "Section 3.2's SPECjbb2015 metric, as an extension");
-
     const auto &workload =
-        workloads::byName(flags.getString("workload"));
+        workloads::byName(context.flags.getString("workload"));
     if (!workload.latency_sensitive)
         support::fatal("pick a latency-sensitive workload");
 
-    harness::ExperimentOptions options = bench::optionsFromFlags(flags, 1, 3);
+    harness::ExperimentOptions options = context.options;
     options.invocations = 1;
     options.trace_rate = true;
     harness::Runner runner(options);
@@ -44,6 +38,15 @@ main(int argc, char **argv)
     const std::vector<double> slas = {10e6, 25e6, 50e6, 75e6, 100e6};
     // Nominal service demand: 1 ms of work per request.
     const double service_ns = 1e6;
+
+    auto &jops = context.store.table(
+        "critical_jops",
+        report::Schema{{"workload", report::Type::String},
+                       {"collector", report::Type::String},
+                       {"completed", report::Type::Bool},
+                       {"max_jops", report::Type::Double},
+                       {"critical_jops", report::Type::Double},
+                       {"p99_at_critical_ms", report::Type::Double}});
 
     support::TextTable table;
     table.columns({"collector", "max jOPS (tested)", "critical-jOPS",
@@ -55,9 +58,15 @@ main(int argc, char **argv)
 
     for (auto algorithm : gc::productionCollectors()) {
         const auto set = runner.run(workload, algorithm,
-                                    flags.getDouble("factor"));
+                                    context.flags.getDouble("factor"));
         if (!set.allCompleted()) {
             table.row({gc::algorithmName(algorithm), "DNF", "-", "-"});
+            jops.addRow(
+                {report::Value::str(workload.name),
+                 report::Value::str(gc::algorithmName(algorithm)),
+                 report::Value::boolean(false),
+                 report::Value::dbl(0.0), report::Value::dbl(0.0),
+                 report::Value::dbl(0.0)});
             continue;
         }
         const auto &run = set.runs.front();
@@ -81,6 +90,12 @@ main(int argc, char **argv)
                    support::fixed(max_rate, 0),
                    support::fixed(critical, 0),
                    support::fixed(p99_at(critical) / 1e6, 2)});
+        jops.addRow({report::Value::str(workload.name),
+                     report::Value::str(gc::algorithmName(algorithm)),
+                     report::Value::boolean(true),
+                     report::Value::dbl(max_rate),
+                     report::Value::dbl(critical),
+                     report::Value::dbl(p99_at(critical) / 1e6)});
     }
     table.render(std::cout);
 
@@ -91,3 +106,23 @@ main(int argc, char **argv)
         "timeline.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "ext_criticaljops";
+    e.title = "critical-jOPS under open-loop load";
+    e.paper_ref = "Section 3.2's SPECjbb2015 metric, as an extension";
+    e.description =
+        "Extension: SPECjbb-style critical-jOPS per collector";
+    e.quick_invocations = 1;
+    e.quick_iterations = 3;
+    e.add_flags = [](support::Flags &flags) {
+        flags.addDouble("factor", 3.0, "heap factor (x min heap)");
+        flags.addString("workload", "cassandra",
+                        "latency-sensitive workload to load");
+    };
+    e.run = runExtCriticalJops;
+    return e;
+}()};
+
+} // namespace

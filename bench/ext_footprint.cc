@@ -8,32 +8,35 @@
  * invisible to a minimum-heap methodology, visible here.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "metrics/footprint.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runExtFootprint(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Extension: area-under-the-memory-curve footprints");
-    flags.addDouble("factor", 3.0, "heap factor (x min heap)");
-    flags.parse(argc, argv);
-
-    bench::banner("Average heap footprint by collector",
-                  "Section 4.2's suggested 'area under the memory use "
-                  "curve' metric");
-
-    auto options = bench::optionsFromFlags(flags, 1, 2);
+    auto options = context.options;
     options.invocations = 1;
     harness::Runner runner(options);
-    const double factor = flags.getDouble("factor");
+    const double factor = context.flags.getDouble("factor");
 
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())
         selection = {"lusearch", "h2", "cassandra", "pmd", "xalan"};
+
+    auto &footprint = context.store.table(
+        "footprint",
+        report::Schema{{"workload", report::Type::String},
+                       {"collector", report::Type::String},
+                       {"xmx_mb", report::Type::Double},
+                       {"completed", report::Type::Bool},
+                       {"avg_footprint_mb", report::Type::Double}});
 
     support::TextTable table;
     std::vector<std::string> header = {"workload", "Xmx (MB)"};
@@ -54,6 +57,12 @@ main(int argc, char **argv)
             const auto set = runner.run(workload, algorithm, factor);
             if (!set.allCompleted()) {
                 row.push_back("DNF");
+                footprint.addRow(
+                    {report::Value::str(name),
+                     report::Value::str(gc::algorithmName(algorithm)),
+                     report::Value::dbl(workload.gc.gmd_mb * factor),
+                     report::Value::boolean(false),
+                     report::Value::dbl(0.0)});
                 continue;
             }
             const auto &run = set.runs.front();
@@ -61,6 +70,13 @@ main(int argc, char **argv)
                 run.log, 0.0, run.wall);
             row.push_back(support::fixed(
                 summary.average_bytes / (1024.0 * 1024.0), 1));
+            footprint.addRow(
+                {report::Value::str(name),
+                 report::Value::str(gc::algorithmName(algorithm)),
+                 report::Value::dbl(workload.gc.gmd_mb * factor),
+                 report::Value::boolean(true),
+                 report::Value::dbl(summary.average_bytes /
+                                    (1024.0 * 1024.0))});
         }
         table.row(row);
     }
@@ -74,3 +90,22 @@ main(int argc, char **argv)
         "proxy rather than a footprint measure.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "ext_footprint";
+    e.title = "Average heap footprint by collector";
+    e.paper_ref = "Section 4.2's suggested 'area under the memory use "
+                  "curve' metric";
+    e.description =
+        "Extension: area-under-the-memory-curve footprints";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.add_flags = [](support::Flags &flags) {
+        flags.addDouble("factor", 3.0, "heap factor (x min heap)");
+    };
+    e.run = runExtFootprint;
+    return e;
+}()};
+
+} // namespace

@@ -7,6 +7,8 @@
  * where the collector can run all 22 benchmarks to completion.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "exec/pool.hh"
 #include "support/ascii_chart.hh"
@@ -48,24 +50,12 @@ identicalPoints(const std::vector<harness::SuiteLboPoint> &a,
     return true;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runFig01(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Figure 1: suite-wide lower-bound GC overheads vs heap size");
-    flags.addString("bench-json", "BENCH_harness.json",
-                    "machine-readable throughput report path (empty "
-                    "disables)");
-    flags.parse(argc, argv);
-
-    bench::banner("Lower-bound overheads, geomean over 22 workloads",
-                  "Figure 1(a,b)");
-
     harness::LboSweepOptions sweep;
     sweep.factors = {1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0};
-    sweep.base = bench::optionsFromFlags(flags);
+    sweep.base = context.options;
 
     const double start = bench::monotonicSeconds();
     const auto per_workload = sweepSuite(sweep);
@@ -79,7 +69,25 @@ main(int argc, char **argv)
                               sweep.collectors.size() *
                               sweep.factors.size();
 
-    const std::string report_path = flags.getString("bench-json");
+    auto &curve = context.store.table(
+        "suite_lbo",
+        report::Schema{{"collector", report::Type::String},
+                       {"factor", report::Type::Double},
+                       {"plotted", report::Type::Bool},
+                       {"completed", report::Type::Uint},
+                       {"wall_geomean", report::Type::Double},
+                       {"cpu_geomean", report::Type::Double}});
+    for (const auto &p : points) {
+        curve.addRow({report::Value::str(p.collector),
+                      report::Value::dbl(p.factor),
+                      report::Value::boolean(p.plotted),
+                      report::Value::uinteger(p.completed),
+                      report::Value::dbl(p.wall_geomean),
+                      report::Value::dbl(p.cpu_geomean)});
+    }
+
+    const std::string report_path =
+        context.flags.getString("bench-json");
     if (!report_path.empty()) {
         bench::BenchJson report;
         report.set("bench", std::string("fig01_lbo_geomean"));
@@ -109,8 +117,8 @@ main(int argc, char **argv)
             report.set("identical_to_serial",
                        identicalPoints(points, serial_points));
         }
-        report.write(report_path);
-        std::cerr << "  wrote " << report_path << "\n";
+        if (report.write(context.artifacts, report_path))
+            std::cerr << "  wrote " << report_path << "\n";
     }
 
     for (const char *axis : {"wall", "cpu"}) {
@@ -185,3 +193,21 @@ main(int argc, char **argv)
         "pointers) cannot complete the whole suite below ~2-3x.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "fig01_lbo_geomean";
+    e.title = "Lower-bound overheads, geomean over 22 workloads";
+    e.paper_ref = "Figure 1(a,b)";
+    e.description =
+        "Figure 1: suite-wide lower-bound GC overheads vs heap size";
+    e.add_flags = [](support::Flags &flags) {
+        flags.addString("bench-json", "BENCH_harness.json",
+                        "machine-readable throughput report path "
+                        "(empty disables)");
+    };
+    e.run = runFig01;
+    return e;
+}()};
+
+} // namespace

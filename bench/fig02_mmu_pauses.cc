@@ -8,6 +8,8 @@
  * on a simulated run.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "metrics/mmu.hh"
 #include "workloads/registry.hh"
@@ -17,26 +19,31 @@ using namespace capo;
 namespace {
 
 void
-mmuRow(support::TextTable &table, const std::string &label,
-       const metrics::Mmu &mmu, const std::vector<double> &windows_ms)
+mmuRow(support::TextTable &table, report::ResultTable &rows,
+       const std::string &label, const metrics::Mmu &mmu,
+       const std::vector<double> &windows_ms)
 {
     std::vector<std::string> row = {
         label, support::fixed(mmu.maxPause() / 1e6, 1)};
-    for (double w : windows_ms)
+    for (double w : windows_ms) {
         row.push_back(support::fixed(mmu.at(w * 1e6), 3));
+        rows.addRow({report::Value::str(label),
+                     report::Value::dbl(mmu.maxPause() / 1e6),
+                     report::Value::dbl(w),
+                     report::Value::dbl(mmu.at(w * 1e6))});
+    }
     table.row(row);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runFig02(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Figure 2: pause-time vs minimum mutator utilization");
-    flags.parse(argc, argv);
-
-    bench::banner("Pause times mislead; MMU does not", "Figure 2");
+    auto &mmu_table = context.store.table(
+        "mmu",
+        report::Schema{{"scenario", report::Type::String},
+                       {"max_pause_ms", report::Type::Double},
+                       {"window_ms", report::Type::Double},
+                       {"mmu", report::Type::Double}});
 
     const std::vector<double> windows_ms = {1, 5, 20, 50, 110, 500,
                                             1000};
@@ -51,7 +58,7 @@ main(int argc, char **argv)
 
     // Synthetic: one 100 ms pause over a 1 s run.
     metrics::Mmu one({{450e6, 550e6}}, 0.0, 1e9);
-    mmuRow(table, "one 100 ms pause", one, windows_ms);
+    mmuRow(table, mmu_table, "one 100 ms pause", one, windows_ms);
 
     // Synthetic: ten 10 ms pauses with 1 ms gaps.
     std::vector<std::pair<double, double>> train;
@@ -60,11 +67,11 @@ main(int argc, char **argv)
         train.emplace_back(b, b + 10e6);
     }
     metrics::Mmu many(train, 0.0, 1e9);
-    mmuRow(table, "10 x 10 ms pauses", many, windows_ms);
+    mmuRow(table, mmu_table, "10 x 10 ms pauses", many, windows_ms);
     table.separator();
 
     // Real pause logs from a simulated run of lusearch at 2x.
-    auto options = bench::optionsFromFlags(flags, 1, 2);
+    auto options = context.options;
     options.invocations = 1;
     harness::Runner runner(options);
     for (auto algorithm : {gc::Algorithm::Serial, gc::Algorithm::G1,
@@ -75,7 +82,7 @@ main(int argc, char **argv)
             continue;
         const auto &run = set.runs.front();
         metrics::Mmu mmu(run.log.stwIntervals(), 0.0, run.wall);
-        mmuRow(table,
+        mmuRow(table, mmu_table,
                std::string("lusearch 2x / ") +
                    gc::algorithmName(algorithm),
                mmu, windows_ms);
@@ -89,3 +96,18 @@ main(int argc, char **argv)
         "L1).\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "fig02_mmu_pauses";
+    e.title = "Pause times mislead; MMU does not";
+    e.paper_ref = "Figure 2";
+    e.description =
+        "Figure 2: pause-time vs minimum mutator utilization";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.run = runFig02;
+    return e;
+}()};
+
+} // namespace

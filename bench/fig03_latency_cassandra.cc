@@ -5,22 +5,21 @@
  * metered latency (100 ms and full smoothing) at 2x and 6x heap.
  */
 
+#include <iostream>
+
 #include "bench/latency_figure.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
-int
-main(int argc, char **argv)
-{
-    auto flags = bench::standardFlags(
-        "Figure 3: cassandra user-experienced latency distributions");
-    flags.parse(argc, argv);
+namespace {
 
-    bench::banner("cassandra request-latency distributions",
-                  "Figure 3(a-f)");
+int
+runFig03(report::ExperimentContext &context)
+{
     bench::latencyFigure(workloads::byName("cassandra"),
-                         bench::optionsFromFlags(flags, 1, 3));
+                         context.options, {2.0, 6.0},
+                         &context.store);
 
     std::cout <<
         "\nPaper reference: even at the generous 6x heap, the newer\n"
@@ -29,3 +28,18 @@ main(int argc, char **argv)
         "collection pauses create request backlogs.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "fig03_latency_cassandra";
+    e.title = "cassandra request-latency distributions";
+    e.paper_ref = "Figure 3(a-f)";
+    e.description =
+        "Figure 3: cassandra user-experienced latency distributions";
+    e.quick_invocations = 1;
+    e.quick_iterations = 3;
+    e.run = runFig03;
+    return e;
+}()};
+
+} // namespace

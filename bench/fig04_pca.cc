@@ -8,22 +8,19 @@
  * metrics feeding Table 2.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "support/ascii_chart.hh"
 #include "stats/pca.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runFig04(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Figure 4: PCA of workload diversity");
-    flags.parse(argc, argv);
-
-    bench::banner("Principal components analysis of the suite",
-                  "Figure 4(a,b)");
-
     const auto table = stats::shippedStats();
     const auto pca = stats::runPca(table, 4);
 
@@ -41,6 +38,14 @@ main(int argc, char **argv)
     std::cout << "  (top four: " << support::percent(top4, 0)
               << "; paper: 18/16/14/11 = 59 %)\n\n";
 
+    auto &scores = context.store.table(
+        "pca_scores",
+        report::Schema{{"workload", report::Type::String},
+                       {"pc1", report::Type::Double},
+                       {"pc2", report::Type::Double},
+                       {"pc3", report::Type::Double},
+                       {"pc4", report::Type::Double}});
+
     support::TextTable scatter;
     scatter.columns({"workload", "PC1", "PC2", "PC3", "PC4"},
                     {support::TextTable::Align::Left,
@@ -53,6 +58,11 @@ main(int argc, char **argv)
         for (int c = 0; c < 4; ++c)
             row.push_back(support::fixed(pca.scores[w][c], 2));
         scatter.row(row);
+        scores.addRow({report::Value::str(pca.workloads[w]),
+                       report::Value::dbl(pca.scores[w][0]),
+                       report::Value::dbl(pca.scores[w][1]),
+                       report::Value::dbl(pca.scores[w][2]),
+                       report::Value::dbl(pca.scores[w][3])});
     }
     scatter.render(std::cout);
 
@@ -83,3 +93,15 @@ main(int argc, char **argv)
                  "UAI UBP UBR UBS USF)\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "fig04_pca";
+    e.title = "Principal components analysis of the suite";
+    e.paper_ref = "Figure 4(a,b)";
+    e.description = "Figure 4: PCA of workload diversity";
+    e.run = runFig04;
+    return e;
+}()};
+
+} // namespace

@@ -7,6 +7,8 @@
  * overhead).
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "harness/lbo_experiment.hh"
 #include "workloads/registry.hh"
@@ -50,27 +52,41 @@ printCurves(const harness::WorkloadLbo &result,
     }
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runFig05(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Figure 5: cassandra and lusearch LBO case studies");
-    flags.parse(argc, argv);
-
-    bench::banner("LBO case studies: cassandra and lusearch",
-                  "Figure 5(a-d)");
-
     harness::LboSweepOptions sweep;
     sweep.factors = {1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0};
-    sweep.base = bench::optionsFromFlags(flags);
+    sweep.base = context.options;
+
+    auto &cases = context.store.table(
+        "lbo_cases",
+        report::Schema{{"workload", report::Type::String},
+                       {"collector", report::Type::String},
+                       {"factor", report::Type::Double},
+                       {"completed", report::Type::Bool},
+                       {"wall_lbo", report::Type::Double},
+                       {"cpu_lbo", report::Type::Double}});
 
     for (const char *name : {"cassandra", "lusearch"}) {
         const auto &workload = workloads::byName(name);
         std::cout << "\n## " << name << "\n";
         const auto result = harness::runLboSweep(workload, sweep);
         printCurves(result, sweep.factors, workload.gc.gmd_mb);
+        for (const auto &collector : result.analysis.collectors()) {
+            for (double f : sweep.factors) {
+                const bool done = result.completedAt(collector, f);
+                const auto o =
+                    done ? result.analysis.overhead(collector, f)
+                         : metrics::LboOverhead{};
+                cases.addRow({report::Value::str(name),
+                              report::Value::str(collector),
+                              report::Value::dbl(f),
+                              report::Value::boolean(done),
+                              report::Value::dbl(o.wall),
+                              report::Value::dbl(o.cpu)});
+            }
+        }
     }
 
     std::cout <<
@@ -80,3 +96,16 @@ main(int argc, char **argv)
         "the mutator (wall > 2x) while task clock stays lower.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "fig05_lbo_cases";
+    e.title = "LBO case studies: cassandra and lusearch";
+    e.paper_ref = "Figure 5(a-d)";
+    e.description =
+        "Figure 5: cassandra and lusearch LBO case studies";
+    e.run = runFig05;
+    return e;
+}()};
+
+} // namespace

@@ -7,21 +7,20 @@
  * GCM) and its LBO curves.
  */
 
+#include <iostream>
+
 #include "bench/latency_figure.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
-int
-main(int argc, char **argv)
-{
-    auto flags = bench::standardFlags(
-        "Figure 6: h2 user-experienced latency distributions");
-    flags.parse(argc, argv);
+namespace {
 
-    bench::banner("h2 request-latency distributions", "Figure 6(a-d)");
-    bench::latencyFigure(workloads::byName("h2"),
-                         bench::optionsFromFlags(flags, 1, 3));
+int
+runFig06(report::ExperimentContext &context)
+{
+    bench::latencyFigure(workloads::byName("h2"), context.options,
+                         {2.0, 6.0}, &context.store);
 
     std::cout <<
         "\nPaper reference: metered ~= simple for h2 (few, productive\n"
@@ -30,3 +29,18 @@ main(int argc, char **argv)
         "half the CPU, slowing every query.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "fig06_latency_h2";
+    e.title = "h2 request-latency distributions";
+    e.paper_ref = "Figure 6(a-d)";
+    e.description =
+        "Figure 6: h2 user-experienced latency distributions";
+    e.quick_invocations = 1;
+    e.quick_iterations = 3;
+    e.run = runFig06;
+    return e;
+}()};
+
+} // namespace

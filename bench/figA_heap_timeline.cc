@@ -5,31 +5,35 @@
  * running with the default (G1) collector at 2x the minimum heap.
  */
 
+#include <algorithm>
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runFigAHeapTimeline(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Appendix: post-GC heap size over time (G1 at 2x heap)");
-    flags.addInt("buckets", 12, "time buckets per workload series");
-    flags.parse(argc, argv);
-
-    bench::banner("Post-GC heap size over the last iteration",
-                  "appendix Figures 8, 10, ...");
-
-    auto options = bench::optionsFromFlags(flags, 1, 2);
+    auto options = context.options;
     options.invocations = 1;
     harness::Runner runner(options);
     const auto buckets =
-        static_cast<std::size_t>(flags.getInt("buckets"));
+        static_cast<std::size_t>(context.flags.getInt("buckets"));
 
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())
         selection = workloads::names();
+
+    auto &timeline = context.store.table(
+        "heap_timeline",
+        report::Schema{{"workload", report::Type::String},
+                       {"gcs", report::Type::Uint},
+                       {"bucket", report::Type::Uint},
+                       {"mean_post_gc_mb", report::Type::Double}});
 
     support::TextTable table;
     {
@@ -76,6 +80,12 @@ main(int argc, char **argv)
             row.push_back(counts[b]
                               ? support::fixed(sums[b] / counts[b], 1)
                               : ".");
+            timeline.addRow(
+                {report::Value::str(name),
+                 report::Value::uinteger(total),
+                 report::Value::uinteger(b),
+                 report::Value::dbl(
+                     counts[b] ? sums[b] / counts[b] : 0.0)});
         }
         table.row(row);
     }
@@ -85,3 +95,21 @@ main(int argc, char **argv)
                  "as a point; '.' = no GC in bucket).\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "figA_heap_timeline";
+    e.title = "Post-GC heap size over the last iteration";
+    e.paper_ref = "appendix Figures 8, 10, ...";
+    e.description =
+        "Appendix: post-GC heap size over time (G1 at 2x heap)";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.add_flags = [](support::Flags &flags) {
+        flags.addInt("buckets", 12, "time buckets per workload series");
+    };
+    e.run = runFigAHeapTimeline;
+    return e;
+}()};
+
+} // namespace

@@ -5,25 +5,19 @@
  * latency-sensitive workloads at 2x and 6x heap.
  */
 
+#include <iostream>
+
 #include "bench/latency_figure.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runFigALatencyAll(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Appendix: latency distributions for all nine "
-        "latency-sensitive workloads");
-    flags.parse(argc, argv);
-
-    bench::banner("Per-workload latency distributions",
-                  "appendix Figures 15, 24, 29, 34, 39, 44, ...");
-
-    const auto options = bench::optionsFromFlags(flags, 1, 2);
-
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty()) {
         for (const auto *workload : workloads::latencySensitive())
             selection.push_back(workload->name);
@@ -32,7 +26,23 @@ main(int argc, char **argv)
     for (const auto &name : selection) {
         std::cerr << "  measuring " << name << "...\n";
         std::cout << "\n# ---- " << name << " ----\n";
-        bench::latencyFigure(workloads::byName(name), options);
+        bench::latencyFigure(workloads::byName(name), context.options,
+                             {2.0, 6.0}, &context.store);
     }
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "figA_latency_all";
+    e.title = "Per-workload latency distributions";
+    e.paper_ref = "appendix Figures 15, 24, 29, 34, 39, 44, ...";
+    e.description = "Appendix: latency distributions for all nine "
+                    "latency-sensitive workloads";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.run = runFigALatencyAll;
+    return e;
+}()};
+
+} // namespace

@@ -5,29 +5,35 @@
  * function of heap size, for every workload in the suite.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "harness/lbo_experiment.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runFigALboPerBenchmark(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Appendix: per-benchmark LBO curves");
-    flags.parse(argc, argv);
-
-    bench::banner("Per-benchmark LBO overheads",
-                  "appendix Figures 7, 9, 11, ...");
-
     harness::LboSweepOptions sweep;
     sweep.factors = {1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
-    sweep.base = bench::optionsFromFlags(flags, 2, 2);
+    sweep.base = context.options;
 
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())
         selection = workloads::names();
+
+    auto &curves = context.store.table(
+        "lbo_per_benchmark",
+        report::Schema{{"workload", report::Type::String},
+                       {"collector", report::Type::String},
+                       {"factor", report::Type::Double},
+                       {"completed", report::Type::Bool},
+                       {"wall_lbo", report::Type::Double},
+                       {"cpu_lbo", report::Type::Double}});
 
     for (const auto &name : selection) {
         const auto &workload = workloads::byName(name);
@@ -63,8 +69,34 @@ main(int argc, char **argv)
                 table.row(row);
             }
             table.separator();
+            for (double f : sweep.factors) {
+                const bool done = result.completedAt(collector, f);
+                const auto o =
+                    done ? result.analysis.overhead(collector, f)
+                         : metrics::LboOverhead{};
+                curves.addRow({report::Value::str(name),
+                               report::Value::str(collector),
+                               report::Value::dbl(f),
+                               report::Value::boolean(done),
+                               report::Value::dbl(o.wall),
+                               report::Value::dbl(o.cpu)});
+            }
         }
         table.render(std::cout);
     }
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "figA_lbo_per_benchmark";
+    e.title = "Per-benchmark LBO overheads";
+    e.paper_ref = "appendix Figures 7, 9, 11, ...";
+    e.description = "Appendix: per-benchmark LBO curves";
+    e.quick_invocations = 2;
+    e.quick_iterations = 2;
+    e.run = runFigALboPerBenchmark;
+    return e;
+}()};
+
+} // namespace

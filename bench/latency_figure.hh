@@ -16,6 +16,7 @@
 #include "support/ascii_chart.hh"
 #include "metrics/latency.hh"
 #include "metrics/request_synth.hh"
+#include "report/table.hh"
 #include "support/rng.hh"
 
 namespace capo::bench {
@@ -58,17 +59,36 @@ percentileLabels()
             "99.9999"};
 }
 
+/** The typed rows behind every latency panel (one per collector and
+ *  percentile), keyed so all panels of a figure share one table. */
+inline report::ResultTable &
+latencyPercentileTable(report::ResultStore &store)
+{
+    return store.table(
+        "latency_percentiles",
+        report::Schema{{"workload", report::Type::String},
+                       {"factor", report::Type::Double},
+                       {"metric", report::Type::String},
+                       {"collector", report::Type::String},
+                       {"percentile", report::Type::String},
+                       {"latency_ns", report::Type::Double}});
+}
+
 /**
  * Print one panel: request-latency percentiles (ms) for every
  * collector, for the chosen metric.
  *
  * @param window_ns Metered smoothing window; < 0 selects simple
  *        latency, 0 selects full smoothing.
+ * @param rows Optional typed sink for the panel's percentile points
+ *        (@p workload / @p factor / @p metric name the panel there).
  */
 inline void
 latencyPanel(const std::string &title,
              const std::map<std::string, LatencyRun> &runs,
-             double window_ns)
+             double window_ns, report::ResultTable *rows = nullptr,
+             const std::string &workload = "", double factor = 0.0,
+             const std::string &metric = "")
 {
     std::cout << "\n## " << title << "\n";
     support::TextTable table;
@@ -101,6 +121,14 @@ latencyPanel(const std::string &title,
             row.push_back(latencyMs(curve[i].second));
             pts.emplace_back(static_cast<double>(i),
                              curve[i].second / 1e6);
+            if (rows != nullptr && i < labels.size()) {
+                rows->addRow({report::Value::str(workload),
+                              report::Value::dbl(factor),
+                              report::Value::str(metric),
+                              report::Value::str(name),
+                              report::Value::str(labels[i]),
+                              report::Value::dbl(curve[i].second)});
+            }
         }
         chart.addSeries(name, std::move(pts));
         table.row(row);
@@ -113,8 +141,11 @@ latencyPanel(const std::string &title,
 inline void
 latencyFigure(const workloads::Descriptor &workload,
               const harness::ExperimentOptions &options,
-              const std::vector<double> &factors = {2.0, 6.0})
+              const std::vector<double> &factors = {2.0, 6.0},
+              report::ResultStore *store = nullptr)
 {
+    report::ResultTable *rows =
+        store != nullptr ? &latencyPercentileTable(*store) : nullptr;
     for (double factor : factors) {
         std::map<std::string, LatencyRun> runs;
         for (auto algorithm : gc::productionCollectors()) {
@@ -124,12 +155,15 @@ latencyFigure(const workloads::Descriptor &workload,
         const std::string at =
             workload.name + ", " + support::fixed(factor, 1) + "x heap (" +
             support::fixed(workload.gc.gmd_mb * factor, 0) + " MB)";
-        latencyPanel("Simple latency, " + at + " [ms]", runs, -1.0);
+        latencyPanel("Simple latency, " + at + " [ms]", runs, -1.0,
+                     rows, workload.name, factor, "simple");
         latencyPanel("Metered latency (100 ms smoothing), " + at +
                          " [ms]",
-                     runs, 100e6);
+                     runs, 100e6, rows, workload.name, factor,
+                     "metered_100ms");
         latencyPanel("Metered latency (full smoothing), " + at + " [ms]",
-                     runs, 0.0);
+                     runs, 0.0, rows, workload.name, factor,
+                     "metered_full");
     }
 }
 

@@ -6,21 +6,28 @@
  * appendix tables).
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "stats/stat_table.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runTab01(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Table 1: the nominal-statistic catalog");
-    flags.parse(argc, argv);
-
-    bench::banner("Nominal statistics catalog", "Table 1");
-
     const auto shipped = stats::shippedStats();
+
+    auto &catalog = context.store.table(
+        "metric_catalog",
+        report::Schema{{"metric", report::Type::String},
+                       {"group", report::Type::String},
+                       {"available", report::Type::Uint},
+                       {"min", report::Type::Double},
+                       {"median", report::Type::Double},
+                       {"max", report::Type::Double}});
 
     support::TextTable table;
     table.columns({"Metric", "Grp", "Avail", "Min", "Median", "Max",
@@ -42,6 +49,14 @@ main(int argc, char **argv)
                    support::general(range.min, 4),
                    support::general(range.median, 4),
                    support::general(range.max, 4), desc});
+        catalog.addRow(
+            {report::Value::str(info.code),
+             report::Value::str(std::string(1, info.group)),
+             report::Value::uinteger(
+                 static_cast<std::uint64_t>(range.available)),
+             report::Value::dbl(range.min),
+             report::Value::dbl(range.median),
+             report::Value::dbl(range.max)});
     }
     table.render(std::cout);
 
@@ -53,3 +68,15 @@ main(int argc, char **argv)
                  "the most).\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tab01_metric_catalog";
+    e.title = "Nominal statistics catalog";
+    e.paper_ref = "Table 1";
+    e.description = "Table 1: the nominal-statistic catalog";
+    e.run = runTab01;
+    return e;
+}()};
+
+} // namespace

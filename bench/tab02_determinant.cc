@@ -5,28 +5,23 @@
  * benchmark's rank (1 = largest) and the concrete value.
  */
 
+#include <algorithm>
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "stats/pca.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runTab02(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Table 2: most determinant nominal statistics per workload");
-    flags.addBool("paper-selection", true,
-                  "use the paper's Table 2 metric list; pass "
-                  "--paper-selection=false to use our own PCA ranking");
-    flags.parse(argc, argv);
-
-    bench::banner("Twelve most determinant nominal statistics",
-                  "Table 2");
-
     const auto table = stats::shippedStats();
 
     std::vector<stats::MetricId> metrics;
-    if (flags.getBool("paper-selection")) {
+    if (context.flags.getBool("paper-selection")) {
         for (const char *code : {"GLK", "GMU", "PET", "PFS", "PKP",
                                  "PWU", "UAA", "UAI", "UBP", "UBR",
                                  "UBS", "USF"}) {
@@ -39,6 +34,13 @@ main(int argc, char **argv)
                        ranked.begin() + std::min<std::size_t>(
                                             12, ranked.size()));
     }
+
+    auto &determinant = context.store.table(
+        "determinant",
+        report::Schema{{"workload", report::Type::String},
+                       {"metric", report::Type::String},
+                       {"rank", report::Type::Int},
+                       {"value", report::Type::Double}});
 
     support::TextTable out;
     std::vector<std::string> header = {"Benchmark"};
@@ -62,6 +64,11 @@ main(int argc, char **argv)
             const auto rs = table.rankScore(workload, id);
             rank_row.push_back(std::to_string(rs.rank));
             value_row.push_back(support::general(*value, 4));
+            determinant.addRow({report::Value::str(workload),
+                                report::Value::str(
+                                    stats::metricCode(id)),
+                                report::Value::integer(rs.rank),
+                                report::Value::dbl(*value)});
         }
         out.row(rank_row);
         out.row(value_row);
@@ -73,3 +80,22 @@ main(int argc, char **argv)
                  "2.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tab02_determinant";
+    e.title = "Twelve most determinant nominal statistics";
+    e.paper_ref = "Table 2";
+    e.description =
+        "Table 2: most determinant nominal statistics per workload";
+    e.add_flags = [](support::Flags &flags) {
+        flags.addBool("paper-selection", true,
+                      "use the paper's Table 2 metric list; pass "
+                      "--paper-selection=false to use our own PCA "
+                      "ranking");
+    };
+    e.run = runTab02;
+    return e;
+}()};
+
+} // namespace

@@ -6,6 +6,8 @@
  * workload's description.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "stats/stat_table.hh"
 #include "workloads/registry.hh"
@@ -16,7 +18,8 @@ namespace {
 
 void
 printWorkloadTable(const stats::StatTable &table,
-                   const workloads::Descriptor &workload)
+                   const workloads::Descriptor &workload,
+                   report::ResultTable &rows)
 {
     std::cout << "\n## " << workload.name
               << (workload.is_new ? " (new in Chopin)" : "") << "\n"
@@ -47,29 +50,52 @@ printWorkloadTable(const stats::StatTable &table,
                  support::general(range.min, 4),
                  support::general(range.median, 4),
                  support::general(range.max, 4), desc});
+        rows.addRow({report::Value::str(workload.name),
+                     report::Value::str(info.code),
+                     report::Value::integer(rs.score),
+                     report::Value::dbl(*value),
+                     report::Value::integer(rs.rank),
+                     report::Value::dbl(range.min),
+                     report::Value::dbl(range.median),
+                     report::Value::dbl(range.max)});
     }
     out.render(std::cout);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTab03(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Appendix: complete nominal statistics per workload (-p)");
-    flags.parse(argc, argv);
-
-    bench::banner("Complete nominal statistics (the -p output)",
-                  "appendix Tables 3-22");
+    auto &rows = context.store.table(
+        "nominal_stats",
+        report::Schema{{"workload", report::Type::String},
+                       {"metric", report::Type::String},
+                       {"score", report::Type::Int},
+                       {"value", report::Type::Double},
+                       {"rank", report::Type::Int},
+                       {"min", report::Type::Double},
+                       {"median", report::Type::Double},
+                       {"max", report::Type::Double}});
 
     const auto table = stats::shippedStats();
-    if (!flags.positionals().empty()) {
-        for (const auto &name : flags.positionals())
-            printWorkloadTable(table, workloads::byName(name));
+    if (!context.flags.positionals().empty()) {
+        for (const auto &name : context.flags.positionals())
+            printWorkloadTable(table, workloads::byName(name), rows);
         return 0;
     }
     for (const auto &workload : workloads::suite())
-        printWorkloadTable(table, workload);
+        printWorkloadTable(table, workload, rows);
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tab03_nominal_all";
+    e.title = "Complete nominal statistics (the -p output)";
+    e.paper_ref = "appendix Tables 3-22";
+    e.description =
+        "Appendix: complete nominal statistics per workload (-p)";
+    e.run = runTab03;
+    return e;
+}()};
+
+} // namespace

@@ -9,6 +9,8 @@
  * real (simulated) run, and measured sensitivity experiments.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "counters/perf_session.hh"
 #include "workloads/registry.hh"
@@ -19,21 +21,27 @@ namespace {
 
 const char *kFocus[] = {"biojava", "jython", "xalan", "h2o"};
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTab04(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Section 6.4: architectural sensitivity of four workloads");
-    flags.parse(argc, argv);
-
-    bench::banner("Architectural sensitivity case studies",
-                  "Section 6.4");
-
-    auto options = bench::optionsFromFlags(flags, 1, 2);
+    auto options = context.options;
     options.invocations = 1;
     harness::Runner runner(options);
+
+    auto &sensitivity = context.store.table(
+        "arch_sensitivity",
+        report::Schema{{"workload", report::Type::String},
+                       {"completed", report::Type::Bool},
+                       {"ipc", report::Type::Double},
+                       {"udc", report::Type::Double},
+                       {"ull", report::Type::Double},
+                       {"udt", report::Type::Double},
+                       {"usb", report::Type::Double},
+                       {"usf", report::Type::Double},
+                       {"ubs", report::Type::Double},
+                       {"pms_pct", report::Type::Double},
+                       {"pls_pct", report::Type::Double},
+                       {"pfs_pct", report::Type::Double}});
 
     support::TextTable table;
     table.columns({"workload", "IPC", "UDC", "ULL", "UDT", "USB",
@@ -58,6 +66,14 @@ main(int argc, char **argv)
         if (!set.allCompleted()) {
             table.row({name, "-", "-", "-", "-", "-", "-", "-", "-",
                        "-", "-"});
+            sensitivity.addRow(
+                {report::Value::str(name),
+                 report::Value::boolean(false), report::Value::dbl(0),
+                 report::Value::dbl(0), report::Value::dbl(0),
+                 report::Value::dbl(0), report::Value::dbl(0),
+                 report::Value::dbl(0), report::Value::dbl(0),
+                 report::Value::dbl(0), report::Value::dbl(0),
+                 report::Value::dbl(0)});
             continue;
         }
         const auto counters = counters::readCounters(
@@ -95,6 +111,17 @@ main(int argc, char **argv)
                    support::fixed(counters.ubp(), 1),
                    support::fixed(pms, 1), support::fixed(pls, 1),
                    support::fixed(pfs, 1)});
+        sensitivity.addRow(
+            {report::Value::str(name), report::Value::boolean(true),
+             report::Value::dbl(counters.uip() / 100.0),
+             report::Value::dbl(counters.udc()),
+             report::Value::dbl(counters.ull()),
+             report::Value::dbl(counters.udt()),
+             report::Value::dbl(counters.usb()),
+             report::Value::dbl(counters.usf()),
+             report::Value::dbl(counters.ubp()),
+             report::Value::dbl(pms), report::Value::dbl(pls),
+             report::Value::dbl(pfs)});
     }
     table.render(std::cout);
 
@@ -109,3 +136,18 @@ main(int argc, char **argv)
         "pure-application UIP statistic.)\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tab04_arch_sensitivity";
+    e.title = "Architectural sensitivity case studies";
+    e.paper_ref = "Section 6.4";
+    e.description =
+        "Section 6.4: architectural sensitivity of four workloads";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.run = runTab04;
+    return e;
+}()};
+
+} // namespace

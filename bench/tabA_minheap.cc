@@ -6,23 +6,27 @@
  * the shipped GMD.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "harness/minheap.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runTabAMinheap(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Minimum heap per workload and collector (bisection)");
-    flags.parse(argc, argv);
+    auto options = context.options;
 
-    bench::banner("Minimum heap sizes by collector",
-                  "Section 4.2 / the GMD statistic");
-
-    auto options = bench::optionsFromFlags(flags, 1, 2);
+    auto &minheap = context.store.table(
+        "minheap",
+        report::Schema{{"workload", report::Type::String},
+                       {"collector", report::Type::String},
+                       {"converged", report::Type::Bool},
+                       {"min_heap_mb", report::Type::Double}});
 
     support::TextTable table;
     std::vector<std::string> header = {"workload", "GMD (shipped)"};
@@ -34,7 +38,7 @@ main(int argc, char **argv)
     aligns[0] = support::TextTable::Align::Left;
     table.columns(header, aligns);
 
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())
         selection = workloads::names();
 
@@ -50,6 +54,11 @@ main(int argc, char **argv)
             row.push_back(found.converged
                               ? support::fixed(found.min_heap_mb, 1)
                               : "?");
+            minheap.addRow(
+                {report::Value::str(name),
+                 report::Value::str(gc::algorithmName(algorithm)),
+                 report::Value::boolean(found.converged),
+                 report::Value::dbl(found.min_heap_mb)});
             if (algorithm == gc::Algorithm::G1)
                 g1 = found.min_heap_mb;
             if (algorithm == gc::Algorithm::Zgc)
@@ -64,3 +73,18 @@ main(int argc, char **argv)
                  "GMU/GMD ratio.\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tabA_minheap";
+    e.title = "Minimum heap sizes by collector";
+    e.paper_ref = "Section 4.2 / the GMD statistic";
+    e.description =
+        "Minimum heap per workload and collector (bisection)";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.run = runTabAMinheap;
+    return e;
+}()};
+
+} // namespace

@@ -8,6 +8,8 @@
  * stats folder.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "harness/characterize.hh"
 #include "workloads/registry.hh"
@@ -27,29 +29,29 @@ const MetricId kCompared[] = {
     MetricId::PKP,
 };
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTabB(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Section 5.1: measured vs shipped nominal statistics");
-    flags.parse(argc, argv);
-
-    bench::banner("Integrated workload characterization",
-                  "Section 5.1 (the stats folder)");
-
     harness::CharacterizeOptions options;
-    options.base = bench::optionsFromFlags(flags, 1, 2);
+    options.base = context.options;
     options.base.invocations = 1;
     options.psd_invocations = 3;
     options.warmup_iterations = 8;
 
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())
         selection = {"fop", "lusearch", "h2", "cassandra", "xalan"};
 
     const auto shipped = stats::shippedStats();
+
+    auto &compared = context.store.table(
+        "characterization",
+        report::Schema{{"workload", report::Type::String},
+                       {"metric", report::Type::String},
+                       {"shipped", report::Type::Double},
+                       {"measured", report::Type::Double},
+                       {"have_shipped", report::Type::Bool},
+                       {"have_measured", report::Type::Bool}});
 
     for (const auto &name : selection) {
         std::cerr << "  characterizing " << name << "...\n";
@@ -74,6 +76,13 @@ main(int argc, char **argv)
                  (ship && meas && *ship != 0.0)
                      ? support::fixed(*meas / *ship, 2)
                      : "-"});
+            compared.addRow(
+                {report::Value::str(name),
+                 report::Value::str(stats::metricCode(id)),
+                 report::Value::dbl(ship ? *ship : 0.0),
+                 report::Value::dbl(meas ? *meas : 0.0),
+                 report::Value::boolean(ship.has_value()),
+                 report::Value::boolean(meas.has_value())});
         }
         table.render(std::cout);
     }
@@ -86,3 +95,18 @@ main(int argc, char **argv)
         "deviations).\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tabB_characterization";
+    e.title = "Integrated workload characterization";
+    e.paper_ref = "Section 5.1 (the stats folder)";
+    e.description =
+        "Section 5.1: measured vs shipped nominal statistics";
+    e.quick_invocations = 1;
+    e.quick_iterations = 2;
+    e.run = runTabB;
+    return e;
+}()};
+
+} // namespace

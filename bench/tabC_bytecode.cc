@@ -8,32 +8,35 @@
  * measured vs shipped values.
  */
 
+#include <iostream>
+
 #include "bench/bench_common.hh"
 #include "bytecode/characterize.hh"
 #include "workloads/registry.hh"
 
 using namespace capo;
 
+namespace {
+
 int
-main(int argc, char **argv)
+runTabC(report::ExperimentContext &context)
 {
-    auto flags = bench::standardFlags(
-        "Section 5.1: bytecode-instrumented A/B statistics");
-    flags.addInt("budget", 8'000'000,
-                 "instructions to execute per workload");
-    flags.parse(argc, argv);
-
-    bench::banner("Instrumented bytecode characterization",
-                  "Section 5.1 (the shipped instrumentation tools)");
-
     bytecode::CharacterizeOptions options;
     options.instruction_budget =
-        static_cast<std::uint64_t>(flags.getInt("budget"));
+        static_cast<std::uint64_t>(context.flags.getInt("budget"));
 
-    std::vector<std::string> selection = flags.positionals();
+    std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())
         selection = {"lusearch", "h2", "fop", "pmd", "luindex",
                      "sunflow", "jython"};
+
+    auto &bytecode_stats = context.store.table(
+        "bytecode_stats",
+        report::Schema{{"workload", report::Type::String},
+                       {"stat", report::Type::String},
+                       {"shipped", report::Type::Double},
+                       {"measured", report::Type::Double},
+                       {"have_shipped", report::Type::Bool}});
 
     support::TextTable table;
     table.columns({"workload", "stat", "shipped", "measured", "ratio"},
@@ -64,6 +67,13 @@ main(int argc, char **argv)
                        (workloads::available(shipped) && shipped > 0.0)
                            ? support::fixed(value / shipped, 2)
                            : "-"});
+            bytecode_stats.addRow(
+                {report::Value::str(name), report::Value::str(stat),
+                 report::Value::dbl(
+                     workloads::available(shipped) ? shipped : 0.0),
+                 report::Value::dbl(value),
+                 report::Value::boolean(
+                     workloads::available(shipped))});
         };
         row("AOA (avg object bytes)", workload.alloc.aoa, measured.aoa);
         row("AOM (median bytes)", workload.alloc.aom, measured.aom);
@@ -87,3 +97,20 @@ main(int argc, char **argv)
         "tools are 'time-consuming' (Section 5.1).\n";
     return 0;
 }
+
+const report::RegisterExperiment kRegister{[] {
+    report::Experiment e;
+    e.name = "tabC_bytecode";
+    e.title = "Instrumented bytecode characterization";
+    e.paper_ref = "Section 5.1 (the shipped instrumentation tools)";
+    e.description =
+        "Section 5.1: bytecode-instrumented A/B statistics";
+    e.add_flags = [](support::Flags &flags) {
+        flags.addInt("budget", 8'000'000,
+                     "instructions to execute per workload");
+    };
+    e.run = runTabC;
+    return e;
+}()};
+
+} // namespace

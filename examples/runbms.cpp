@@ -3,7 +3,9 @@
  * runbms: execute an experiment definition file, the way the paper's
  * artifact drives running-ng ("running runbms ./results
  * ./experiments/lbo.yml"). Results print as tables and, with
- * --csv <dir>, also land as CSV files for offline analysis.
+ * --csv <dir>, also land as CSV files for offline analysis — written
+ * through the report layer's ArtifactSink, so CSV output is buffered,
+ * retried and quarantined exactly like every other capo artifact.
  *
  *   $ runbms myplan.capo [--csv results/] [--trace-out sweep.json]
  *
@@ -16,18 +18,18 @@
  *     invocations  = 3
  */
 
-#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "exec/seed.hh"
 #include "fault/fault.hh"
 #include "harness/checkpoint.hh"
+#include "harness/latency_experiment.hh"
 #include "harness/lbo_experiment.hh"
 #include "harness/minheap.hh"
 #include "harness/plan_file.hh"
 #include "metrics/export.hh"
-#include "metrics/request_synth.hh"
+#include "report/artifact.hh"
 #include "support/flags.hh"
 #include "support/strfmt.hh"
 #include "support/table.hh"
@@ -99,8 +101,8 @@ reportErrors(const std::vector<harness::CellError> &errors)
 }
 
 void
-runLbo(const harness::ExperimentPlan &plan, const std::string &csv_dir,
-       harness::CheckpointJournal *journal)
+runLbo(const harness::ExperimentPlan &plan, bool want_csv,
+       report::ArtifactSink &sink, harness::CheckpointJournal *journal)
 {
     harness::LboSweepOptions sweep;
     sweep.factors = plan.heap_factors;
@@ -145,28 +147,41 @@ runLbo(const harness::ExperimentPlan &plan, const std::string &csv_dir,
         }
         table.render(std::cout);
 
-        if (!csv_dir.empty()) {
-            metrics::writeCsvFile(
-                csv_dir + "/lbo_" + name + ".csv",
-                [&](std::ostream &out) {
-                    metrics::exportLboCsv(result.analysis, out);
-                });
+        if (want_csv) {
+            sink.write("lbo_" + name + ".csv",
+                       [&](std::ostream &out) {
+                           metrics::exportLboCsv(result.analysis, out);
+                       });
         }
     }
     reportErrors(errors);
 }
 
 void
-runLatency(const harness::ExperimentPlan &plan,
-           const std::string &csv_dir)
+runLatency(const harness::ExperimentPlan &plan, bool want_csv,
+           report::ArtifactSink &sink,
+           harness::CheckpointJournal *journal)
 {
-    harness::ExperimentOptions options = plan.options;
-    options.invocations = 1;
-    options.trace_rate = true;
-    harness::Runner runner(options);
+    harness::LatencySweepOptions sweep;
+    sweep.factors = plan.heap_factors;
+    sweep.collectors = plan.collectors;
+    sweep.base = plan.options;
+    sweep.journal = journal;
+    // Raw per-request CSVs cannot restore from journaled quantiles,
+    // so CSV-producing latency sweeps re-run every cell
+    // (deterministically) while still journaling for table-only
+    // resumes — the same bypass traced LBO sweeps use.
+    sweep.want_raw = want_csv;
 
+    const auto result =
+        harness::runLatencySweep(plan.workloads, sweep);
+    if (result.restored_cells > 0) {
+        std::cerr << "  restored " << result.restored_cells
+                  << " cell(s) from checkpoint\n";
+    }
+
+    std::size_t index = 0;
     for (const auto &name : plan.workloads) {
-        const auto &workload = workloads::byName(name);
         for (double factor : plan.heap_factors) {
             std::cout << "\n## " << name << " at "
                       << support::fixed(factor, 1) << "x [ms]\n";
@@ -179,42 +194,31 @@ runLatency(const harness::ExperimentPlan &plan,
                            support::TextTable::Align::Right,
                            support::TextTable::Align::Right,
                            support::TextTable::Align::Right});
-            for (auto algorithm : plan.collectors) {
-                const auto set = runner.run(workload, algorithm, factor);
-                if (!set.allCompleted()) {
-                    table.row({gc::algorithmName(algorithm), "DNF", "-",
-                               "-", "-", "-"});
+            for (std::size_t c = 0; c < plan.collectors.size();
+                 ++c, ++index) {
+                const auto &cell = result.cells[index];
+                if (!cell.ok) {
+                    table.row({cell.collector, "DNF", "-", "-", "-",
+                               "-"});
                     continue;
                 }
-                const auto &run = set.runs.front();
-                const auto &timed = run.iterations.back();
-                const auto requests = metrics::synthesizeRequests(
-                    run.rate_timeline, run.baseline_rate,
-                    workload.requests, timed.wall_begin, timed.wall_end,
-                    support::Rng(options.base_seed));
-                auto simple = requests.simpleLatencies();
-                auto metered = requests.meteredLatencies(100e6);
-                table.row({gc::algorithmName(algorithm),
-                           support::fixed(
-                               metrics::quantile(simple, 0.5) / 1e6, 3),
-                           support::fixed(
-                               metrics::quantile(simple, 0.99) / 1e6, 3),
-                           support::fixed(
-                               metrics::quantile(simple, 0.999) / 1e6, 3),
-                           support::fixed(
-                               metrics::quantile(metered, 0.5) / 1e6, 3),
-                           support::fixed(
-                               metrics::quantile(metered, 0.999) / 1e6,
-                               3)});
+                table.row({cell.collector,
+                           support::fixed(cell.p50_ns / 1e6, 3),
+                           support::fixed(cell.p99_ns / 1e6, 3),
+                           support::fixed(cell.p999_ns / 1e6, 3),
+                           support::fixed(cell.metered_p50_ns / 1e6,
+                                          3),
+                           support::fixed(cell.metered_p999_ns / 1e6,
+                                          3)});
 
-                if (!csv_dir.empty()) {
-                    metrics::writeCsvFile(
-                        csv_dir + "/latency_" + name + "_" +
-                            gc::algorithmName(algorithm) + "_" +
-                            support::fixed(factor, 1) + "x.csv",
+                if (want_csv && cell.have_raw) {
+                    sink.write(
+                        "latency_" + name + "_" + cell.collector +
+                            "_" + support::fixed(factor, 1) + "x.csv",
                         [&](std::ostream &out) {
-                            metrics::exportLatencyCsv(requests, 100e6,
-                                                      out);
+                            metrics::exportLatencyCsv(
+                                cell.requests,
+                                sweep.metered_window_ns, out);
                         });
                 }
             }
@@ -224,8 +228,8 @@ runLatency(const harness::ExperimentPlan &plan,
 }
 
 void
-runMinHeap(const harness::ExperimentPlan &plan,
-           const std::string &csv_dir,
+runMinHeap(const harness::ExperimentPlan &plan, bool want_csv,
+           report::ArtifactSink &sink,
            harness::CheckpointJournal *journal)
 {
     support::TextTable table;
@@ -258,9 +262,9 @@ runMinHeap(const harness::ExperimentPlan &plan,
     }
     table.render(std::cout);
 
-    if (!csv_dir.empty()) {
-        metrics::writeCsvFile(csv_dir + "/minheap.csv",
-                              [&](std::ostream &out) { out << csv_rows; });
+    if (want_csv) {
+        sink.write("minheap.csv",
+                   [&](std::ostream &out) { out << csv_rows; });
     }
 }
 
@@ -376,30 +380,47 @@ main(int argc, char **argv)
               << plan.collectors.size() << " collector(s)\n";
 
     const std::string csv_dir = flags.getString("csv");
+    const bool want_csv = !csv_dir.empty();
+    report::ArtifactSink artifacts(want_csv ? csv_dir : ".");
+    artifacts.armFaults(plan.options.faults, plan.options.base_seed);
+    artifacts.setRetries(plan.options.retries);
+
     switch (plan.kind) {
       case harness::ExperimentPlan::Kind::Lbo:
-        runLbo(plan, csv_dir, journal.get());
+        runLbo(plan, want_csv, artifacts, journal.get());
         break;
       case harness::ExperimentPlan::Kind::Latency:
-        // No checkpoint support: latency runs are single-invocation
-        // and cheap relative to sweeps.
-        runLatency(plan, csv_dir);
+        runLatency(plan, want_csv, artifacts, journal.get());
         break;
       case harness::ExperimentPlan::Kind::MinHeap:
-        runMinHeap(plan, csv_dir, journal.get());
+        runMinHeap(plan, want_csv, artifacts, journal.get());
         break;
+    }
+
+    // A finished resume has re-confirmed every journaled cell, so the
+    // journal can shed duplicate records and dead bytes: rewrite it as
+    // one record per cell (atomic tmp+rename; see checkpoint.hh).
+    if (journal && flags.getBool("resume")) {
+        if (journal->compact()) {
+            std::cerr << "  compacted checkpoint "
+                      << plan.checkpoint << " ("
+                      << journal->entryCount() << " cell(s))\n";
+        }
     }
 
     if (sink) {
         trace::writeChromeTraceFile(*sink, plan.trace_out);
         std::cout << "saved trace to " << plan.trace_out << "\n";
-        if (!csv_dir.empty()) {
-            metrics::writeCsvFile(csv_dir + "/metrics.csv",
-                                  [&](std::ostream &out) {
-                                      metrics::exportMetricsCsv(registry,
-                                                                out);
-                                  });
+        if (want_csv) {
+            artifacts.write("metrics.csv", [&](std::ostream &out) {
+                metrics::exportMetricsCsv(registry, out);
+            });
         }
+    }
+
+    for (const auto &record : artifacts.quarantined()) {
+        std::cerr << "  lost artifact: " << record.path << " ("
+                  << record.error << ")\n";
     }
     return 0;
 }

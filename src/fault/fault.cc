@@ -57,6 +57,8 @@ siteFromName(const std::string &name, Site &site)
         site = Site::TimerPerturb;
     } else if (name == "worker") {
         site = Site::WorkerDeath;
+    } else if (name == "artifact" || name == "artifact-io") {
+        site = Site::ArtifactIo;
     } else {
         return false;
     }
@@ -79,6 +81,8 @@ siteName(Site site)
         return "timer";
       case Site::WorkerDeath:
         return "worker";
+      case Site::ArtifactIo:
+        return "artifact-io";
     }
     return "?";
 }

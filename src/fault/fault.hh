@@ -16,8 +16,11 @@
  * allocation grants in the mutator (simulated OOM kill, allocation
  * stall overrun), collector phase completion (phase abort → the
  * collector declares the run lost), timer scheduling in the engine
- * (perturbed due times), and worker death in the exec pool (a worker
- * stops taking tasks; results must be unaffected).
+ * (perturbed due times), worker death in the exec pool (a worker
+ * stops taking tasks; results must be unaffected), and artifact
+ * write/flush failures in the report layer's ArtifactSink (retried,
+ * then quarantined — a sweep never dies because a CSV would not
+ * land).
  */
 
 #ifndef CAPO_FAULT_FAULT_HH
@@ -41,10 +44,11 @@ enum class Site : std::uint8_t {
     GcPhaseAbort,  ///< Collector phase completes, then aborts the run.
     TimerPerturb,  ///< Timer due times get deterministic jitter.
     WorkerDeath,   ///< Pool worker stops taking tasks (exec layer).
+    ArtifactIo,    ///< Artifact write/flush fails (report layer).
 };
 
 /** Number of sites (array sizing). */
-constexpr std::size_t kSiteCount = 5;
+constexpr std::size_t kSiteCount = 6;
 
 /** Short machine name of a site ("alloc-oom", "timer", ...). */
 const char *siteName(Site site);
@@ -94,8 +98,9 @@ struct FaultPlan
  *  - "none" / "" / "0"            disabled
  *
  * Site names: alloc (alloc-oom), stall (alloc-stall), gc (gc-abort),
- * timer, worker. Returns false and sets @p error on malformed input
- * (never exits: plan files surface this as a ParseError).
+ * timer, worker, artifact (artifact-io). Returns false and sets
+ * @p error on malformed input (never exits: plan files surface this
+ * as a ParseError).
  */
 bool parseFaultSpec(const std::string &spec, FaultPlan &plan,
                     std::string &error);

@@ -1,8 +1,9 @@
 #include "harness/checkpoint.hh"
 
-#include <cstdio>
-#include <cstring>
+#include <cstdio> // also std::rename/std::remove
+#include <map>
 
+#include "report/codec.hh"
 #include "support/logging.hh"
 #include "support/strfmt.hh"
 
@@ -22,56 +23,18 @@ headerLine(std::uint64_t config_hash)
     return buf;
 }
 
-std::vector<std::string>
-splitTabs(const std::string &line)
-{
-    std::vector<std::string> out;
-    std::size_t begin = 0;
-    for (;;) {
-        const auto tab = line.find('\t', begin);
-        if (tab == std::string::npos) {
-            out.push_back(line.substr(begin));
-            return out;
-        }
-        out.push_back(line.substr(begin, tab - begin));
-        begin = tab + 1;
-    }
-}
-
 } // namespace
 
 std::string
 CheckpointJournal::encodeDouble(double value)
 {
-    std::uint64_t bits;
-    static_assert(sizeof bits == sizeof value);
-    std::memcpy(&bits, &value, sizeof bits);
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(bits));
-    return buf;
+    return report::encodeDouble(value);
 }
 
 bool
 CheckpointJournal::decodeDouble(const std::string &text, double &value)
 {
-    if (text.size() != 16)
-        return false;
-    std::uint64_t bits = 0;
-    for (char c : text) {
-        std::uint64_t digit;
-        if (c >= '0' && c <= '9')
-            digit = static_cast<std::uint64_t>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            digit = static_cast<std::uint64_t>(c - 'a') + 10;
-        else if (c >= 'A' && c <= 'F')
-            digit = static_cast<std::uint64_t>(c - 'A') + 10;
-        else
-            return false;
-        bits = (bits << 4) | digit;
-    }
-    std::memcpy(&value, &bits, sizeof value);
-    return true;
+    return report::decodeDouble(text, value);
 }
 
 std::unique_ptr<CheckpointJournal>
@@ -80,6 +43,8 @@ CheckpointJournal::open(const std::string &path,
                         std::string &error)
 {
     std::unique_ptr<CheckpointJournal> journal(new CheckpointJournal());
+    journal->path_ = path;
+    journal->config_hash_ = config_hash;
 
     bool have_existing = false;
     if (resume) {
@@ -129,7 +94,7 @@ CheckpointJournal::open(const std::string &path,
             for (std::size_t i = 1; i < lines.size(); ++i) {
                 if (lines[i].empty())
                     continue;
-                auto fields = splitTabs(lines[i]);
+                auto fields = report::decodeRecord(lines[i]);
                 std::string key = std::move(fields.front());
                 fields.erase(fields.begin());
                 // Duplicate keys: last record wins (a re-run cell
@@ -171,16 +136,11 @@ void
 CheckpointJournal::append(const std::string &key,
                           const std::vector<std::string> &fields)
 {
-    CAPO_ASSERT(key.find_first_of("\t\n") == std::string::npos,
-                "checkpoint key contains a separator");
-    std::string line = key;
-    for (const auto &field : fields) {
-        CAPO_ASSERT(field.find_first_of("\t\n") == std::string::npos,
-                    "checkpoint field contains a separator");
-        line += '\t';
-        line += field;
-    }
-    line += '\n';
+    std::vector<std::string> record;
+    record.reserve(fields.size() + 1);
+    record.push_back(key);
+    record.insert(record.end(), fields.begin(), fields.end());
+    const std::string line = report::encodeRecord(record);
 
     std::lock_guard<std::mutex> lock(mutex_);
     // Whole-record writes plus an immediate flush: a kill between
@@ -195,6 +155,65 @@ CheckpointJournal::entryCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+bool
+CheckpointJournal::compact()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Key-sorted for a stable, diffable layout (the map itself is
+    // unordered; append order is lost anyway once duplicates merge).
+    std::map<std::string, const std::vector<std::string> *> sorted;
+    for (const auto &[key, fields] : entries_)
+        sorted[key] = &fields;
+
+    const std::string tmp_path = path_ + ".compact.tmp";
+    {
+        std::ofstream tmp(tmp_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!tmp) {
+            support::warn("checkpoint ", path_,
+                          ": cannot open ", tmp_path,
+                          " — compaction skipped");
+            return false;
+        }
+        tmp << headerLine(config_hash_) << '\n';
+        for (const auto &[key, fields] : sorted) {
+            std::vector<std::string> record;
+            record.reserve(fields->size() + 1);
+            record.push_back(key);
+            record.insert(record.end(), fields->begin(),
+                          fields->end());
+            tmp << report::encodeRecord(record);
+        }
+        tmp.flush();
+        if (!tmp) {
+            support::warn("checkpoint ", path_, ": error writing ",
+                          tmp_path, " — compaction skipped");
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+    }
+
+    if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+        support::warn("checkpoint ", path_, ": cannot replace with ",
+                      tmp_path, " — compaction skipped");
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+
+    // Re-point the append stream at the compacted file; the old
+    // handle still references the unlinked original.
+    out_.close();
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_) {
+        support::warn("checkpoint ", path_,
+                      ": cannot reopen after compaction — further "
+                      "cells will not be journaled");
+        return false;
+    }
+    return true;
 }
 
 } // namespace capo::harness

@@ -19,12 +19,20 @@
  *     capo-checkpoint v1 <config-hash hex>
  *     <key>\t<field>\t<field>...
  *
+ * Records use the shared result codec (report/codec.hh): the same
+ * line framing and exact bit-pattern double encoding as
+ * `report::ResultTable` rows, so journaled cells and result-table
+ * rows are the same representation — restoring a cell and decoding a
+ * table row are one operation, and the two layers can never drift.
+ *
  * The header's config hash covers every parameter that shapes the
  * sweep; resuming with a different configuration is refused rather
  * than silently mixing incompatible cells. Keys and fields must not
  * contain tabs or newlines. Journal *line order* varies with --jobs
  * (cells append as they finish); lookups are keyed, so order never
- * affects restored results.
+ * affects restored results. The journal grows one line per append —
+ * including duplicate keys from re-run cells — until compact()
+ * rewrites it as exactly one record per live cell.
  */
 
 #ifndef CAPO_HARNESS_CHECKPOINT_HH
@@ -80,8 +88,24 @@ class CheckpointJournal
     /** Cells currently recorded (loaded + appended). */
     std::size_t entryCount() const;
 
-    /** @{ Exact double round-tripping: 16 hex digits of the IEEE-754
-     *  bit pattern, immune to decimal formatting loss. */
+    /**
+     * Rewrite the journal from the in-memory cell map: fresh header
+     * (same config hash), then exactly one record per cell. Collapses
+     * duplicate-key re-appends and dead bytes after a partially
+     * restored resume. The rewrite lands whole via a temporary file
+     * renamed over the journal, so a crash mid-compaction leaves
+     * either the old journal or the new one — never a torn hybrid —
+     * and the torn-line / config-hash semantics of open() are
+     * unchanged. Subsequent appends extend the compacted file.
+     *
+     * @return False (journal keeps appending to the old file) when
+     *         the temporary cannot be written or renamed.
+     */
+    bool compact();
+
+    /** @{ Exact double round-tripping, shared with the report layer
+     *  (report/codec.hh): 16 hex digits of the IEEE-754 bit pattern,
+     *  immune to decimal formatting loss. */
     static std::string encodeDouble(double value);
     static bool decodeDouble(const std::string &text, double &value);
     /** @} */
@@ -90,6 +114,8 @@ class CheckpointJournal
     CheckpointJournal() = default;
 
     mutable std::mutex mutex_;
+    std::string path_;
+    std::uint64_t config_hash_ = 0;
     std::ofstream out_;
     std::unordered_map<std::string, std::vector<std::string>> entries_;
 };

@@ -19,6 +19,7 @@
 #include "harness/lbo_experiment.hh"
 #include "harness/runner.hh"
 #include "metrics/export.hh"
+#include "report/artifact.hh"
 #include "workloads/registry.hh"
 
 namespace capo::fault {
@@ -155,6 +156,68 @@ TEST(FaultSpecTest, ParsesAllForms)
     EXPECT_FALSE(parseFaultSpec("frobnicator=0.1", plan, error));
     EXPECT_FALSE(parseFaultSpec("alloc", plan, error));
     EXPECT_FALSE(parseFaultSpec("0.1x", plan, error));
+}
+
+TEST(FaultSpecTest, ArtifactSiteParsesUnderBothNames)
+{
+    FaultPlan plan;
+    std::string error;
+    EXPECT_TRUE(parseFaultSpec("artifact=0.1", plan, error));
+    EXPECT_DOUBLE_EQ(plan.rate(Site::ArtifactIo), 0.1);
+    EXPECT_DOUBLE_EQ(plan.rate(Site::AllocOom), 0.0);
+    EXPECT_TRUE(parseFaultSpec("artifact-io=0.2", plan, error));
+    EXPECT_DOUBLE_EQ(plan.rate(Site::ArtifactIo), 0.2);
+    EXPECT_STREQ(siteName(Site::ArtifactIo), "artifact-io");
+}
+
+// ---------------------------------------------------------------------
+// The artifact_io site through the report layer's ArtifactSink: writes
+// retry on injected failures, quarantine when exhausted, and the whole
+// schedule replays from the seed.
+
+TEST(ArtifactFaultTest, InjectedWriteFailuresRetryThenQuarantine)
+{
+    FaultPlan plan;
+    plan.setRate(Site::ArtifactIo, 0.4);
+    plan.seed = 17;
+
+    const auto run = [&plan] {
+        report::ArtifactSink sink(".",
+                                  report::ArtifactSink::Mode::Memory);
+        sink.armFaults(plan, 99);
+        sink.setRetries(1);
+        std::vector<std::pair<int, bool>> outcomes;
+        for (int i = 0; i < 32; ++i) {
+            const std::string path =
+                "table_" + std::to_string(i) + ".csv";
+            const bool ok = sink.write(
+                path, [&](std::ostream &out) { out << i << "\n"; });
+            outcomes.emplace_back(sink.artifacts().back().attempts,
+                                  ok);
+            // A landed artifact is readable; a quarantined one left
+            // nothing behind.
+            EXPECT_EQ(sink.payload(path),
+                      ok ? std::to_string(i) + "\n" : "");
+        }
+        return outcomes;
+    };
+
+    const auto first = run();
+    // At rate 0.4 with two opportunities per attempt and one retry,
+    // 32 writes must see all three outcomes: clean first attempts,
+    // successful retries, and quarantines.
+    bool clean = false, retried = false, quarantined = false;
+    for (const auto &[attempts, ok] : first) {
+        clean |= ok && attempts == 1;
+        retried |= ok && attempts > 1;
+        quarantined |= !ok;
+    }
+    EXPECT_TRUE(clean);
+    EXPECT_TRUE(retried);
+    EXPECT_TRUE(quarantined);
+
+    // Determinism: the exact same schedule replays from the seed.
+    EXPECT_EQ(run(), first);
 }
 
 // ---------------------------------------------------------------------

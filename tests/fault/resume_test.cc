@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "harness/checkpoint.hh"
+#include "harness/latency_experiment.hh"
 #include "harness/lbo_experiment.hh"
 #include "harness/minheap.hh"
 #include "metrics/export.hh"
@@ -159,6 +160,75 @@ TEST(CheckpointJournalTest, MissingFileOnResumeStartsFresh)
     auto journal = CheckpointJournal::open(path, kHash, true, error);
     ASSERT_NE(journal, nullptr) << error;
     EXPECT_EQ(journal->entryCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournalTest, CompactMergesDuplicatesAndSorts)
+{
+    const auto path = tempPath("compact");
+    std::string error;
+    auto journal = CheckpointJournal::open(path, kHash, false, error);
+    ASSERT_NE(journal, nullptr) << error;
+    journal->append("b", {"1"});
+    journal->append("a", {"2"});
+    journal->append("b", {"3"});  // supersedes the first record
+    EXPECT_EQ(journal->entryCount(), 2u);
+    EXPECT_EQ(readLines(path).size(), 4u);  // header + 3 records
+
+    ASSERT_TRUE(journal->compact());
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);  // header + one record per cell
+    EXPECT_EQ(lines[1], "a\t2");  // key-sorted
+    EXPECT_EQ(lines[2], "b\t3");  // last record won
+
+    // The append stream survives compaction...
+    journal->append("c", {"4"});
+    EXPECT_EQ(readLines(path).size(), 4u);
+
+    // ...and a resumed open sees the compacted + appended state.
+    journal.reset();
+    journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_EQ(journal->entryCount(), 3u);
+    std::vector<std::string> fields;
+    ASSERT_TRUE(journal->lookup("b", fields));
+    EXPECT_EQ(fields, (std::vector<std::string>{"3"}));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournalTest, CompactedFileResumesIdentically)
+{
+    const auto &fop = workloads::byName("fop");
+    const auto path = tempPath("compact_sweep");
+    std::string error;
+
+    harness::LboSweepOptions sweep;
+    sweep.factors = {2.0};
+    sweep.collectors = {gc::Algorithm::Serial, gc::Algorithm::G1};
+    sweep.base.iterations = 2;
+    sweep.base.invocations = 1;
+    sweep.base.time_limit_sec = 300;
+
+    std::string full_csv;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        sweep.journal = journal.get();
+        std::stringstream out;
+        metrics::exportLboCsv(runLboSweep(fop, sweep).analysis, out);
+        full_csv = out.str();
+        ASSERT_TRUE(journal->compact());
+    }
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    EXPECT_EQ(journal->entryCount(), 2u);
+    sweep.journal = journal.get();
+    const auto resumed = runLboSweep(fop, sweep);
+    EXPECT_EQ(resumed.restored_cells, 2u);
+    std::stringstream out;
+    metrics::exportLboCsv(resumed.analysis, out);
+    EXPECT_EQ(out.str(), full_csv);
     std::remove(path.c_str());
 }
 
@@ -340,6 +410,117 @@ TEST(ResumeSweepTest, MinHeapGridResumes)
         EXPECT_EQ(resumed.cells[i].result.converged,
                   full.cells[i].result.converged);
     }
+    EXPECT_EQ(journal->entryCount(), 2u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Latency plans journal per-cell quantiles (DESIGN.md §8,
+// latency/<workload>/<collector>/<factor-bits>) and resume bitwise.
+
+LatencySweepOptions
+latencyOptions(int jobs)
+{
+    LatencySweepOptions sweep;
+    sweep.factors = {2.0};
+    sweep.collectors = {gc::Algorithm::G1, gc::Algorithm::Shenandoah};
+    sweep.base.iterations = 2;
+    sweep.base.time_limit_sec = 300;
+    sweep.base.jobs = jobs;
+    return sweep;
+}
+
+void
+expectCellsBitIdentical(const LatencySweep &a, const LatencySweep &b)
+{
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        const auto &x = a.cells[i];
+        const auto &y = b.cells[i];
+        EXPECT_EQ(x.workload, y.workload);
+        EXPECT_EQ(x.collector, y.collector);
+        EXPECT_EQ(x.ok, y.ok);
+        const double xs[] = {x.p50_ns, x.p99_ns, x.p999_ns,
+                             x.metered_p50_ns, x.metered_p999_ns};
+        const double ys[] = {y.p50_ns, y.p99_ns, y.p999_ns,
+                             y.metered_p50_ns, y.metered_p999_ns};
+        EXPECT_EQ(std::memcmp(xs, ys, sizeof xs), 0)
+            << "cell " << i << " quantiles differ";
+    }
+}
+
+TEST(ResumeSweepTest, LatencySweepResumesBitIdentical)
+{
+    const std::vector<std::string> names = {"lusearch"};
+    const auto path = tempPath("latency");
+    std::string error;
+
+    LatencySweep full;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        auto sweep = latencyOptions(1);
+        sweep.journal = journal.get();
+        full = runLatencySweep(names, sweep);
+        EXPECT_EQ(full.restored_cells, 0u);
+        EXPECT_EQ(journal->entryCount(), 2u);
+        for (const auto &cell : full.cells)
+            EXPECT_TRUE(cell.have_raw);
+    }
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);  // header + 2 cells
+
+    // Kill after the first cell: the resumed sweep restores it and
+    // re-runs only the second, with bit-identical quantiles at any
+    // --jobs.
+    for (int jobs : {1, 8}) {
+        writeFile(path, lines[0] + "\n" + lines[1] + "\n");
+        auto journal =
+            CheckpointJournal::open(path, kHash, true, error);
+        ASSERT_NE(journal, nullptr) << error;
+        auto sweep = latencyOptions(jobs);
+        sweep.journal = journal.get();
+        const auto resumed = runLatencySweep(names, sweep);
+        EXPECT_EQ(resumed.restored_cells, 1u);
+        EXPECT_TRUE(resumed.cells[0].restored);
+        EXPECT_FALSE(resumed.cells[0].have_raw);
+        expectCellsBitIdentical(full, resumed);
+        EXPECT_EQ(journal->entryCount(), 2u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ResumeSweepTest, LatencyRawSweepBypassesRestoreButStillJournals)
+{
+    const std::vector<std::string> names = {"lusearch"};
+    const auto path = tempPath("latency_raw");
+    std::string error;
+
+    LatencySweep full;
+    {
+        auto journal =
+            CheckpointJournal::open(path, kHash, false, error);
+        ASSERT_NE(journal, nullptr) << error;
+        auto sweep = latencyOptions(1);
+        sweep.journal = journal.get();
+        full = runLatencySweep(names, sweep);
+    }
+    // The journal holds quantiles, not request logs, so a sweep that
+    // needs raw CSVs re-runs every cell — deterministically — while
+    // the journal stays intact for summary-only resumes.
+    auto journal = CheckpointJournal::open(path, kHash, true, error);
+    ASSERT_NE(journal, nullptr) << error;
+    auto sweep = latencyOptions(1);
+    sweep.journal = journal.get();
+    sweep.want_raw = true;
+    const auto rerun = runLatencySweep(names, sweep);
+    EXPECT_EQ(rerun.restored_cells, 0u);
+    for (const auto &cell : rerun.cells) {
+        EXPECT_FALSE(cell.restored);
+        EXPECT_TRUE(cell.have_raw);
+    }
+    expectCellsBitIdentical(full, rerun);
     EXPECT_EQ(journal->entryCount(), 2u);
     std::remove(path.c_str());
 }

@@ -24,6 +24,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +32,9 @@
 #include "harness/lbo_experiment.hh"
 #include "harness/runner.hh"
 #include "metrics/export.hh"
+#include "report/artifact.hh"
+#include "report/experiment.hh"
+#include "report/table.hh"
 #include "stats/stat_table.hh"
 #include "support/strfmt.hh"
 #include "workloads/registry.hh"
@@ -241,6 +245,82 @@ TEST(GoldenTest, FigAHeapTimeline)
     std::stringstream out;
     metrics::exportHeapTimelineCsv(run.log, out);
     expectMatchesGolden("figA_heap_timeline.csv", out.str());
+}
+
+// ---------------------------------------------------------------------
+// Registry-driven snapshots: experiments run hermetically through
+// runRegistered (Discard-mode sink, no filesystem), and the typed
+// result tables they put in the store are the snapshot — the same
+// CSVs `capo-bench run <name> --artifacts` would land on disk.
+
+/** Run a registered experiment and return one store table as CSV. */
+std::string
+registryTableCsv(const std::string &experiment_name,
+                 const std::string &table_name,
+                 const std::vector<std::string> &args)
+{
+    const report::Experiment *experiment =
+        report::ExperimentRegistry::instance().find(experiment_name);
+    if (experiment == nullptr) {
+        ADD_FAILURE() << experiment_name
+                      << " is not in the experiment registry";
+        return "";
+    }
+    report::ArtifactSink sink(".",
+                              report::ArtifactSink::Mode::Discard);
+    report::ResultStore store;
+    // Experiment bodies print their ASCII tables to stdout; capture
+    // that so test output stays readable.
+    std::stringstream stdout_capture;
+    std::streambuf *old_buf = std::cout.rdbuf(stdout_capture.rdbuf());
+    const int code =
+        report::runRegistered(*experiment, args, sink, store);
+    std::cout.rdbuf(old_buf);
+    EXPECT_EQ(code, 0) << experiment_name << " exited nonzero";
+
+    const report::ResultTable *table = store.find(table_name);
+    if (table == nullptr) {
+        ADD_FAILURE() << experiment_name << " produced no table '"
+                      << table_name << "'";
+        return "";
+    }
+    std::stringstream out;
+    table->writeCsv(out);
+    return out.str();
+}
+
+TEST(GoldenTest, Fig02MmuTableFromRegistry)
+{
+    expectMatchesGolden(
+        "fig02_mmu.csv",
+        registryTableCsv("fig02_mmu_pauses", "mmu", {}));
+}
+
+TEST(GoldenTest, Tab01MetricCatalogFromRegistry)
+{
+    expectMatchesGolden(
+        "tab01_metric_catalog.csv",
+        registryTableCsv("tab01_metric_catalog", "metric_catalog", {}));
+}
+
+TEST(GoldenTest, EveryBenchAliasIsRegistered)
+{
+    // The CMake alias targets and the registry must agree: a bench
+    // main that bypasses the registry would silently fall out of
+    // capo-bench, the golden snapshots and the CI smoke sweep.
+    for (const char *name :
+         {"fig01_lbo_geomean", "fig02_mmu_pauses",
+          "fig03_latency_cassandra", "fig04_pca", "fig05_lbo_cases",
+          "fig06_latency_h2", "tab01_metric_catalog",
+          "tab02_determinant", "tab03_nominal_all",
+          "tab04_arch_sensitivity", "figA_lbo_per_benchmark",
+          "figA_heap_timeline", "figA_latency_all", "tabA_minheap",
+          "tabB_characterization", "tabC_bytecode", "ext_footprint",
+          "ext_criticaljops", "ablation_collectors"}) {
+        EXPECT_NE(report::ExperimentRegistry::instance().find(name),
+                  nullptr)
+            << name << " missing from the experiment registry";
+    }
 }
 
 } // namespace
