@@ -48,13 +48,8 @@ runExtCriticalJops(report::ExperimentContext &context)
                        {"critical_jops", report::Type::Double},
                        {"p99_at_critical_ms", report::Type::Double}});
 
-    support::TextTable table;
-    table.columns({"collector", "max jOPS (tested)", "critical-jOPS",
-                   "p99 @ critical (ms)"},
-                  {support::TextTable::Align::Left,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right});
+    bench::AsciiTable table({"collector", "max jOPS (tested)",
+                             "critical-jOPS", "p99 @ critical (ms)"});
 
     for (auto algorithm : gc::productionCollectors()) {
         const auto set = runner.run(workload, algorithm,

@@ -38,16 +38,12 @@ runExtFootprint(report::ExperimentContext &context)
                        {"completed", report::Type::Bool},
                        {"avg_footprint_mb", report::Type::Double}});
 
-    support::TextTable table;
     std::vector<std::string> header = {"workload", "Xmx (MB)"};
     for (auto algorithm : gc::productionCollectors()) {
         header.push_back(std::string(gc::algorithmName(algorithm)) +
                          " avg MB");
     }
-    std::vector<support::TextTable::Align> aligns(
-        header.size(), support::TextTable::Align::Right);
-    aligns[0] = support::TextTable::Align::Left;
-    table.columns(header, aligns);
+    bench::AsciiTable table(header);
 
     for (const auto &name : selection) {
         const auto &workload = workloads::byName(name);

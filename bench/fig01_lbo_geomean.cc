@@ -126,14 +126,10 @@ runFig01(report::ExperimentContext &context)
         std::cout << (wall ? "\n## (a) Wall-clock time overhead (LBO)\n"
                            : "\n## (b) Total CPU overhead "
                              "(TASK_CLOCK, LBO)\n");
-        support::TextTable table;
         std::vector<std::string> header = {"collector", "year"};
         for (double f : sweep.factors)
             header.push_back(support::fixed(f, 2) + "x");
-        std::vector<support::TextTable::Align> aligns(
-            header.size(), support::TextTable::Align::Right);
-        aligns[0] = support::TextTable::Align::Left;
-        table.columns(header, aligns);
+        bench::AsciiTable table(header);
 
         for (auto algorithm : sweep.collectors) {
             const std::string name = gc::algorithmName(algorithm);

@@ -19,7 +19,7 @@ using namespace capo;
 namespace {
 
 void
-mmuRow(support::TextTable &table, report::ResultTable &rows,
+mmuRow(bench::AsciiTable &table, report::ResultTable &rows,
        const std::string &label, const metrics::Mmu &mmu,
        const std::vector<double> &windows_ms)
 {
@@ -47,14 +47,10 @@ runFig02(report::ExperimentContext &context)
 
     const std::vector<double> windows_ms = {1, 5, 20, 50, 110, 500,
                                             1000};
-    support::TextTable table;
     std::vector<std::string> header = {"scenario", "max pause (ms)"};
     for (double w : windows_ms)
         header.push_back("MMU@" + support::fixed(w, 0) + "ms");
-    std::vector<support::TextTable::Align> aligns(
-        header.size(), support::TextTable::Align::Right);
-    aligns[0] = support::TextTable::Align::Left;
-    table.columns(header, aligns);
+    bench::AsciiTable table(header);
 
     // Synthetic: one 100 ms pause over a 1 s run.
     metrics::Mmu one({{450e6, 550e6}}, 0.0, 1e9);

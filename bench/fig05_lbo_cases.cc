@@ -26,16 +26,12 @@ printCurves(const harness::WorkloadLbo &result,
         std::cout << (wall ? "\n### Wall-clock overheads (LBO)\n"
                            : "\n### Total CPU overheads (task clock, "
                              "LBO)\n");
-        support::TextTable table;
         std::vector<std::string> header = {"collector"};
         for (double f : factors) {
             header.push_back(support::fixed(f, 1) + "x (" +
                              support::fixed(f * gmd_mb, 0) + "MB)");
         }
-        std::vector<support::TextTable::Align> aligns(
-            header.size(), support::TextTable::Align::Right);
-        aligns[0] = support::TextTable::Align::Left;
-        table.columns(header, aligns);
+        bench::AsciiTable table(header);
         for (const auto &collector : result.analysis.collectors()) {
             std::vector<std::string> row = {collector};
             for (double f : factors) {

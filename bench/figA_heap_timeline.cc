@@ -35,18 +35,12 @@ runFigAHeapTimeline(report::ExperimentContext &context)
                        {"bucket", report::Type::Uint},
                        {"mean_post_gc_mb", report::Type::Double}});
 
-    support::TextTable table;
-    {
-        std::vector<std::string> header = {"workload", "GCs"};
-        for (std::size_t b = 0; b < buckets; ++b) {
-            header.push_back(
-                "t" + std::to_string((b + 1) * 100 / buckets) + "%");
-        }
-        std::vector<support::TextTable::Align> aligns(
-            header.size(), support::TextTable::Align::Right);
-        aligns[0] = support::TextTable::Align::Left;
-        table.columns(header, aligns);
+    std::vector<std::string> header = {"workload", "GCs"};
+    for (std::size_t b = 0; b < buckets; ++b) {
+        header.push_back(
+            "t" + std::to_string((b + 1) * 100 / buckets) + "%");
     }
+    bench::AsciiTable table(header);
 
     for (const auto &name : selection) {
         const auto &workload = workloads::byName(name);

@@ -42,15 +42,10 @@ runFigALboPerBenchmark(report::ExperimentContext &context)
 
         std::cout << "\n## " << name << " (min heap "
                   << support::fixed(workload.gc.gmd_mb, 0) << " MB)\n";
-        support::TextTable table;
         std::vector<std::string> header = {"collector", "axis"};
         for (double f : sweep.factors)
             header.push_back(support::fixed(f, 1) + "x");
-        std::vector<support::TextTable::Align> aligns(
-            header.size(), support::TextTable::Align::Right);
-        aligns[0] = support::TextTable::Align::Left;
-        aligns[1] = support::TextTable::Align::Left;
-        table.columns(header, aligns);
+        bench::AsciiTable table(header);
 
         for (auto algorithm : sweep.collectors) {
             const std::string collector = gc::algorithmName(algorithm);

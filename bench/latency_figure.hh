@@ -91,14 +91,10 @@ latencyPanel(const std::string &title,
              const std::string &metric = "")
 {
     std::cout << "\n## " << title << "\n";
-    support::TextTable table;
     const auto labels = percentileLabels();
     std::vector<std::string> header = {"percentile"};
     header.insert(header.end(), labels.begin(), labels.end());
-    std::vector<support::TextTable::Align> aligns(
-        header.size(), support::TextTable::Align::Right);
-    aligns[0] = support::TextTable::Align::Left;
-    table.columns(header, aligns);
+    bench::AsciiTable table(header);
 
     support::AsciiChart chart(64, 14);
     chart.setLogY(true);

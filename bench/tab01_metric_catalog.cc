@@ -29,16 +29,8 @@ runTab01(report::ExperimentContext &context)
                        {"median", report::Type::Double},
                        {"max", report::Type::Double}});
 
-    support::TextTable table;
-    table.columns({"Metric", "Grp", "Avail", "Min", "Median", "Max",
-                   "Description"},
-                  {support::TextTable::Align::Left,
-                   support::TextTable::Align::Left,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Left});
+    bench::AsciiTable table({"Metric", "Grp", "Avail", "Min", "Median",
+                             "Max", "Description"});
     for (const auto &info : stats::catalog()) {
         const auto range = shipped.range(info.id);
         std::string desc = info.description;

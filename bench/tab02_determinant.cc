@@ -42,14 +42,10 @@ runTab02(report::ExperimentContext &context)
                        {"rank", report::Type::Int},
                        {"value", report::Type::Double}});
 
-    support::TextTable out;
     std::vector<std::string> header = {"Benchmark"};
     for (auto id : metrics)
         header.push_back(stats::metricCode(id));
-    std::vector<support::TextTable::Align> aligns(
-        header.size(), support::TextTable::Align::Right);
-    aligns[0] = support::TextTable::Align::Left;
-    out.columns(header, aligns);
+    bench::AsciiTable out(header);
 
     for (const auto &workload : table.workloads()) {
         std::vector<std::string> rank_row = {workload};

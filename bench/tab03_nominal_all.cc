@@ -25,17 +25,8 @@ printWorkloadTable(const stats::StatTable &table,
               << (workload.is_new ? " (new in Chopin)" : "") << "\n"
               << workload.summary << "\n\n";
 
-    support::TextTable out;
-    out.columns({"Metric", "Score", "Value", "Rank", "Min", "Median",
-                 "Max", "Description"},
-                {support::TextTable::Align::Left,
-                 support::TextTable::Align::Right,
-                 support::TextTable::Align::Right,
-                 support::TextTable::Align::Right,
-                 support::TextTable::Align::Right,
-                 support::TextTable::Align::Right,
-                 support::TextTable::Align::Right,
-                 support::TextTable::Align::Left});
+    bench::AsciiTable out({"Metric", "Score", "Value", "Rank", "Min",
+                           "Median", "Max", "Description"});
     for (const auto &info : stats::catalog()) {
         const auto value = table.get(workload.name, info.id);
         if (!value)

@@ -43,20 +43,9 @@ runTab04(report::ExperimentContext &context)
                        {"pls_pct", report::Type::Double},
                        {"pfs_pct", report::Type::Double}});
 
-    support::TextTable table;
-    table.columns({"workload", "IPC", "UDC", "ULL", "UDT", "USB",
-                   "USF", "UBS", "PMS%", "PLS%", "PFS%"},
-                  {support::TextTable::Align::Left,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right});
+    bench::AsciiTable table({"workload", "IPC", "UDC", "ULL", "UDT",
+                             "USB", "USF", "UBS", "PMS%", "PLS%",
+                             "PFS%"});
 
     for (const char *name : kFocus) {
         const auto &workload = workloads::byName(name);

@@ -28,15 +28,11 @@ runTabAMinheap(report::ExperimentContext &context)
                        {"converged", report::Type::Bool},
                        {"min_heap_mb", report::Type::Double}});
 
-    support::TextTable table;
     std::vector<std::string> header = {"workload", "GMD (shipped)"};
     for (auto algorithm : gc::productionCollectors())
         header.push_back(gc::algorithmName(algorithm));
     header.push_back("ZGC*/G1");
-    std::vector<support::TextTable::Align> aligns(
-        header.size(), support::TextTable::Align::Right);
-    aligns[0] = support::TextTable::Align::Left;
-    table.columns(header, aligns);
+    bench::AsciiTable table(header);
 
     std::vector<std::string> selection = context.flags.positionals();
     if (selection.empty())

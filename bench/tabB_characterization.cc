@@ -60,12 +60,8 @@ runTabB(report::ExperimentContext &context)
         harness::measureWorkloadStats(workload, options, measured);
 
         std::cout << "\n## " << name << "\n";
-        support::TextTable table;
-        table.columns({"metric", "shipped", "measured", "ratio"},
-                      {support::TextTable::Align::Left,
-                       support::TextTable::Align::Right,
-                       support::TextTable::Align::Right,
-                       support::TextTable::Align::Right});
+        bench::AsciiTable table(
+            {"metric", "shipped", "measured", "ratio"});
         for (auto id : kCompared) {
             const auto ship = shipped.get(name, id);
             const auto meas = measured.get(name, id);

@@ -38,13 +38,8 @@ runTabC(report::ExperimentContext &context)
                        {"measured", report::Type::Double},
                        {"have_shipped", report::Type::Bool}});
 
-    support::TextTable table;
-    table.columns({"workload", "stat", "shipped", "measured", "ratio"},
-                  {support::TextTable::Align::Left,
-                   support::TextTable::Align::Left,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right,
-                   support::TextTable::Align::Right});
+    bench::AsciiTable table(
+        {"workload", "stat", "shipped", "measured", "ratio"});
 
     for (const auto &name : selection) {
         const auto &workload = workloads::byName(name);

@@ -179,8 +179,8 @@ main(int argc, char **argv)
     // a timeline of a failing run is exactly what one debugs with.
     const auto writeObservability = [&] {
         if (sink && !trace_out.empty()) {
-            trace::writeChromeTraceFile(*sink, trace_out);
-            std::cout << "saved trace to " << trace_out << "\n";
+            if (trace::writeChromeTraceFile(*sink, trace_out))
+                std::cout << "saved trace to " << trace_out << "\n";
         }
         if (!metrics_csv.empty()) {
             metrics::writeCsvFile(metrics_csv, [&](std::ostream &out) {

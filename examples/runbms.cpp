@@ -18,6 +18,7 @@
  *     invocations  = 3
  */
 
+#include <filesystem>
 #include <iostream>
 #include <memory>
 
@@ -409,8 +410,13 @@ main(int argc, char **argv)
     }
 
     if (sink) {
-        trace::writeChromeTraceFile(*sink, plan.trace_out);
-        std::cout << "saved trace to " << plan.trace_out << "\n";
+        // Through the armed artifact sink, so trace export shares the
+        // CSVs' retry/quarantine/fault-injection path. The path is
+        // absolutized so the sink root does not relocate it.
+        if (trace::writeChromeTraceArtifact(
+                *sink, artifacts,
+                std::filesystem::absolute(plan.trace_out).string()))
+            std::cout << "saved trace to " << plan.trace_out << "\n";
         if (want_csv) {
             artifacts.write("metrics.csv", [&](std::ostream &out) {
                 metrics::exportMetricsCsv(registry, out);

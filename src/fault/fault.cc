@@ -59,6 +59,8 @@ siteFromName(const std::string &name, Site &site)
         site = Site::WorkerDeath;
     } else if (name == "artifact" || name == "artifact-io") {
         site = Site::ArtifactIo;
+    } else if (name == "conn" || name == "conn-io") {
+        site = Site::ConnIo;
     } else {
         return false;
     }
@@ -83,6 +85,8 @@ siteName(Site site)
         return "worker";
       case Site::ArtifactIo:
         return "artifact-io";
+      case Site::ConnIo:
+        return "conn-io";
     }
     return "?";
 }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "report/codec.hh"
 #include "support/csv.hh"
@@ -325,14 +326,43 @@ ResultTable::writeJsonl(std::ostream &out) const
 std::size_t
 ResultTable::renderAscii(std::ostream &out) const
 {
+    // Numeric-presentation text ("1.09", "(3/22)", "6.00x", "-")
+    // right-aligns like the numbers it formats; identifiers and prose
+    // left-align. Lets presentation tables with pre-formatted string
+    // cells render like typed numeric columns.
+    const auto numeric_like = [](const std::string &cell) {
+        bool digit = false;
+        for (const char c : cell) {
+            if (c >= '0' && c <= '9') {
+                digit = true;
+                continue;
+            }
+            if (std::string_view("+-.%()x/eE,").find(c) ==
+                std::string_view::npos)
+                return false;
+        }
+        return digit || cell == "-";
+    };
+
     support::TextTable text;
     std::vector<std::string> names;
     std::vector<support::TextTable::Align> aligns;
-    for (const auto &column : schema_.columns()) {
+    for (std::size_t i = 0; i < schema_.columns().size(); ++i) {
+        const auto &column = schema_.columns()[i];
         names.push_back(column.name);
-        aligns.push_back(column.type == Type::String
-                             ? support::TextTable::Align::Left
-                             : support::TextTable::Align::Right);
+        bool right = column.type != Type::String;
+        if (!right && !rows_.empty()) {
+            right = true;
+            for (const auto &row : rows_) {
+                const std::string &cell = row[i].asString();
+                if (!cell.empty() && !numeric_like(cell)) {
+                    right = false;
+                    break;
+                }
+            }
+        }
+        aligns.push_back(right ? support::TextTable::Align::Right
+                               : support::TextTable::Align::Left);
     }
     text.columns(names, aligns);
     for (const auto &row : rows_) {

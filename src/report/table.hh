@@ -128,7 +128,10 @@ class ResultTable
      *  (a mismatch is a programming error and asserts). */
     void addRow(std::vector<Value> row);
 
-    /** @{ Writers. Each returns the number of data rows emitted. */
+    /** @{ Writers. Each returns the number of data rows emitted.
+     *  renderAscii right-aligns numeric columns — including String
+     *  columns whose every cell is numeric-presentation text
+     *  ("1.09", "(3/22)", "-") — and left-aligns identifiers. */
     std::size_t writeCsv(std::ostream &out) const;
     std::size_t writeJsonl(std::ostream &out) const;
     std::size_t renderAscii(std::ostream &out) const;

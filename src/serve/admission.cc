@@ -1,0 +1,63 @@
+#include "serve/admission.hh"
+
+namespace capo::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+AdmissionQueue::Admit
+AdmissionQueue::tryPush(Ticket ticket)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_)
+            return Admit::Draining;
+        if (tickets_.size() >= capacity_)
+            return Admit::QueueFull;
+        tickets_.push_back(std::move(ticket));
+    }
+    available_.notify_one();
+    return Admit::Accepted;
+}
+
+bool
+AdmissionQueue::pop(Ticket &ticket)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_.wait(lock, [this] {
+        return !tickets_.empty() || draining_;
+    });
+    if (tickets_.empty())
+        return false;
+    ticket = std::move(tickets_.front());
+    tickets_.pop_front();
+    return true;
+}
+
+void
+AdmissionQueue::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    available_.notify_all();
+}
+
+std::size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tickets_.size();
+}
+
+bool
+AdmissionQueue::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+} // namespace capo::serve

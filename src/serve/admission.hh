@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Admission control for the experiment server: a bounded FIFO of
+ * pending run tickets with explicit backpressure and graceful drain.
+ *
+ * The serving contract is "never buffer unboundedly, never block a
+ * client silently": a full queue rejects at admission time (the
+ * connection answers RETRY_LATER immediately), a queued ticket whose
+ * deadline passes before a worker picks it up is answered
+ * DEADLINE_EXPIRED without running, and drain() flips the queue into
+ * shutdown mode — new tickets are refused while everything already
+ * admitted still executes, so a graceful shutdown finishes the work
+ * it accepted.
+ */
+
+#ifndef CAPO_SERVE_ADMISSION_HH
+#define CAPO_SERVE_ADMISSION_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "serve/protocol.hh"
+
+namespace capo::serve {
+
+/** One admitted run request, waiting for a worker. */
+struct Ticket
+{
+    Request request;
+    std::uint64_t key = 0;  ///< requestKey(request), cached.
+
+    /** Deadline as an absolute steady-clock point (admission time +
+     *  request.deadline_ms); unset when the request had none. */
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+
+    /** Deliver the response back to the connection. Called exactly
+     *  once, from whichever thread resolves the ticket. */
+    std::function<void(Response &&)> respond;
+};
+
+/**
+ * Bounded MPMC ticket queue.
+ */
+class AdmissionQueue
+{
+  public:
+    enum class Admit {
+        Accepted,   ///< Ticket queued.
+        QueueFull,  ///< Bounded capacity reached — RETRY_LATER.
+        Draining,   ///< Shutdown in progress — SHUTTING_DOWN.
+    };
+
+    explicit AdmissionQueue(std::size_t capacity);
+
+    /** Try to admit a ticket; never blocks. */
+    Admit tryPush(Ticket ticket);
+
+    /**
+     * Block until a ticket is available or the queue is drained empty.
+     * Returns false when draining and nothing is left — the worker
+     * should exit.
+     */
+    bool pop(Ticket &ticket);
+
+    /** Refuse new admissions; wake blocked workers. Already-admitted
+     *  tickets continue to pop until the queue empties. */
+    void drain();
+
+    std::size_t depth() const;
+    bool draining() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::deque<Ticket> tickets_;
+    bool draining_ = false;
+};
+
+} // namespace capo::serve
+
+#endif // CAPO_SERVE_ADMISSION_HH

@@ -1,0 +1,211 @@
+#include "serve/cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "serve/protocol.hh"
+
+namespace capo::serve {
+
+namespace {
+
+const char *const kFileMagic = "capo-result v1";
+
+std::string
+fileHeader(std::uint64_t key, std::size_t bytes)
+{
+    char buffer[80];
+    std::snprintf(buffer, sizeof buffer, "%s %016llx %zu\n", kFileMagic,
+                  static_cast<unsigned long long>(key), bytes);
+    return buffer;
+}
+
+/** Parse a cache file into (key, payload); false on any corruption. */
+bool
+parseFile(const std::string &contents, std::uint64_t &key,
+          std::string &payload)
+{
+    const auto nl = contents.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    std::stringstream head(contents.substr(0, nl));
+    std::string magic_a, magic_b, key_hex;
+    std::size_t bytes = 0;
+    head >> magic_a >> magic_b >> key_hex >> bytes;
+    if (magic_a + " " + magic_b != kFileMagic || key_hex.size() != 16)
+        return false;
+    char *end = nullptr;
+    key = std::strtoull(key_hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0')
+        return false;
+    // A torn write leaves fewer payload bytes than the header
+    // promises; a concatenation bug leaves more. Both are skipped.
+    if (contents.size() - nl - 1 != bytes)
+        return false;
+    payload = contents.substr(nl + 1);
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(report::ArtifactSink *sink, std::string dir,
+                         std::size_t max_entries)
+    : sink_(sink), dir_(std::move(dir)), max_entries_(max_entries)
+{
+}
+
+void
+ResultCache::attachMetrics(trace::MetricsRegistry *metrics)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = metrics;
+}
+
+std::size_t
+ResultCache::loadFromDisk()
+{
+    if (sink_ == nullptr ||
+        sink_->mode() != report::ArtifactSink::Mode::Disk)
+        return 0;
+    const std::filesystem::path root =
+        std::filesystem::path(sink_->root()) / dir_;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec))
+        return 0;
+
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(root, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".capores")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::size_t count = 0;
+    for (const auto &path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            continue;
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::uint64_t key = 0;
+        std::string payload;
+        if (!parseFile(buffer.str(), key, payload))
+            continue;
+        // The name is derived from the key; a mismatch means the file
+        // was renamed or corrupted — not trustworthy either way.
+        if (std::filesystem::path(path).filename() !=
+            cacheFileName(key))
+            continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entries_.emplace(key, std::move(payload)).second) {
+            insertion_order_.push_back(key);
+            ++loaded_;
+            ++count;
+            if (metrics_ != nullptr)
+                metrics_->counter("serve.cache.loaded").increment();
+        }
+    }
+    return count;
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        if (metrics_ != nullptr)
+            metrics_->counter("serve.cache.miss").increment();
+        return false;
+    }
+    payload = it->second;
+    ++hits_;
+    if (metrics_ != nullptr)
+        metrics_->counter("serve.cache.hit").increment();
+    return true;
+}
+
+void
+ResultCache::insert(std::uint64_t key, const std::string &payload)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!entries_.emplace(key, payload).second)
+            return;
+        insertion_order_.push_back(key);
+        ++insertions_;
+        if (metrics_ != nullptr)
+            metrics_->counter("serve.cache.insert").increment();
+        while (max_entries_ > 0 &&
+               entries_.size() > max_entries_ &&
+               !insertion_order_.empty()) {
+            entries_.erase(insertion_order_.front());
+            insertion_order_.pop_front();
+        }
+    }
+    // Write-through outside the map lock (lookups stay fast during
+    // disk I/O) but under the sink lock (ArtifactSink is not
+    // thread-safe). The sink buffers, retries and quarantines; a
+    // failed write degrades to memory-only, never an error.
+    if (sink_ != nullptr) {
+        std::lock_guard<std::mutex> sink_lock(sink_mutex_);
+        sink_->write(dir_ + "/" + cacheFileName(key),
+                     [&](std::ostream &out) {
+                         out << fileHeader(key, payload.size())
+                             << payload;
+                     });
+    }
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t
+ResultCache::insertions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return insertions_;
+}
+
+std::uint64_t
+ResultCache::loaded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return loaded_;
+}
+
+std::size_t
+ResultCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+double
+ResultCache::hitRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+} // namespace capo::serve

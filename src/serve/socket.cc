@@ -1,0 +1,241 @@
+#include "serve/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace capo::serve {
+
+namespace {
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        error = "socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        error = errnoText(("bind " + path).c_str());
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        error = errnoText("listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(int &port, std::string &error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        error = errnoText("bind 127.0.0.1");
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        error = errnoText("listen");
+        ::close(fd);
+        return -1;
+    }
+    if (port == 0) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0) {
+            error = errnoText("getsockname");
+            ::close(fd);
+            return -1;
+        }
+        port = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        error = "socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        error = errnoText(("connect " + path).c_str());
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(int port, std::string &error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        error = errnoText("connect 127.0.0.1");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptConnection(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+bool
+sendAll(int fd, const void *data, std::size_t length)
+{
+    const char *p = static_cast<const char *>(data);
+    while (length > 0) {
+        const ssize_t n = ::send(fd, p, length, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        length -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, void *data, std::size_t length)
+{
+    char *p = static_cast<char *>(data);
+    while (length > 0) {
+        const ssize_t n = ::recv(fd, p, length, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        length -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, const std::string &payload)
+{
+    char header[4];
+    encodeFrameLength(static_cast<std::uint32_t>(payload.size()),
+                      header);
+    return sendAll(fd, header, sizeof header) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+recvFrame(int fd, std::string &payload, std::string &error)
+{
+    error.clear();
+    char header[4];
+    if (!recvAll(fd, header, sizeof header))
+        return false;  // Clean EOF between frames.
+    const std::uint32_t length = decodeFrameLength(header);
+    if (length > kMaxFrameBytes) {
+        error = "frame length " + std::to_string(length) +
+                " exceeds limit";
+        return false;
+    }
+    payload.resize(length);
+    if (length > 0 && !recvAll(fd, payload.data(), length)) {
+        error = "connection dropped mid-frame";
+        return false;
+    }
+    return true;
+}
+
+void
+shutdownSocket(int fd)
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+closeSocket(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace capo::serve

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal POSIX socket plumbing shared by the experiment server, the
+ * client library and the tests: Unix-domain and loopback-TCP
+ * listeners and connectors, plus whole-frame send/receive over the
+ * 4-byte length-prefixed framing of serve/protocol.hh.
+ *
+ * Everything here reports failure through return values and an error
+ * string — a serving layer must never exit() because a socket
+ * misbehaved. SIGPIPE is suppressed per-send (MSG_NOSIGNAL) so a peer
+ * that vanished mid-response surfaces as a write error, not a dead
+ * process.
+ */
+
+#ifndef CAPO_SERVE_SOCKET_HH
+#define CAPO_SERVE_SOCKET_HH
+
+#include <string>
+
+namespace capo::serve {
+
+/** @{ Listeners. Return the listening fd, or -1 with @p error set.
+ *  listenUnix unlinks a stale socket file first; listenTcp binds
+ *  127.0.0.1 and, when @p port is 0, writes the kernel-chosen port
+ *  back. */
+int listenUnix(const std::string &path, std::string &error);
+int listenTcp(int &port, std::string &error);
+/** @} */
+
+/** @{ Connectors. Return the connected fd, or -1 with @p error set. */
+int connectUnix(const std::string &path, std::string &error);
+int connectTcp(int port, std::string &error);
+/** @} */
+
+/** Accept one connection; -1 on error/closed listener. */
+int acceptConnection(int listen_fd);
+
+/** @{ Exact-count I/O. recvAll returns false on EOF or error. */
+bool sendAll(int fd, const void *data, std::size_t length);
+bool recvAll(int fd, void *data, std::size_t length);
+/** @} */
+
+/** @{ One protocol frame (length prefix + payload). recvFrame
+ *  enforces kMaxFrameBytes and distinguishes clean EOF (false with
+ *  empty @p error) from protocol violations (false with @p error
+ *  set). */
+bool sendFrame(int fd, const std::string &payload);
+bool recvFrame(int fd, std::string &payload, std::string &error);
+/** @} */
+
+/** Shut down both directions (wakes a blocked reader) . */
+void shutdownSocket(int fd);
+
+/** Close an fd (no-op for -1). */
+void closeSocket(int fd);
+
+} // namespace capo::serve
+
+#endif // CAPO_SERVE_SOCKET_HH

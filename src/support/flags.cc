@@ -65,15 +65,37 @@ Flags::set(const std::string &name, const std::string &value)
     it->second.value = value;
 }
 
+bool
+Flags::knows(const std::string &name) const
+{
+    return flags_.count(resolve(name)) > 0;
+}
+
 void
 Flags::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            program_ = argc > 0 ? argv[0] : "capo";
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+    }
+    std::string error;
+    if (!tryParse(argc, argv, error))
+        fatal(error, "\n", usage());
+}
+
+bool
+Flags::tryParse(int argc, const char *const *argv, std::string &error)
 {
     program_ = argc > 0 ? argv[0] : "capo";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::fputs(usage().c_str(), stdout);
-            std::exit(0);
+            error = "--help is not accepted here";
+            return false;
         }
         std::string body;
         const std::string head =
@@ -94,20 +116,69 @@ Flags::parse(int argc, const char *const *argv)
         }
         auto eq = body.find('=');
         if (eq != std::string::npos) {
-            set(body.substr(0, eq), body.substr(eq + 1));
+            auto it = flags_.find(resolve(body.substr(0, eq)));
+            if (it == flags_.end()) {
+                error = "unknown flag --" + body.substr(0, eq);
+                return false;
+            }
+            it->second.value = body.substr(eq + 1);
             continue;
         }
         auto it = flags_.find(resolve(body));
-        if (it == flags_.end())
-            fatal("unknown flag --", body, "\n", usage());
+        if (it == flags_.end()) {
+            error = "unknown flag --" + body;
+            return false;
+        }
         if (it->second.kind == Kind::Bool) {
             it->second.value = "true";
         } else {
-            if (i + 1 >= argc)
-                fatal("flag --", body, " needs a value");
+            if (i + 1 >= argc) {
+                error = "flag --" + body + " needs a value";
+                return false;
+            }
             it->second.value = argv[++i];
         }
     }
+    return true;
+}
+
+bool
+Flags::valuesValid(std::string &error) const
+{
+    for (const auto &[name, flag] : flags_) {
+        switch (flag.kind) {
+        case Kind::String:
+            break;
+        case Kind::Int:
+            try {
+                (void)std::stoll(flag.value);
+            } catch (...) {
+                error = "flag --" + name + " expects an integer, got '" +
+                        flag.value + "'";
+                return false;
+            }
+            break;
+        case Kind::Double:
+            try {
+                (void)std::stod(flag.value);
+            } catch (...) {
+                error = "flag --" + name + " expects a number, got '" +
+                        flag.value + "'";
+                return false;
+            }
+            break;
+        case Kind::Bool:
+            if (flag.value != "true" && flag.value != "1" &&
+                flag.value != "yes" && flag.value != "false" &&
+                flag.value != "0" && flag.value != "no") {
+                error = "flag --" + name + " expects a boolean, got '" +
+                        flag.value + "'";
+                return false;
+            }
+            break;
+        }
+    }
+    return true;
 }
 
 const Flags::Flag &

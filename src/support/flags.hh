@@ -46,6 +46,27 @@ class Flags
      */
     void parse(int argc, const char *const *argv);
 
+    /**
+     * Non-fatal parse for untrusted input (the serve layer parses
+     * request args inside a long-running daemon, where exit() would be
+     * a crash vector). Returns false and sets @p error on unknown
+     * flags, missing values or --help; flag values may be partially
+     * updated on failure, so parse into a scratch copy.
+     */
+    bool tryParse(int argc, const char *const *argv,
+                  std::string &error);
+
+    /** Is @p name (or an alias of it) a declared flag? */
+    bool knows(const std::string &name) const;
+
+    /**
+     * Do all current values parse as their declared types? False with
+     * @p error naming the first offender. Pairs with tryParse for
+     * untrusted input: the typed accessors are fatal on malformed
+     * values, so a daemon validates before handing flags to a body.
+     */
+    bool valuesValid(std::string &error) const;
+
     /** @{ Typed accessors (fatal on unknown names). */
     const std::string &getString(const std::string &name) const;
     std::int64_t getInt(const std::string &name) const;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 
+#include "report/artifact.hh"
 #include "support/logging.hh"
 
 namespace capo::trace {
@@ -119,20 +119,28 @@ writeChromeTrace(const TraceSink &sink, std::ostream &out)
     return written;
 }
 
-void
-writeChromeTraceFile(const TraceSink &sink, const std::string &path)
+bool
+writeChromeTraceArtifact(const TraceSink &sink,
+                         report::ArtifactSink &artifacts,
+                         const std::string &path)
 {
     if (sink.droppedEvents() > 0) {
         support::warn("trace dropped ", sink.droppedEvents(),
                       " events (raise TraceSink::Options::track_capacity"
                       " or narrow --trace-categories)");
     }
-    std::ofstream out(path);
-    if (!out)
-        support::fatal("cannot open '", path, "' for writing");
-    writeChromeTrace(sink, out);
-    if (!out)
-        support::fatal("error while writing '", path, "'");
+    // The sink quarantines (and warns) on failure; nothing here is
+    // fatal — a missing trace must never kill the run it observed.
+    return artifacts.write(path, [&](std::ostream &out) {
+        writeChromeTrace(sink, out);
+    });
+}
+
+bool
+writeChromeTraceFile(const TraceSink &sink, const std::string &path)
+{
+    report::ArtifactSink artifacts(".");
+    return writeChromeTraceArtifact(sink, artifacts, path);
 }
 
 } // namespace capo::trace

@@ -18,6 +18,10 @@
 
 #include "trace/sink.hh"
 
+namespace capo::report {
+class ArtifactSink;
+}
+
 namespace capo::trace {
 
 /**
@@ -26,9 +30,22 @@ namespace capo::trace {
  */
 std::size_t writeChromeTrace(const TraceSink &sink, std::ostream &out);
 
-/** Write the trace to @p path; fatal with a clear message on failure.
- *  Warns if the sink dropped events (ring capacity exceeded). */
-void writeChromeTraceFile(const TraceSink &sink, const std::string &path);
+/**
+ * Write the trace as one artifact through @p artifacts — the same
+ * choke point every CSV/JSON artifact uses, so trace export inherits
+ * buffered-whole writes, retry, quarantine and artifact_io fault
+ * injection. Warns if the sink dropped events (ring capacity
+ * exceeded). Returns false when the artifact was quarantined.
+ */
+bool writeChromeTraceArtifact(const TraceSink &sink,
+                              report::ArtifactSink &artifacts,
+                              const std::string &path);
+
+/** Write the trace to @p path through a fresh disk ArtifactSink
+ *  rooted at the working directory — same semantics as above for
+ *  callers without a sink of their own. Returns false on failure
+ *  (warned, never fatal). */
+bool writeChromeTraceFile(const TraceSink &sink, const std::string &path);
 
 } // namespace capo::trace
 

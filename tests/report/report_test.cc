@@ -288,17 +288,39 @@ TEST(ExperimentRegistryTest, RunRegisteredParsesFlagsAndFillsStore)
 
 TEST(ExperimentRegistryTest, RegistrarAddsAndListsSorted)
 {
-    Experiment a;
-    a.name = "zz_registry_order_test";
-    a.run = [](ExperimentContext &) { return 0; };
-    RegisterExperiment add_a{std::move(a)};
+    // Register deliberately out of order: the `capo-bench list`
+    // output must be name-sorted no matter what order the static
+    // registrars ran in (link order is not a contract).
+    for (const char *name : {"zz_registry_order_test",
+                             "aa_registry_order_test",
+                             "mm_registry_order_test"}) {
+        Experiment e;
+        e.name = name;
+        e.run = [](ExperimentContext &) { return 0; };
+        RegisterExperiment add{std::move(e)};
+    }
 
     auto &registry = ExperimentRegistry::instance();
     EXPECT_NE(registry.find("zz_registry_order_test"), nullptr);
+    EXPECT_NE(registry.find("aa_registry_order_test"), nullptr);
     EXPECT_EQ(registry.find("no_such_experiment"), nullptr);
+
     const auto all = registry.all();
     for (std::size_t i = 1; i < all.size(); ++i)
         EXPECT_LT(all[i - 1]->name, all[i]->name);
+
+    // The three out-of-order registrations appear, sorted, in one
+    // pass over the listing.
+    std::vector<std::string> ours;
+    for (const auto *experiment : all) {
+        if (experiment->name.find("_registry_order_test") !=
+            std::string::npos)
+            ours.push_back(experiment->name);
+    }
+    EXPECT_EQ(ours, (std::vector<std::string>{
+                        "aa_registry_order_test",
+                        "mm_registry_order_test",
+                        "zz_registry_order_test"}));
 }
 
 } // namespace

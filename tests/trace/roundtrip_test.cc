@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
+#include "report/artifact.hh"
 #include "support/csv.hh"
 #include "trace/chrome_export.hh"
 #include "trace/sink.hh"
@@ -146,6 +148,41 @@ TEST(ChromeRoundTripTest, LargeShardMergeRoundTrips)
         EXPECT_DOUBLE_EQ(e.at("args").at("value").number,
                          static_cast<double>(i));
     }
+}
+
+TEST(ChromeRoundTripTest, ArtifactSinkExportMatchesDirectExport)
+{
+    TraceSink sink;
+    const auto track = sink.registerTrack("t");
+    sink.beginSpan(track, Category::Gc, "pause", 100.0);
+    sink.endSpan(track, Category::Gc, "pause", 900.0);
+    sink.instant(track, Category::Sim, "safepoint", 500.0, 1.0);
+
+    std::stringstream direct;
+    writeChromeTrace(sink, direct);
+
+    report::ArtifactSink artifacts(
+        ".", report::ArtifactSink::Mode::Memory);
+    ASSERT_TRUE(writeChromeTraceArtifact(sink, artifacts,
+                                         "trace.json"));
+    EXPECT_EQ(artifacts.payload("trace.json"), direct.str());
+}
+
+TEST(ChromeRoundTripTest, ArtifactSinkExportQuarantinesUnderFaults)
+{
+    TraceSink sink;
+    const auto track = sink.registerTrack("t");
+    sink.instant(track, Category::Sim, "tick", 1.0, 1.0);
+
+    report::ArtifactSink artifacts(
+        ".", report::ArtifactSink::Mode::Memory);
+    fault::FaultPlan plan;
+    plan.setRate(fault::Site::ArtifactIo, 1.0);
+    artifacts.armFaults(plan, 7);
+    artifacts.setRetries(1);
+    EXPECT_FALSE(writeChromeTraceArtifact(sink, artifacts,
+                                          "trace.json"));
+    EXPECT_EQ(artifacts.quarantined().size(), 1u);
 }
 
 } // namespace
