@@ -198,7 +198,10 @@ const report::RegisterExperiment kRegister{[] {
     e.description =
         "Figure 1: suite-wide lower-bound GC overheads vs heap size";
     e.add_flags = [](support::Flags &flags) {
-        flags.addString("bench-json", "BENCH_harness.json",
+        // Off by default: the committed BENCH_harness.json is now the
+        // obs-layer snapshot (capo-bench snapshot), a different
+        // schema; this flat report remains for the CI smoke check.
+        flags.addString("bench-json", "",
                         "machine-readable throughput report path "
                         "(empty disables)");
     };

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "trace/hot_metrics.hh"
 #include "trace/metrics_registry.hh"
 #include "trace/sink.hh"
 
@@ -104,6 +105,71 @@ BM_HistogramRecord(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramRecord);
+
+/** Disabled hot-tier observe: one relaxed load and a branch — the
+ *  price every hot-path probe pays when nobody is measuring. This is
+ *  the number the recorder stores as hot_disabled_ns in every
+ *  committed BENCH snapshot. */
+void
+BM_HotObserveDisabled(benchmark::State &state)
+{
+    trace::hot::setEnabled(false);
+    double value = 1.0;
+    for (auto _ : state) {
+        trace::hot::observe(trace::hot::TimerQueueDepth, value);
+        value = value < 4096.0 ? value + 1.0 : 1.0;
+        benchmark::DoNotOptimize(value);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotObserveDisabled);
+
+/** Enabled hot-tier observe: a bounded constexpr-bound scan plus
+ *  three relaxed fetch_adds; no mutex, no CAS loop. */
+void
+BM_HotObserveEnabled(benchmark::State &state)
+{
+    trace::hot::setEnabled(true);
+    double value = 1.0;
+    for (auto _ : state) {
+        trace::hot::observe(trace::hot::TimerQueueDepth, value);
+        value = value < 4096.0 ? value + 1.0 : 1.0;
+        benchmark::DoNotOptimize(value);
+    }
+    trace::hot::setEnabled(false);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotObserveEnabled);
+
+/** Disabled hot-tier counter bump (the batched flush path's unit). */
+void
+BM_HotCounterDisabled(benchmark::State &state)
+{
+    trace::hot::setEnabled(false);
+    for (auto _ : state) {
+        trace::hot::count(trace::hot::SimEvents, 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotCounterDisabled);
+
+/** Enabled hot-tier observe under contention: all benchmark threads
+ *  hammer the same histogram (run with --benchmark_threads). */
+void
+BM_HotObserveEnabledContended(benchmark::State &state)
+{
+    trace::hot::setEnabled(true);
+    double value = static_cast<double>(state.thread_index() + 1);
+    for (auto _ : state) {
+        trace::hot::observe(trace::hot::PoolStealScan, value);
+        value = value < 64.0 ? value + 1.0 : 1.0;
+        benchmark::DoNotOptimize(value);
+    }
+    if (state.thread_index() == 0)
+        trace::hot::setEnabled(false);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotObserveEnabledContended)->Threads(1)->Threads(4);
 
 } // namespace
 

@@ -7,6 +7,7 @@
 #include "exec/parallel_for.hh"
 #include "exec/seed.hh"
 #include "support/logging.hh"
+#include "trace/hot_metrics.hh"
 
 namespace capo::harness {
 
@@ -96,11 +97,20 @@ Runner::executeInvocation(const workloads::Descriptor &workload,
                           int invocation, int attempt,
                           trace::TraceSink *shard) const
 {
+    // Per-cell setup cost is a prime parallel-scaling suspect (see
+    // ROADMAP "raw speed"); measure it into the lock-free hot tier so
+    // sweeps at any --jobs can observe it without serializing.
+    const auto setup_begin = std::chrono::steady_clock::now();
     const auto setup = workloads::makeSetup(
         workload, options_.machine, options_.size, options_.iterations);
 
     auto collector =
         gc::makeCollector(algorithm, setup.pointer_footprint);
+    trace::hot::observe(
+        trace::hot::CellSetupNs,
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - setup_begin)
+            .count());
 
     runtime::ExecutionConfig config;
     config.cpus = options_.machine.cpus;
@@ -125,8 +135,10 @@ Runner::executeInvocation(const workloads::Descriptor &workload,
         config.fault_attempt = attempt;
     }
 
-    return runtime::runExecution(config, setup.plan, setup.live,
-                                 *collector);
+    auto result = runtime::runExecution(config, setup.plan, setup.live,
+                                        *collector);
+    trace::hot::count(trace::hot::InvocationsCompleted);
+    return result;
 }
 
 runtime::ExecutionResult

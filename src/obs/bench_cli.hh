@@ -1,0 +1,28 @@
+/**
+ * @file
+ * CLI entry points for the `capo-bench snapshot` and
+ * `capo-bench compare` subcommands (wired in report::benchMain).
+ *
+ * `snapshot` measures a registered experiment with the recorder and
+ * writes BENCH_<label>.json; `compare` re-measures and judges the
+ * result against the checked-in baseline, exiting nonzero on a
+ * significant slowdown — the perf gate CI runs.
+ */
+
+#ifndef CAPO_OBS_BENCH_CLI_HH
+#define CAPO_OBS_BENCH_CLI_HH
+
+namespace capo::obs {
+
+/** `capo-bench snapshot` main (argv[0] is the subcommand). */
+int snapshotMain(int argc, char **argv);
+
+/**
+ * `capo-bench compare` main. Exit codes: 0 no regression, 1 a gating
+ * metric regressed (or configs mismatch), 2 usage/IO error.
+ */
+int compareMain(int argc, char **argv);
+
+} // namespace capo::obs
+
+#endif // CAPO_OBS_BENCH_CLI_HH

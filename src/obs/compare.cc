@@ -1,0 +1,105 @@
+#include "obs/compare.hh"
+
+namespace capo::obs {
+
+namespace {
+
+/** Judge one metric; @p lower_is_better flips the ratio sense. */
+MetricComparison
+judge(const std::string &metric, const Stat &baseline,
+      const Stat &candidate, double threshold, bool lower_is_better,
+      bool gating)
+{
+    MetricComparison cmp;
+    cmp.metric = metric;
+    cmp.baseline = baseline;
+    cmp.candidate = candidate;
+    cmp.gating = gating;
+    cmp.ratio =
+        baseline.mean > 0.0 ? candidate.mean / baseline.mean : 1.0;
+
+    // A metric neither side measured (n == 0) can't be judged.
+    if (baseline.n == 0 || candidate.n == 0)
+        return cmp;
+    if (!baseline.disjointFrom(candidate))
+        return cmp;
+
+    const double worse = lower_is_better ? cmp.ratio : 1.0 / cmp.ratio;
+    if (worse > 1.0 + threshold)
+        cmp.verdict = Verdict::Regression;
+    else if (worse < 1.0 / (1.0 + threshold))
+        cmp.verdict = Verdict::Improvement;
+    return cmp;
+}
+
+} // namespace
+
+bool
+ComparisonReport::regressed() const
+{
+    if (config_mismatch)
+        return true;
+    for (const auto &metric : metrics) {
+        if (metric.gating && metric.verdict == Verdict::Regression)
+            return true;
+    }
+    return false;
+}
+
+ComparisonReport
+compareSnapshots(const BenchSnapshot &baseline,
+                 const BenchSnapshot &candidate, double threshold)
+{
+    ComparisonReport report;
+    if (baseline.experiment != candidate.experiment) {
+        report.config_mismatch = true;
+        report.mismatch_detail = "experiment '" + candidate.experiment +
+                                 "' vs baseline '" +
+                                 baseline.experiment + "'";
+        return report;
+    }
+    if (baseline.config_hash != candidate.config_hash) {
+        report.config_mismatch = true;
+        report.mismatch_detail =
+            "config hash " + candidate.config_hash + " vs baseline " +
+            baseline.config_hash + " (args changed; re-record the "
+            "baseline)";
+        return report;
+    }
+
+    // Normalized cost is the one gating metric: machine-relative, so
+    // a committed baseline survives a hardware change. Everything
+    // else is advisory context for the human reading the table.
+    report.metrics.push_back(judge(
+        "normalized_cost", baseline.normalized_cost,
+        candidate.normalized_cost, threshold, true, true));
+    report.metrics.push_back(judge("elapsed_sec", baseline.elapsed_sec,
+                                   candidate.elapsed_sec, threshold,
+                                   true, false));
+    report.metrics.push_back(judge(
+        "cells_per_sec", baseline.cells_per_sec,
+        candidate.cells_per_sec, threshold, false, false));
+    report.metrics.push_back(judge(
+        "invocations_per_sec", baseline.invocations_per_sec,
+        candidate.invocations_per_sec, threshold, false, false));
+    report.metrics.push_back(judge(
+        "sim_events_per_sec", baseline.sim_events_per_sec,
+        candidate.sim_events_per_sec, threshold, false, false));
+    return report;
+}
+
+const char *
+verdictLabel(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Improvement:
+        return "faster";
+      case Verdict::Regression:
+        return "REGRESSION";
+      case Verdict::Ok:
+        break;
+    }
+    return "ok";
+}
+
+} // namespace capo::obs

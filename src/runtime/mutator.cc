@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "trace/hot_metrics.hh"
 
 namespace capo::runtime {
 
@@ -135,6 +136,12 @@ MutatorGroup::resume(sim::Engine &engine)
               case AllocVerdict::Granted:
                 if (stall_begin_ >= 0.0) {
                     log_.recordStall(stall_begin_, engine.now());
+                    // Hot-tier stall probe (sim-ns): pacing stalls are
+                    // rare next to allocation grants, so a per-stall
+                    // lock-free record is essentially free.
+                    trace::hot::observe(trace::hot::AllocStallNs,
+                                        engine.now() - stall_begin_);
+                    trace::hot::count(trace::hot::AllocStalls);
                     if (sink_) {
                         sink_->endSpan(track_, trace::Category::Runtime,
                                        "alloc-stall", engine.now());

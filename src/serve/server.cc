@@ -9,6 +9,7 @@
 #include "report/experiment.hh"
 #include "serve/socket.hh"
 #include "support/flags.hh"
+#include "trace/hot_metrics.hh"
 
 namespace capo::serve {
 
@@ -35,7 +36,8 @@ errorResponse(std::string message)
 } // namespace
 
 report::ResultStore
-healthStore(const HealthSnapshot &snapshot)
+healthStore(const HealthSnapshot &snapshot,
+            const trace::MetricsRegistry *metrics)
 {
     report::ResultStore store;
     auto &table = store.table(
@@ -71,6 +73,68 @@ healthStore(const HealthSnapshot &snapshot)
         static_cast<double>(snapshot.conn_write_faults));
     row("conn_quarantined",
         static_cast<double>(snapshot.conn_quarantined));
+
+    if (metrics != nullptr && !metrics->empty()) {
+        auto &scrape = store.table(
+            "metrics",
+            report::Schema{{"name", report::Type::String},
+                           {"kind", report::Type::String},
+                           {"count", report::Type::Uint},
+                           {"value", report::Type::Double},
+                           {"mean", report::Type::Double},
+                           {"p50", report::Type::Double},
+                           {"p90", report::Type::Double},
+                           {"p99", report::Type::Double},
+                           {"max", report::Type::Double}});
+        // forEach holds the registration mutex, so a scrape races
+        // only with relaxed value updates, never entry creation.
+        metrics->forEach([&scrape](
+                             const trace::MetricsRegistry::Entry &e) {
+            std::vector<report::Value> cells;
+            cells.push_back(report::Value::str(e.name));
+            cells.push_back(report::Value::str(
+                trace::MetricsRegistry::kindName(e.kind)));
+            switch (e.kind) {
+              case trace::MetricsRegistry::Kind::Counter:
+                cells.push_back(report::Value::uinteger(0));
+                cells.push_back(
+                    report::Value::dbl(e.counter.value()));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                break;
+              case trace::MetricsRegistry::Kind::Gauge:
+                cells.push_back(report::Value::uinteger(0));
+                cells.push_back(report::Value::dbl(e.gauge.value()));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                cells.push_back(report::Value::dbl(0.0));
+                break;
+              case trace::MetricsRegistry::Kind::Histogram: {
+                const auto &h = e.histogram;
+                const std::uint64_t n = h.count();
+                cells.push_back(report::Value::uinteger(n));
+                cells.push_back(report::Value::dbl(h.sum()));
+                cells.push_back(
+                    report::Value::dbl(n > 0 ? h.mean() : 0.0));
+                cells.push_back(
+                    report::Value::dbl(h.quantile(0.5)));
+                cells.push_back(
+                    report::Value::dbl(h.quantile(0.9)));
+                cells.push_back(
+                    report::Value::dbl(h.quantile(0.99)));
+                cells.push_back(
+                    report::Value::dbl(n > 0 ? h.max() : 0.0));
+                break;
+              }
+            }
+            scrape.addRow(std::move(cells));
+        });
+    }
     return store;
 }
 
@@ -263,7 +327,12 @@ ExperimentServer::connectionLoop(int fd)
             response.status = Status::Ok;
             response.message =
                 draining_.load() ? "DRAINING" : "HEALTHY";
-            response.body = encodeStore(healthStore(healthSnapshot()));
+            // Fold the lock-free hot tier into the registry first so
+            // one scrape shows both metric families.
+            if (options_.metrics != nullptr)
+                trace::hot::mirrorInto(*options_.metrics);
+            response.body = encodeStore(
+                healthStore(healthSnapshot(), options_.metrics));
             if (!writeResponse(fd, response, injector))
                 break;
             continue;

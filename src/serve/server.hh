@@ -120,9 +120,15 @@ struct HealthSnapshot
     std::uint64_t conn_quarantined = 0;
 };
 
-/** Encode a snapshot as a one-table result store ("health": stat,
- *  value), so health responses travel and render like any result. */
-report::ResultStore healthStore(const HealthSnapshot &snapshot);
+/** Encode a snapshot as a result store, so health responses travel
+ *  and render like any result. Table "health" carries the scalar
+ *  stats; with a non-null @p metrics, table "metrics" carries one row
+ *  per registry entry (counters/gauges with their value, histograms
+ *  with count/mean/p50/p90/p99/max) — the live scrape a monitoring
+ *  client renders. */
+report::ResultStore
+healthStore(const HealthSnapshot &snapshot,
+            const trace::MetricsRegistry *metrics = nullptr);
 
 /**
  * The server. start() spawns the accept/worker threads and returns;

@@ -262,6 +262,13 @@ class Engine
     std::size_t live_agents_ = 0;
     std::uint64_t timer_seq_ = 0;
     std::uint64_t dispatches_ = 0;
+
+    /** @{ Hot-metrics bookkeeping: totals already flushed to the hot
+     *  tier, and a call counter for sampled probes. */
+    std::uint64_t dispatches_flushed_ = 0;
+    std::uint64_t timers_flushed_ = 0;
+    std::uint64_t drain_calls_ = 0;
+    /** @} */
     AgentId current_ = kInvalidAgent;
     bool running_ = false;
 

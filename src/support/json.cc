@@ -1,0 +1,269 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace capo::support {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        skipSpace();
+        if (!value(out, error))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error = fail("trailing garbage");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    fail(const std::string &what) const
+    {
+        return what + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::string &error)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0) {
+            error = fail(std::string("expected '") + word + "'");
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, std::string &error)
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            error = fail("unexpected end of input");
+            return false;
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return object(out, error);
+          case '[':
+            return array(out, error);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return string(out.text, error);
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return literal("true", error);
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return literal("false", error);
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null", error);
+          default:
+            return number(out, error);
+        }
+    }
+
+    bool
+    object(JsonValue &out, std::string &error)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_;  // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!string(key, error))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                error = fail("expected ':'");
+                return false;
+            }
+            ++pos_;
+            JsonValue member;
+            if (!value(member, error))
+                return false;
+            out.fields.emplace(std::move(key), std::move(member));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                error = fail("unterminated object");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            error = fail("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    bool
+    array(JsonValue &out, std::string &error)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_;  // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            if (!value(item, error))
+                return false;
+            out.items.push_back(std::move(item));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                error = fail("unterminated array");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            error = fail("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool
+    string(std::string &out, std::string &error)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            error = fail("expected string");
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out += esc;
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  default:
+                    error = fail("unsupported escape");
+                    return false;
+                }
+                continue;
+            }
+            out += c;
+        }
+        error = fail("unterminated string");
+        return false;
+    }
+
+    bool
+    number(JsonValue &out, std::string &error)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                c == '-' || c == '+' || c == '.' || c == 'e' ||
+                c == 'E') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        if (pos_ == start) {
+            error = fail("expected a value");
+            return false;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            error = fail("malformed number '" + token + "'");
+            return false;
+        }
+        out.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    static const JsonValue null;
+    const auto it = fields.find(key);
+    return it == fields.end() ? null : it->second;
+}
+
+double
+JsonValue::num(const std::string &key, double fallback) const
+{
+    const JsonValue &member = at(key);
+    return member.isNumber() ? member.number : fallback;
+}
+
+std::string
+JsonValue::str(const std::string &key, const std::string &fallback) const
+{
+    const JsonValue &member = at(key);
+    return member.isString() ? member.text : fallback;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    Parser parser(text);
+    return parser.parse(out, error);
+}
+
+} // namespace capo::support

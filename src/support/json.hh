@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A deliberately small, strict JSON reader for the library side.
+ *
+ * The obs layer (src/obs) must load the bench snapshots it previously
+ * wrote — checked-in `BENCH_*.json` baselines — and a perf gate that
+ * silently mis-parses its baseline is worse than none, so the parser
+ * rejects trailing garbage, unknown escapes and malformed numbers
+ * exactly like the test-side parser (tests/testutil/json.hh), which
+ * stays separate so test expectations never depend on library code
+ * under test.
+ */
+
+#ifndef CAPO_SUPPORT_JSON_HH
+#define CAPO_SUPPORT_JSON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace capo::support {
+
+/** One parsed JSON value (a small dynamic tree). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    /** Object member (a shared Null when absent). */
+    const JsonValue &at(const std::string &key) const;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member as a number, or @p fallback when absent/mistyped. */
+    double num(const std::string &key, double fallback = 0.0) const;
+
+    /** Member as a string, or @p fallback when absent/mistyped. */
+    std::string str(const std::string &key,
+                    const std::string &fallback = "") const;
+};
+
+/**
+ * Parse @p text into @p out. False (with @p error describing the
+ * offset and problem) on any syntax violation, including trailing
+ * garbage after the top-level value.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+} // namespace capo::support
+
+#endif // CAPO_SUPPORT_JSON_HH

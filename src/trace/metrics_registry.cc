@@ -124,6 +124,15 @@ MetricsRegistry::histogram(const std::string &name)
     return fetch(name, Kind::Histogram).histogram;
 }
 
+void
+MetricsRegistry::forEach(
+    const std::function<void(const Entry &)> &visit) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &entry : entries_)
+        visit(entry);
+}
+
 bool
 MetricsRegistry::contains(const std::string &name) const
 {

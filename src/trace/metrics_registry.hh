@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -184,6 +185,17 @@ class MetricsRegistry
     /** Entries in registration order (for reports and CSV export);
      *  only safe while no concurrent registration is possible. */
     const std::deque<Entry> &entries() const { return entries_; }
+
+    /**
+     * Visit every entry in registration order while holding the
+     * registration mutex, so live scrapers (the serve health
+     * endpoint) can iterate concurrently with metric *creation*.
+     * Values read inside the callback are still relaxed-atomic reads:
+     * exact at quiescence, near-current under load. The callback must
+     * not register metrics (deadlock).
+     */
+    void forEach(
+        const std::function<void(const Entry &)> &visit) const;
 
     /** Printable name of a metric kind. */
     static const char *kindName(Kind kind);

@@ -697,6 +697,62 @@ TEST(ServeServerTest, HealthReportsQueueAndCacheStats)
     EXPECT_EQ(healthStat(response, "draining"), 0.0);
 }
 
+TEST(ServeServerTest, HealthCarriesMetricsRegistryScrape)
+{
+    trace::MetricsRegistry registry;
+    registry.counter("test.requests").add(4.0);
+    registry.gauge("test.depth").set(7.0);
+    auto &latency = registry.histogram("test.latency_ms");
+    for (const double sample : {1.0, 2.0, 4.0, 8.0})
+        latency.record(sample);
+
+    ServerOptions options;
+    options.metrics = &registry;
+    TestServer harness(options, "health-metrics");
+
+    ClientOptions copt;
+    copt.socket_path = harness.socketPath();
+    Client client(copt);
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.health(response, error)) << error;
+
+    report::ResultStore store;
+    ASSERT_TRUE(decodeStore(response.body, store, error)) << error;
+    const auto *table = store.find("metrics");
+    ASSERT_NE(table, nullptr);
+    ASSERT_EQ(table->schema().columns().size(), 9u);
+
+    bool saw_counter = false, saw_gauge = false, saw_histogram = false;
+    for (const auto &row : table->rows()) {
+        const std::string &name = row[0].asString();
+        if (name == "test.requests") {
+            saw_counter = true;
+            EXPECT_EQ(row[1].asString(), "counter");
+            EXPECT_DOUBLE_EQ(row[3].asDouble(), 4.0);
+        } else if (name == "test.depth") {
+            saw_gauge = true;
+            EXPECT_EQ(row[1].asString(), "gauge");
+            EXPECT_DOUBLE_EQ(row[3].asDouble(), 7.0);
+        } else if (name == "test.latency_ms") {
+            saw_histogram = true;
+            EXPECT_EQ(row[1].asString(), "histogram");
+            EXPECT_EQ(row[2].asUint(), 4u);       // count
+            EXPECT_DOUBLE_EQ(row[4].asDouble(), 3.75);  // mean
+            EXPECT_GT(row[7].asDouble(), 0.0);    // p99
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
+    EXPECT_TRUE(saw_histogram);
+
+    // The health scrape also folds in the hot tier: serve bumps its
+    // request counters through the registry, and the mirror adds the
+    // fixed hot metric names on demand — nothing should throw when a
+    // second scrape races more recording.
+    ASSERT_TRUE(client.health(response, error)) << error;
+}
+
 TEST(ServeServerTest, ShutdownDrainsGracefully)
 {
     ServerOptions options;
