@@ -13,6 +13,7 @@
 #include "metrics/request_synth.hh"
 #include "sim/engine.hh"
 #include "stats/pca.hh"
+#include "support/arena.hh"
 #include "support/rng.hh"
 
 namespace {
@@ -109,6 +110,46 @@ BM_EngineEvents(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EngineEvents);
+
+/** Per-event cost of the incremental fluid-rate engine in the
+ *  production configuration (arena-backed containers, mixed
+ *  compute/timer events so both the completion path and the timer
+ *  path are exercised). This is the microbench behind the perf
+ *  gate's normalized sim-event floor: watch ns/item. */
+void
+BM_EngineStep(benchmark::State &state)
+{
+    class Stepper : public sim::Agent
+    {
+      public:
+        std::string_view name() const override { return "stepper"; }
+        sim::Action
+        resume(sim::Engine &engine) override
+        {
+            ++step_;
+            if (step_ % 5 == 0)
+                return sim::Action::sleepUntil(engine.now() + 7.0);
+            return sim::Action::compute(10.0, 1.0 + step_ % 3);
+        }
+
+      private:
+        int step_ = 0;
+    };
+
+    support::CellArena arena;
+    for (auto _ : state) {
+        arena.reset();
+        sim::Engine engine(8.0, &arena);
+        std::vector<Stepper> agents(8);
+        for (auto &agent : agents)
+            engine.addAgent(&agent);
+        engine.run(1e5);
+        benchmark::DoNotOptimize(engine.dispatchCount());
+        state.SetItemsProcessed(state.items_processed() +
+                                engine.dispatchCount());
+    }
+}
+BENCHMARK(BM_EngineStep);
 
 /** Full-suite PCA (standardize + covariance + Jacobi). */
 void

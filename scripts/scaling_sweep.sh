@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# The --jobs scaling sweep (CI: invoked from the perf-gate job).
+#
+# Measures the throughput scaling curve of the bench recipe on this
+# machine and feeds it through `capo-bench compare`, which judges
+# every baseline scaling point at jobs > 1 as a gating metric.
+#
+# Two halves, mirroring perf_gate.sh:
+#
+#  1. Self-test — always enforced: record a fresh local baseline WITH
+#     a scaling curve (so the curve exists regardless of the committed
+#     snapshot), assert the curve is populated and sane, then prove
+#     the gate catches a scaling collapse: an injected constant
+#     handicap (CAPO_PERF_GATE_HANDICAP_MS) inflates every point's
+#     elapsed time equally, which compresses speedup toward 1x and
+#     must trip the compare; a clean re-run must pass.
+#
+#  2. Sweep — compare the committed BENCH_harness.json, re-measuring
+#     its scaling points (compare re-runs the baseline's own --jobs
+#     values). Advisory by default: shared runners have noisy and
+#     heterogeneous core counts; pass --enforce on dedicated hardware.
+#
+# Usage: scripts/scaling_sweep.sh [build-dir] [--enforce]
+set -euo pipefail
+
+BUILD_DIR="build"
+ENFORCE=0
+for arg in "$@"; do
+    case "$arg" in
+        --enforce) ENFORCE=1 ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
+
+BENCH="$BUILD_DIR/bench/capo-bench"
+BASELINE="BENCH_harness.json"
+
+if [ ! -x "$BENCH" ]; then
+    echo "scaling_sweep: missing $BENCH — build the tree first" >&2
+    exit 1
+fi
+
+# Jobs list: powers of two up to min(nproc, 8). On a 1-core runner
+# the curve degenerates to its serial point, which still exercises
+# the recording path and the floor metrics.
+NPROC="$(nproc)"
+JOBS="1"
+j=2
+while [ "$j" -le "$NPROC" ] && [ "$j" -le 8 ]; do
+    JOBS="$JOBS,$j"
+    j=$((j * 2))
+done
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "== self-test: record tab01 with a scaling curve (--jobs $JOBS)"
+"$BENCH" snapshot tab01_metric_catalog \
+    --label scaling-selftest --repeats 3 --no-overhead \
+    --scaling "$JOBS" --out "$TMP_DIR"
+
+python3 - "$TMP_DIR/BENCH_scaling-selftest.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+curve = d["scaling"]
+assert curve, "scaling array is empty"
+assert curve[0]["jobs"] == 1, curve
+assert curve[0]["speedup"] == 1.0, curve
+for p in curve:
+    assert p["elapsed_sec"] > 0, p
+    assert p["speedup"] > 0, p
+print("scaling curve:",
+      ", ".join(f"j{p['jobs']}={p['speedup']:.2f}x" for p in curve))
+EOF
+
+echo "== self-test: an injected 1000 ms handicap must trip the gate"
+set +e
+CAPO_PERF_GATE_HANDICAP_MS=1000 \
+    "$BENCH" compare --baseline "$TMP_DIR/BENCH_scaling-selftest.json" \
+    --repeats 3
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+    echo "FAIL: handicapped sweep produced exit $code, expected 1" >&2
+    exit 1
+fi
+echo "ok: handicapped sweep tripped the gate (exit 1)"
+
+echo "== self-test: a clean re-run must pass"
+"$BENCH" compare --baseline "$TMP_DIR/BENCH_scaling-selftest.json" \
+    --repeats 3
+echo "ok: clean sweep passed the gate (exit 0)"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "scaling_sweep: no committed $BASELINE; skipping the" \
+         "trajectory sweep" >&2
+    exit 0
+fi
+
+echo "== sweep: committed $BASELINE scaling curve vs this tree" \
+     "($([ "$ENFORCE" -eq 1 ] && echo enforced || echo advisory))"
+GATE_FLAGS=""
+if [ "$ENFORCE" -ne 1 ]; then
+    GATE_FLAGS="--advisory"
+fi
+# shellcheck disable=SC2086
+"$BENCH" compare --baseline "$BASELINE" --repeats 3 $GATE_FLAGS
+
+echo "scaling_sweep: OK"

@@ -18,6 +18,12 @@ CollectorBase::attach(const runtime::CollectorContext &context)
     CAPO_ASSERT(context.engine && context.heap && context.log &&
                 context.world, "incomplete collector context");
     ctx_ = context;
+    // Collectors are pooled per worker and re-attached for every
+    // invocation; everything mutable resets here (and in onAttach for
+    // the subclasses) so a reused collector is indistinguishable from
+    // a fresh one — the dirty-reuse determinism test pins this down.
+    shutdown_requested_ = false;
+    phase_aborted_ = false;
     wake_cond_ = engine().makeCondition(name_ + ".wake");
     stall_cond_ = engine().makeCondition(name_ + ".stall");
     onAttach();

@@ -18,6 +18,19 @@ ConcurrentCollector::ConcurrentCollector(std::string name, int year,
 void
 ConcurrentCollector::onAttach()
 {
+    // Reset for pooled reuse (see CollectorBase::attach).
+    state_ = State::Idle;
+    trigger_ = false;
+    cycle_active_ = false;
+    young_cycle_ = false;
+    stalled_in_cycle_ = false;
+    last_was_young_ = false;
+    last_reclaimed_ = -1.0;
+    phase_token_ = 0;
+    phase_cpu_mark_ = 0.0;
+    cycle_begin_ = 0.0;
+    pause_begin_ = 0.0;
+    conc_work_ = 0.0;
     self_ = engine().addAgent(this);
 }
 

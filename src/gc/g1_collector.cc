@@ -21,6 +21,21 @@ G1Collector::shutdown()
 void
 G1Collector::onAttach()
 {
+    // Reset for pooled reuse (see CollectorBase::attach).
+    trigger_ = false;
+    pending_kind_ = runtime::GcPhase::YoungPause;
+    mark_requested_ = false;
+    marking_ = false;
+    mixed_credits_ = 0;
+    controller_.state_ = Controller::State::Idle;
+    controller_.phase_kind_ = runtime::GcPhase::YoungPause;
+    controller_.phase_token_ = 0;
+    controller_.current_ = {};
+    controller_.pause_cpu_mark_ = 0.0;
+    controller_.pause_begin_ = 0.0;
+    marker_.state_ = Marker::State::Idle;
+    marker_.phase_token_ = 0;
+    marker_.cpu_mark_ = 0.0;
     mark_cond_ = engine().makeCondition("g1.mark");
     controller_.self_ = engine().addAgent(&controller_);
     marker_.self_ = engine().addAgent(&marker_);

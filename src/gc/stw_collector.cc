@@ -15,6 +15,15 @@ StwCollector::StwCollector(std::string name, int year,
 void
 StwCollector::onAttach()
 {
+    // Reset for pooled reuse (see CollectorBase::attach).
+    state_ = State::Idle;
+    trigger_ = false;
+    pending_full_ = false;
+    phase_kind_ = runtime::GcPhase::YoungPause;
+    phase_token_ = 0;
+    current_ = {};
+    pause_cpu_mark_ = 0.0;
+    pause_begin_ = 0.0;
     self_ = engine().addAgent(this);
 }
 

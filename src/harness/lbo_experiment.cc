@@ -158,7 +158,7 @@ runLboSweep(const workloads::Descriptor &workload,
                 return;
             ExperimentOptions cell_options = options.base;
             if (sink != nullptr) {
-                cell.shard = std::make_unique<trace::TraceSink>(
+                cell.shard = trace::TraceSink::acquireShard(
                     sink->shardOptions());
                 cell_options.trace = cell.shard.get();
             }
@@ -214,6 +214,7 @@ runLboSweep(const workloads::Descriptor &workload,
             sink->endSpanAbs(track, trace::Category::Harness, label,
                              cell_end);
             sink->setTimeBase(cell_end);
+            trace::TraceSink::releaseShard(std::move(cell.shard));
         }
         result.dispatches += cell.dispatches;
         result.completed[{name, cell.factor}] = cell.ok;

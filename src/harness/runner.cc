@@ -1,11 +1,15 @@
 #include "harness/runner.hh"
 
 #include <chrono>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "exec/parallel_for.hh"
 #include "exec/seed.hh"
+#include "runtime/worker_context.hh"
 #include "support/logging.hh"
 #include "trace/hot_metrics.hh"
 
@@ -15,7 +19,125 @@ namespace {
 
 constexpr double kMb = 1024.0 * 1024.0;
 
+/** Append the raw bits of @p v to @p key (bit-exact: distinct NaNs
+ *  and -0.0 stay distinct, which is stricter than operator==). */
+template <typename T>
+void
+appendBits(std::string &key, T v)
+{
+    char raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    key.append(raw, sizeof(T));
+}
+
+/**
+ * Memo key for makeSetup: every numeric input the setup (and its
+ * warmup curve) is derived from, bit-packed next to the workload
+ * name. Keying on values rather than descriptor identity keeps the
+ * cache correct for tests that mutate registry copies in place.
+ */
+std::string
+setupKey(const workloads::Descriptor &workload,
+         const counters::MachineConfig &machine,
+         workloads::SizeConfig size, int iterations)
+{
+    std::string key = workload.name;
+    key.push_back('\0');
+    appendBits(key, static_cast<int>(size));
+    appendBits(key, iterations);
+    appendBits(key, workloads::sizeMinHeapMb(workload, size));
+    appendBits(key, workload.survivor_fraction);
+    appendBits(key, workload.pointerFootprint());
+    appendBits(key, workload.liveBytes());
+    appendBits(key, workload.buildup_fraction);
+    appendBits(key, workload.gc.glk_pct);
+    appendBits(key, workload.gc.gmd_mb);
+    appendBits(key, workload.effectiveParallelism());
+    appendBits(key, workload.workPerIteration());
+    appendBits(key, workload.allocPerIteration());
+    appendBits(key, workload.perf.psd);
+    appendBits(key, workload.perf.pwu);
+    appendBits(key, workload.perf.pin);
+    appendBits(key, workload.latency_sensitive);
+    // The machine enters makeSetup only through these two pure
+    // multipliers; folding their values in covers every machine knob.
+    appendBits(key,
+               counters::steadyWorkMultiplier(machine, workload));
+    appendBits(key,
+               counters::warmupExtraMultiplier(machine, workload));
+    return key;
+}
+
+/**
+ * Per-worker reuse caches (collectors and memoized setups). One per
+ * thread, lock-free by construction; sweeps repeat the same few
+ * (workload, collector) combinations hundreds of times per worker.
+ */
+struct WorkerCaches
+{
+    std::map<std::pair<int, std::uint64_t>,
+             std::unique_ptr<runtime::CollectorRuntime>>
+        collectors;
+    std::map<std::string, workloads::RunSetup> setups;
+};
+
+thread_local WorkerCaches *t_caches = nullptr;
+
+WorkerCaches &
+workerCaches()
+{
+    if (t_caches == nullptr)
+        t_caches = new WorkerCaches();  // leaked: lives to thread exit
+    return *t_caches;
+}
+
+const workloads::RunSetup &
+cachedSetup(const workloads::Descriptor &workload,
+            const counters::MachineConfig &machine,
+            workloads::SizeConfig size, int iterations)
+{
+    auto &cache = workerCaches().setups;
+    const auto key = setupKey(workload, machine, size, iterations);
+    const auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    return cache
+        .emplace(key,
+                 workloads::makeSetup(workload, machine, size,
+                                      iterations))
+        .first->second;
+}
+
+runtime::CollectorRuntime &
+cachedCollector(gc::Algorithm algorithm, double pointer_footprint)
+{
+    auto &cache = workerCaches().collectors;
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(pointer_footprint));
+    std::memcpy(&bits, &pointer_footprint, sizeof(bits));
+    const auto key =
+        std::make_pair(static_cast<int>(algorithm), bits);
+    const auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+    return *cache
+                .emplace(key, gc::makeCollector(algorithm,
+                                                pointer_footprint))
+                .first->second;
+}
+
 } // namespace
+
+void
+clearWorkerCaches()
+{
+    if (t_caches != nullptr) {
+        t_caches->collectors.clear();
+        t_caches->setups.clear();
+    }
+    runtime::WorkerContext::resetForTest();
+    trace::TraceSink::clearShardPool();
+}
 
 std::string
 errorKind(const runtime::ExecutionResult &result)
@@ -99,18 +221,25 @@ Runner::executeInvocation(const workloads::Descriptor &workload,
 {
     // Per-cell setup cost is a prime parallel-scaling suspect (see
     // ROADMAP "raw speed"); measure it into the lock-free hot tier so
-    // sweeps at any --jobs can observe it without serializing.
-    const auto setup_begin = std::chrono::steady_clock::now();
-    const auto setup = workloads::makeSetup(
-        workload, options_.machine, options_.size, options_.iterations);
-
-    auto collector =
-        gc::makeCollector(algorithm, setup.pointer_footprint);
-    trace::hot::observe(
-        trace::hot::CellSetupNs,
-        std::chrono::duration<double, std::nano>(
-            std::chrono::steady_clock::now() - setup_begin)
-            .count());
+    // sweeps at any --jobs can observe it without serializing. The
+    // clock reads themselves hide behind the gate so a disabled probe
+    // costs one load+branch, not two syscall-backed clock reads.
+    const bool probe = trace::hot::enabled();
+    std::chrono::steady_clock::time_point setup_begin;
+    if (probe)
+        setup_begin = std::chrono::steady_clock::now();
+    const auto &setup = cachedSetup(workload, options_.machine,
+                                    options_.size,
+                                    options_.iterations);
+    auto &collector =
+        cachedCollector(algorithm, setup.pointer_footprint);
+    if (probe) {
+        trace::hot::observe(
+            trace::hot::CellSetupNs,
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - setup_begin)
+                .count());
+    }
 
     runtime::ExecutionConfig config;
     config.cpus = options_.machine.cpus;
@@ -136,7 +265,7 @@ Runner::executeInvocation(const workloads::Descriptor &workload,
     }
 
     auto result = runtime::runExecution(config, setup.plan, setup.live,
-                                        *collector);
+                                        collector);
     trace::hot::count(trace::hot::InvocationsCompleted);
     return result;
 }
@@ -160,9 +289,12 @@ Runner::runWithRetry(const workloads::Descriptor &workload,
                     options_.retry_backoff_ms * attempt));
         }
         // Fresh shard per attempt: a failed attempt's events must not
-        // pollute the merged timeline.
+        // pollute the merged timeline. Shards come from the pool
+        // (reset on acquire), so retries recycle the same buffers.
         if (options_.trace != nullptr) {
-            shard = std::make_unique<trace::TraceSink>(
+            if (shard != nullptr)
+                trace::TraceSink::releaseShard(std::move(shard));
+            shard = trace::TraceSink::acquireShard(
                 options_.trace->shardOptions());
         }
         result = executeInvocation(workload, algorithm, heap_mb,
@@ -210,6 +342,7 @@ Runner::runOnce(const workloads::Descriptor &workload,
     if (options_.trace != nullptr) {
         mergeInvocation(workload, algorithm, invocation, result,
                         *shard);
+        trace::TraceSink::releaseShard(std::move(shard));
     }
     return result;
 }
@@ -249,6 +382,7 @@ Runner::runAtHeapMb(const workloads::Descriptor &workload,
         for (std::size_t i = 0; i < n; ++i) {
             mergeInvocation(workload, algorithm, static_cast<int>(i),
                             set.runs[i], *shards[i]);
+            trace::TraceSink::releaseShard(std::move(shards[i]));
         }
     }
     return set;

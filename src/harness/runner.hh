@@ -92,6 +92,15 @@ struct CellError
 /** Classify a failed run for CellError::kind. */
 std::string errorKind(const runtime::ExecutionResult &result);
 
+/**
+ * Test hook: drop every per-worker cache on the calling thread (the
+ * pooled collectors, the memoized setups, the worker context's arena
+ * and world) plus the process-wide shard pool, so the next invocation
+ * constructs everything fresh. The dirty-reuse determinism tests
+ * compare warm-pool runs against the fresh baseline this creates.
+ */
+void clearWorkerCaches();
+
 /** Results of all invocations of one configuration. */
 struct InvocationSet
 {

@@ -259,9 +259,14 @@ compareMain(int argc, char **argv)
         return 2;
 
     // Re-measure under the baseline's own recipe so the comparison is
-    // config-identical by construction.
+    // config-identical by construction — including the scaling curve's
+    // jobs values, so every baseline scaling point gets a candidate.
     cli.recorder.label = baseline.name;
     cli.recorder.measure_overhead = false;
+    if (cli.recorder.scaling_jobs.empty()) {
+        for (const auto &point : baseline.scaling)
+            cli.recorder.scaling_jobs.push_back(point.jobs);
+    }
     std::cerr << "re-measuring " << baseline.experiment << " ("
               << cli.recorder.repeats << " repeats) against "
               << cli.baseline_path << "...\n";

@@ -32,6 +32,37 @@ judge(const std::string &metric, const Stat &baseline,
     return cmp;
 }
 
+/** @p stat with mean and CI scaled by @p factor (unit change). */
+Stat
+scaleStat(const Stat &stat, double factor)
+{
+    Stat out = stat;
+    out.mean *= factor;
+    out.ci95 *= factor;
+    return out;
+}
+
+/** A single-sample stat (zero CI) for point quantities like a scaling
+ *  speedup or a histogram quantile. */
+Stat
+pointStat(double value)
+{
+    Stat out;
+    out.mean = value;
+    out.n = 1;
+    return out;
+}
+
+const HotStat *
+findHot(const BenchSnapshot &snapshot, const std::string &name)
+{
+    for (const auto &h : snapshot.hot) {
+        if (h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
 } // namespace
 
 bool
@@ -67,12 +98,21 @@ compareSnapshots(const BenchSnapshot &baseline,
         return report;
     }
 
-    // Normalized cost is the one gating metric: machine-relative, so
-    // a committed baseline survives a hardware change. Everything
-    // else is advisory context for the human reading the table.
+    // Gating metrics are machine-relative so a committed baseline
+    // survives a hardware change: normalized cost (elapsed over the
+    // calibration spin), the normalized sim-event floor (events per
+    // calibration unit — the simulator's per-event cost with machine
+    // speed cancelled), and the --jobs scaling curve (a pure shape).
+    // Raw throughput stays advisory context for the human.
     report.metrics.push_back(judge(
         "normalized_cost", baseline.normalized_cost,
         candidate.normalized_cost, threshold, true, true));
+    report.metrics.push_back(judge(
+        "normalized_events", scaleStat(baseline.sim_events_per_sec,
+                                       baseline.calibration_sec),
+        scaleStat(candidate.sim_events_per_sec,
+                  candidate.calibration_sec),
+        threshold, false, true));
     report.metrics.push_back(judge("elapsed_sec", baseline.elapsed_sec,
                                    candidate.elapsed_sec, threshold,
                                    true, false));
@@ -85,6 +125,39 @@ compareSnapshots(const BenchSnapshot &baseline,
     report.metrics.push_back(judge(
         "sim_events_per_sec", baseline.sim_events_per_sec,
         candidate.sim_events_per_sec, threshold, false, false));
+
+    // Scaling curve: each measured jobs > 1 point's speedup must hold
+    // up (one sample per side, so only the threshold separates them;
+    // the serial point is the curve's own normalizer and never judged).
+    for (const auto &b : baseline.scaling) {
+        if (b.jobs <= 1)
+            continue;
+        for (const auto &c : candidate.scaling) {
+            if (c.jobs != b.jobs)
+                continue;
+            report.metrics.push_back(
+                judge("scaling@" + std::to_string(b.jobs),
+                      pointStat(b.speedup), pointStat(c.speedup),
+                      threshold, false, true));
+        }
+    }
+
+    // Advisory hot-histogram tails: a p99 blow-up in an allocation
+    // stall or cell setup is exactly the latency regression a flat
+    // mean hides. Tails are noisy, so the bar is 4x the threshold and
+    // the rows never gate — they exist to be read.
+    for (const auto *name :
+         {"runtime.alloc.stall_ns", "harness.cell.setup_ns"}) {
+        const HotStat *b = findHot(baseline, name);
+        const HotStat *c = findHot(candidate, name);
+        if (b == nullptr || c == nullptr)
+            continue;
+        report.metrics.push_back(judge(
+            std::string(name) + ".p99",
+            b->count > 0 ? pointStat(b->p99) : Stat{},
+            c->count > 0 ? pointStat(c->p99) : Stat{},
+            threshold * 4.0, true, false));
+    }
     return report;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "runtime/worker_context.hh"
 #include "support/logging.hh"
 #include "trace/sampler.hh"
 
@@ -14,7 +15,22 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
 {
     CAPO_ASSERT(config.heap_bytes > 0.0, "execution needs a heap size");
 
-    sim::Engine engine(config.cpus);
+    // Per-worker reuse: the arena backs the engine's containers (reset
+    // per run), the pooled world keeps its capacity, and the log
+    // reserves last run's high-water marks. See worker_context.hh for
+    // why the reset is safe exactly here.
+    WorkerContext &scratch = WorkerContext::instance();
+    CAPO_ASSERT(!scratch.inUse(),
+                "runExecution re-entered on one thread");
+    struct InUseGuard
+    {
+        WorkerContext &ctx;
+        ~InUseGuard() { ctx.setInUse(false); }
+    } in_use_guard{scratch};
+    scratch.setInUse(true);
+    scratch.arena().reset();
+
+    sim::Engine engine(config.cpus, &scratch.arena());
 
     heap::HeapSpace::Config heap_config;
     heap_config.max_bytes = config.heap_bytes;
@@ -25,7 +41,9 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     heap::HeapSpace heap(heap_config, live);
 
     GcEventLog log;
-    World world(engine);
+    log.reserveHint(scratch.phaseHint(), scratch.cycleHint());
+    World &world = scratch.world();
+    world.rebind(engine);
 
     // Fault injection: one injector per invocation, seeded from the
     // fault-plan seed, the invocation seed and the retry attempt, so
@@ -120,7 +138,8 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     result.cpu = engine.totalCpuTime();
     result.mutator_cpu = engine.cpuTime(mutator.agentId());
     result.gc_cpu = result.cpu - result.mutator_cpu;
-    result.rate_timeline = engine.rateTimeline();
+    result.rate_timeline.assign(engine.rateTimeline().begin(),
+                                engine.rateTimeline().end());
     result.baseline_rate = std::min(1.0, config.cpus / taxed_plan.width);
     result.total_allocated = heap.totalAllocated();
     result.collections = heap.collections();
@@ -139,6 +158,7 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
                                           timed.wall_end);
     }
 
+    scratch.noteRun(log.phases().size(), log.cycles().size());
     result.log = std::move(log);
     return result;
 }

@@ -55,11 +55,17 @@ GcEventLog::trackFor(GcPhase phase) const
     return isStwPhase(phase) ? pause_track_ : concurrent_track_;
 }
 
+void
+GcEventLog::reserveHint(std::size_t phases, std::size_t cycles)
+{
+    phases_.reserve(phases);
+    cycles_.reserve(cycles);
+}
+
 GcEventLog::PhaseToken
 GcEventLog::beginPhase(sim::Time t, GcPhase phase)
 {
-    phases_.push_back(PauseRecord{t, t, 0.0, phase});
-    phase_open_.push_back(true);
+    phases_.push_back(PauseRecord{t, t, 0.0, phase, true});
     if (sink_) {
         sink_->beginSpan(trackFor(phase), trace::Category::Gc,
                          phaseName(phase), t);
@@ -71,12 +77,12 @@ void
 GcEventLog::endPhase(PhaseToken token, sim::Time t, double cpu)
 {
     CAPO_ASSERT(token < phases_.size(), "bad phase token");
-    CAPO_ASSERT(phase_open_[token], "phase already closed");
     auto &rec = phases_[token];
+    CAPO_ASSERT(rec.open, "phase already closed");
     CAPO_ASSERT(t >= rec.begin, "phase ends before it begins");
     rec.end = t;
     rec.cpu = cpu;
-    phase_open_[token] = false;
+    rec.open = false;
     if (sink_) {
         sink_->endSpan(trackFor(rec.phase), trace::Category::Gc,
                        phaseName(rec.phase), t);

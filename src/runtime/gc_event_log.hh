@@ -44,6 +44,7 @@ struct PauseRecord
     sim::Time end = 0.0;
     double cpu = 0.0;  ///< CPU-ns the collector burned in this window.
     GcPhase phase = GcPhase::FullPause;
+    bool open = false;  ///< Window began but has not ended yet.
 
     sim::Time duration() const { return end - begin; }
 };
@@ -84,6 +85,12 @@ class GcEventLog
      * collectors can call it unconditionally.
      */
     void traceInstant(const char *name, sim::Time t, double value = 0.0);
+
+    /**
+     * Pre-size the record vectors (reuse hint from a prior run on
+     * this worker, so the hot record path never reallocates).
+     */
+    void reserveHint(std::size_t phases, std::size_t cycles);
 
     /** Begin a pause/phase window at @p t. */
     PhaseToken beginPhase(sim::Time t, GcPhase phase);
@@ -132,7 +139,6 @@ class GcEventLog
     trace::TrackId trackFor(GcPhase phase) const;
 
     std::vector<PauseRecord> phases_;
-    std::vector<bool> phase_open_;
     std::vector<CycleRecord> cycles_;
     double stall_wall_ = 0.0;
     std::size_t stall_count_ = 0;

@@ -1,0 +1,32 @@
+#include "runtime/worker_context.hh"
+
+namespace capo::runtime {
+
+namespace {
+
+thread_local WorkerContext *t_context = nullptr;
+
+} // namespace
+
+WorkerContext &
+WorkerContext::instance()
+{
+    // Leaked on purpose: pool worker threads outlive most scopes and
+    // the context must stay valid until thread exit.
+    if (t_context == nullptr)
+        t_context = new WorkerContext();
+    return *t_context;
+}
+
+void
+WorkerContext::resetForTest()
+{
+    if (t_context == nullptr)
+        return;
+    t_context->arena_.release();
+    t_context->world_ = World();
+    t_context->phase_hint_ = 0;
+    t_context->cycle_hint_ = 0;
+}
+
+} // namespace capo::runtime

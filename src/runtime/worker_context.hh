@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-worker reusable execution state (the cell arena and pools).
+ *
+ * A sweep worker runs many invocations back-to-back; each used to
+ * reconstruct the same transient objects from the global heap. The
+ * WorkerContext keeps one CellArena (backing the engine's containers),
+ * one pooled World, and capacity hints for the GC event log, all
+ * thread_local so no locking is involved. runExecution() resets the
+ * arena and rebinds the world at entry; everything observable about a
+ * run is therefore identical to fresh construction — the determinism
+ * tests assert exactly that (dirty-reuse trap).
+ *
+ * Lifetime argument for the arena reset: an engine only lives inside
+ * one runExecution() call, runExecution() never re-enters on the same
+ * thread (the simulation spawns no pool tasks), so at entry no arena
+ * memory is live on this thread.
+ */
+
+#ifndef CAPO_RUNTIME_WORKER_CONTEXT_HH
+#define CAPO_RUNTIME_WORKER_CONTEXT_HH
+
+#include <cstddef>
+
+#include "runtime/world.hh"
+#include "support/arena.hh"
+
+namespace capo::runtime {
+
+class WorkerContext
+{
+  public:
+    /** This thread's context (created on first use). */
+    static WorkerContext &instance();
+
+    support::CellArena &arena() { return arena_; }
+    World &world() { return world_; }
+
+    /** @{ Capacity hints carried between runs: the log and iteration
+     *  vectors reserve the high-water mark of prior runs up front, so
+     *  the per-cycle record path stops reallocating after warmup. */
+    std::size_t phaseHint() const { return phase_hint_; }
+    std::size_t cycleHint() const { return cycle_hint_; }
+    void
+    noteRun(std::size_t phases, std::size_t cycles)
+    {
+        if (phases > phase_hint_)
+            phase_hint_ = phases;
+        if (cycles > cycle_hint_)
+            cycle_hint_ = cycles;
+    }
+    /** @} */
+
+    /** @{ Reentrancy guard: trips if a second execution ever starts
+     *  on this thread while one is live (would invalidate the arena). */
+    bool inUse() const { return in_use_; }
+    void setInUse(bool v) { in_use_ = v; }
+    /** @} */
+
+    /**
+     * Test hook: drop pooled state so the next run constructs
+     * everything fresh (the baseline the dirty-reuse tests compare
+     * reused runs against).
+     */
+    static void resetForTest();
+
+  private:
+    WorkerContext() = default;
+
+    support::CellArena arena_;
+    World world_;
+    std::size_t phase_hint_ = 0;
+    std::size_t cycle_hint_ = 0;
+    bool in_use_ = false;
+};
+
+} // namespace capo::runtime
+
+#endif // CAPO_RUNTIME_WORKER_CONTEXT_HH

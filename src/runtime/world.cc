@@ -5,8 +5,19 @@
 namespace capo::runtime {
 
 World::World(sim::Engine &engine)
-    : engine_(engine)
+    : engine_(&engine)
 {
+}
+
+void
+World::rebind(sim::Engine &engine)
+{
+    engine_ = &engine;
+    mutators_.clear();
+    stopped_ = false;
+    speed_ = 1.0;
+    sink_ = nullptr;
+    track_ = 0;
 }
 
 void
@@ -20,7 +31,7 @@ World::stopTheWorld()
 {
     CAPO_ASSERT(!stopped_, "world already stopped");
     for (auto id : mutators_)
-        engine_.freeze(id);
+        engine_->freeze(id);
     stopped_ = true;
 }
 
@@ -29,20 +40,25 @@ World::resumeTheWorld()
 {
     CAPO_ASSERT(stopped_, "world not stopped");
     for (auto id : mutators_)
-        engine_.unfreeze(id);
+        engine_->unfreeze(id);
     stopped_ = false;
 }
 
 void
 World::setMutatorSpeed(double factor)
 {
+    // Pacing collectors re-assert the factor on every allocation
+    // grant; an unchanged factor must stay off the engine's
+    // rate-transition path.
+    if (factor == speed_)
+        return;
     if (sink_ && factor != speed_) {
         sink_->counter(track_, trace::Category::Runtime, "mutator-speed",
-                       engine_.now(), factor);
+                       engine_->now(), factor);
     }
     speed_ = factor;
     for (auto id : mutators_)
-        engine_.setSpeedFactor(id, factor);
+        engine_->setSpeedFactor(id, factor);
 }
 
 void

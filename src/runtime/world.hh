@@ -22,7 +22,19 @@ namespace capo::runtime {
 class World
 {
   public:
+    /** A default-constructed world must be rebind()-ed before use
+     *  (pooled reuse across cells, see WorkerContext). */
+    World() = default;
     explicit World(sim::Engine &engine);
+
+    /**
+     * Point this world at a fresh engine and return it to its
+     * just-constructed state (mutator list, stop flag, pacing factor,
+     * trace attachment). Pooled worlds keep their vector capacity;
+     * everything observable is reset, so a reused world is
+     * indistinguishable from a fresh one.
+     */
+    void rebind(sim::Engine &engine);
 
     /** Register a mutator agent (called by MutatorGroup on attach). */
     void addMutator(sim::AgentId id);
@@ -55,10 +67,10 @@ class World
 
     const std::vector<sim::AgentId> &mutators() const { return mutators_; }
 
-    sim::Engine &engine() { return engine_; }
+    sim::Engine &engine() { return *engine_; }
 
   private:
-    sim::Engine &engine_;
+    sim::Engine *engine_ = nullptr;
     std::vector<sim::AgentId> mutators_;
     bool stopped_ = false;
     double speed_ = 1.0;

@@ -20,6 +20,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <iterator>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -27,13 +29,23 @@ namespace capo::sim {
 
 /**
  * 4-ary min-heap over T using T::operator> ("a > b" means a pops
- * later), matching std::priority_queue with std::greater.
+ * later), matching std::priority_queue with std::greater. The
+ * ordering must be total (the engine's Timer breaks ties with a
+ * unique sequence number), so push order — and in particular whether
+ * items arrive one at a time or through pushBulk — cannot perturb
+ * the pop sequence.
  */
-template <typename T>
+template <typename T, typename Alloc = std::allocator<T>>
 class QuadHeap
 {
   public:
     static constexpr std::size_t kArity = 4;
+
+    QuadHeap() = default;
+    explicit QuadHeap(const Alloc &alloc)
+        : items_(alloc)
+    {
+    }
 
     bool empty() const { return items_.empty(); }
     std::size_t size() const { return items_.size(); }
@@ -48,6 +60,35 @@ class QuadHeap
     {
         items_.push_back(std::move(item));
         siftUp(items_.size() - 1);
+    }
+
+    /**
+     * Insert a batch in one operation. Small batches sift each item
+     * up (O(m log n)); a batch large relative to the heap appends
+     * everything and re-heapifies bottom-up (Floyd, O(n)) — the
+     * cheaper regime for event bursts that dwarf the resident queue.
+     */
+    template <typename It>
+    void
+    pushBulk(It begin, It end)
+    {
+        const std::size_t m =
+            static_cast<std::size_t>(std::distance(begin, end));
+        if (m == 0)
+            return;
+        const std::size_t old = items_.size();
+        items_.insert(items_.end(), begin, end);
+        if (m <= 2 || m * kArity < old) {
+            for (std::size_t i = old; i < items_.size(); ++i)
+                siftUp(i);
+            return;
+        }
+        if (items_.size() > 1) {
+            const std::size_t last_parent =
+                (items_.size() - 2) / kArity;
+            for (std::size_t i = last_parent + 1; i-- > 0;)
+                siftDown(i);
+        }
     }
 
     void
@@ -94,7 +135,7 @@ class QuadHeap
         }
     }
 
-    std::vector<T> items_;
+    std::vector<T, Alloc> items_;
 };
 
 } // namespace capo::sim

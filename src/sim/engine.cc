@@ -28,8 +28,12 @@ constexpr const char *kSpanSleep = "sleep";
 
 } // namespace
 
-Engine::Engine(double cpus)
-    : cpus_(cpus)
+Engine::Engine(double cpus, support::CellArena *arena)
+    : cpus_(cpus), agents_(arena), conds_(arena),
+      timers_(support::ArenaAllocator<Timer>(arena)),
+      timer_staging_(arena),
+      pending_(support::ArenaAllocator<AgentId>(arena)),
+      computing_(arena), trace_(arena)
 {
     CAPO_ASSERT(cpus > 0.0, "engine needs positive CPU capacity");
 }
@@ -90,6 +94,14 @@ Engine::freeze(AgentId id)
 {
     CAPO_ASSERT(id < agents_.size(), "bad agent id");
     auto &slot = agents_[id];
+    if (!slot.frozen && slot.state == State::Computing) {
+        // Credit the pre-freeze interval at the old rate, then stop
+        // accruing: a frozen agent's rate is exactly zero until the
+        // next rebuild after unfreeze.
+        settle(slot);
+        slot.rate = 0.0;
+        rates_dirty_ = true;
+    }
     if (!slot.frozen && slot.state != State::Finished)
         ++frozen_live_;
     if (sink_ && running_ && !slot.frozen &&
@@ -116,6 +128,12 @@ Engine::unfreeze(AgentId id)
     if (!slot.frozen)
         return;
     slot.frozen = false;
+    if (slot.state == State::Computing) {
+        // Nothing accrued while frozen (rate was zero); progress
+        // restarts from here once rebuildRates() assigns the share.
+        slot.credit_mark = now_;
+        rates_dirty_ = true;
+    }
     if (slot.state != State::Finished) {
         CAPO_ASSERT(frozen_live_ > 0, "frozen bookkeeping underflow");
         --frozen_live_;
@@ -138,7 +156,18 @@ Engine::setSpeedFactor(AgentId id, double factor)
     CAPO_ASSERT(id < agents_.size(), "bad agent id");
     CAPO_ASSERT(factor <= 1.0 && factor >= 0.0,
                 "speed factor must be in [0, 1], got ", factor);
-    agents_[id].speed = std::max(factor, kMinSpeed);
+    auto &slot = agents_[id];
+    const double clamped = std::max(factor, kMinSpeed);
+    // Early-out: pacing collectors re-assert the current factor on
+    // every allocation grant; an unchanged speed must not invalidate
+    // the incremental rate state.
+    if (slot.speed == clamped)
+        return;
+    if (slot.state == State::Computing && !slot.frozen) {
+        settle(slot);
+        rates_dirty_ = true;
+    }
+    slot.speed = clamped;
 }
 
 void
@@ -235,10 +264,22 @@ Engine::frozen(AgentId id) const
 }
 
 double
+Engine::accruedCpu(const AgentSlot &slot) const
+{
+    // Un-settled accrual is a pure read: cpu_time is credited up to
+    // credit_mark, and the rate (zero while frozen) has been constant
+    // since. Settling later applies the identical expression, so
+    // queries and settles agree bit-for-bit.
+    if (slot.state == State::Computing)
+        return slot.cpu_time + slot.rate * (now_ - slot.credit_mark);
+    return slot.cpu_time;
+}
+
+double
 Engine::cpuTime(AgentId id) const
 {
     CAPO_ASSERT(id < agents_.size(), "bad agent id");
-    return agents_[id].cpu_time;
+    return accruedCpu(agents_[id]);
 }
 
 double
@@ -246,14 +287,64 @@ Engine::totalCpuTime() const
 {
     double total = 0.0;
     for (const auto &slot : agents_)
-        total += slot.cpu_time;
+        total += accruedCpu(slot);
     return total;
 }
 
-const std::vector<RateSegment> &
+const Engine::ArenaVec<RateSegment> &
 Engine::rateTimeline() const
 {
     return trace_;
+}
+
+void
+Engine::settle(AgentSlot &slot)
+{
+    const Time dt = now_ - slot.credit_mark;
+    if (dt > 0.0 && slot.rate > 0.0) {
+        const double delta = slot.rate * dt;
+        slot.remaining -= delta;
+        slot.cpu_time += delta;
+    }
+    slot.credit_mark = now_;
+}
+
+void
+Engine::rebuildRates()
+{
+    // Pass 1: settle at the outgoing rates and rebuild the demand sum
+    // in id order. Transitions all happen at the current timestamp
+    // (time only advances inside advance()), so the settle interval
+    // is exactly the span the old rates governed.
+    double total = 0.0;
+    for (const AgentId id : computing_) {
+        auto &slot = agents_[id];
+        settle(slot);
+        total += demand(slot);
+    }
+    share_ = total > cpus_ ? cpus_ / total : 1.0;
+
+    // Pass 2: assign the new rates and cache the earliest completion.
+    // While no further transition occurs, each completion time is
+    // invariant, so advance() never needs to rescan.
+    Time next = std::numeric_limits<Time>::infinity();
+    for (const AgentId id : computing_) {
+        auto &slot = agents_[id];
+        const double rate = demand(slot) * share_;
+        slot.rate = rate;
+        if (rate > 0.0)
+            next = std::min(next, now_ + slot.remaining / rate);
+    }
+    next_completion_ = next;
+
+    if (traced_ != kInvalidAgent) {
+        const auto &slot = agents_[traced_];
+        traced_rate_ =
+            (slot.state == State::Computing && !slot.frozen)
+                ? share_ * slot.speed
+                : 0.0;
+    }
+    rates_dirty_ = false;
 }
 
 double
@@ -290,8 +381,15 @@ Engine::apply(AgentId id, const Action &action)
         slot.state = State::Computing;
         slot.remaining = action.work;
         slot.width = action.width;
-        computing_.push_back(id);
-        computing_dirty_ = true;
+        slot.rate = 0.0;  // no progress until rebuildRates() runs
+        slot.credit_mark = now_;
+        // Sorted insert keeps the id order the floating-point sums
+        // depend on; the set is small (a handful of runnable agents),
+        // so this beats re-sorting per event by a wide margin.
+        computing_.insert(
+            std::lower_bound(computing_.begin(), computing_.end(), id),
+            id);
+        rates_dirty_ = true;
         return;
 
       case Action::Kind::SleepUntil: {
@@ -307,13 +405,19 @@ Engine::apply(AgentId id, const Action &action)
         const Time due = std::max(requested, now_);
         slot.state = State::Sleeping;
         slot.sleep_token = ++timer_seq_;
-        timers_.push(Timer{due, timer_seq_, id, slot.sleep_token});
+        // Staged, not pushed: drainPending() bulk-inserts the whole
+        // burst in one heap operation. Due times only matter to the
+        // next advance(), which runs after the drain flushes.
+        timer_staging_.push_back(
+            Timer{due, timer_seq_, id, slot.sleep_token});
         // Sampled depth probe: every 1024th push records the queue
         // depth into the lock-free hot tier (the stride keeps the
         // atomic traffic negligible against millions of timer ops).
         if ((timer_seq_ & 1023) == 0) {
-            trace::hot::observe(trace::hot::TimerQueueDepth,
-                                static_cast<double>(timers_.size()));
+            trace::hot::observe(
+                trace::hot::TimerQueueDepth,
+                static_cast<double>(timers_.size() +
+                                    timer_staging_.size()));
         }
         return;
       }
@@ -373,40 +477,22 @@ Engine::drainPending()
         trace::hot::observe(trace::hot::DispatchBurst,
                             static_cast<double>(burst));
     }
+    if (!timer_staging_.empty()) {
+        timers_.pushBulk(timer_staging_.begin(), timer_staging_.end());
+        timer_staging_.clear();
+    }
 }
 
 Engine::AdvanceResult
 Engine::advance(Time limit)
 {
-    // The fluid model only involves computing agents; keep the cached
-    // set id-sorted so floating-point accumulation order matches a
-    // full id-ascending scan exactly (non-computing agents contribute
-    // an exact 0.0, which cannot perturb the sums).
-    if (computing_dirty_) {
-        std::sort(computing_.begin(), computing_.end());
-        computing_dirty_ = false;
-    }
-
-    // Fluid model: all runnable agents share the CPUs in proportion to
-    // their demand, capped at full speed.
-    double total_demand = 0.0;
-    for (const AgentId id : computing_)
-        total_demand += demand(agents_[id]);
-    const bool any_frozen = frozen_live_ > 0;
-    const double share =
-        total_demand > cpus_ ? cpus_ / total_demand : 1.0;
-
-    // Earliest compute completion.
-    Time next_completion = std::numeric_limits<Time>::infinity();
-    for (const AgentId id : computing_) {
-        const auto &slot = agents_[id];
-        const double d = demand(slot);
-        if (d <= 0.0)
-            continue;
-        const double rate = d * share;
-        next_completion =
-            std::min(next_completion, now_ + slot.remaining / rate);
-    }
+    // Incremental fluid model: shares, per-agent rates and the
+    // earliest completion time are cached and only recomputed after a
+    // demand transition. The common timer-only event therefore costs
+    // O(1); a transition costs one O(computing) rebuild regardless of
+    // how many transitions the last drain performed.
+    if (rates_dirty_)
+        rebuildRates();
 
     // Earliest live timer (skip stale entries).
     Time next_timer = std::numeric_limits<Time>::infinity();
@@ -420,7 +506,8 @@ Engine::advance(Time limit)
         timers_.pop();
     }
 
-    Time next_event = std::min(next_completion, next_timer);
+    const bool completion_due = next_completion_ <= next_timer;
+    Time next_event = completion_due ? next_completion_ : next_timer;
     if (std::isinf(next_event))
         return AdvanceResult::Stalled;
 
@@ -433,33 +520,17 @@ Engine::advance(Time limit)
     const Time dt = next_event - now_;
     CAPO_ASSERT(dt >= 0.0, "time went backwards");
 
-    // Credit work and CPU time for the elapsed interval.
-    for (const AgentId id : computing_) {
-        auto &slot = agents_[id];
-        const double d = demand(slot);
-        if (d <= 0.0)
-            continue;
-        const double delta = d * share * dt;
-        slot.remaining -= delta;
-        slot.cpu_time += delta;
-    }
-
     // Record the traced agent's per-width progress rate.
     if (traced_ != kInvalidAgent && dt > 0.0) {
-        const auto &slot = agents_[traced_];
-        const double rate =
-            (slot.state == State::Computing && !slot.frozen)
-                ? share * slot.speed
-                : 0.0;
-        if (!trace_.empty() && trace_.back().rate == rate &&
+        if (!trace_.empty() && trace_.back().rate == traced_rate_ &&
             trace_.back().end == now_) {
             trace_.back().end = next_event;
         } else {
-            trace_.push_back(RateSegment{now_, next_event, rate});
+            trace_.push_back(RateSegment{now_, next_event, traced_rate_});
         }
     }
 
-    if (any_frozen)
+    if (frozen_live_ > 0)
         frozen_wall_ += dt;
 
     now_ = next_event;
@@ -467,32 +538,38 @@ Engine::advance(Time limit)
     if (hit_limit)
         return AdvanceResult::HitLimit;
 
-    // Fire compute completions. The minimum-dt agent lands on (or
-    // within rounding of) zero. The threshold must also cover any
-    // residue whose completion time is below the representable
-    // resolution of now_ (ulp ~= now_ * 2^-52), otherwise time could
-    // stop advancing; now_ * 1e-12 dominates that comfortably.
-    const double time_eps = std::max(1e-9, now_ * 1e-12);
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < computing_.size(); ++i) {
-        const AgentId id = computing_[i];
-        auto &slot = agents_[id];
-        const double rate = demand(slot) * share;
-        if (!slot.frozen &&
-            (slot.remaining <= 1e-6 ||
-             (rate > 0.0 && slot.remaining <= rate * time_eps))) {
-            slot.remaining = 0.0;
-            slot.state = State::Pending;
-            // Defer the run-span end: if the agent immediately computes
-            // again the span coalesces (see apply()).
-            if (slot.open == OpenSpan::Compute)
-                slot.open = OpenSpan::ComputeEndPending;
-            pending_.push(id);
-        } else {
-            computing_[keep++] = id;  // order preserved: stays sorted
+    if (completion_due) {
+        // Fire compute completions: settle everyone at the cached
+        // rates (id order), then test the same thresholds the eager
+        // loop used. The minimum-dt agent lands on (or within
+        // rounding of) zero; the threshold must also cover residue
+        // below the representable resolution of now_ (ulp ~= now_ *
+        // 2^-52), otherwise time could stop advancing; now_ * 1e-12
+        // dominates that comfortably.
+        const double time_eps = std::max(1e-9, now_ * 1e-12);
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < computing_.size(); ++i) {
+            const AgentId id = computing_[i];
+            auto &slot = agents_[id];
+            settle(slot);
+            if (!slot.frozen &&
+                (slot.remaining <= 1e-6 ||
+                 (slot.rate > 0.0 &&
+                  slot.remaining <= slot.rate * time_eps))) {
+                slot.remaining = 0.0;
+                slot.state = State::Pending;
+                // Defer the run-span end: if the agent immediately
+                // computes again the span coalesces (see apply()).
+                if (slot.open == OpenSpan::Compute)
+                    slot.open = OpenSpan::ComputeEndPending;
+                pending_.push(id);
+            } else {
+                computing_[keep++] = id;  // order preserved
+            }
         }
+        computing_.resize(keep);
+        rates_dirty_ = true;
     }
-    computing_.resize(keep);
 
     // Fire due timers.
     while (!timers_.empty() && timers_.top().due <= now_) {
@@ -525,6 +602,7 @@ Engine::run(Time until)
     pending_.reserve(agents_.size() + 8);
     computing_.reserve(agents_.size());
     timers_.reserve(4 * agents_.size() + 16);
+    timer_staging_.reserve(agents_.size() + 8);
     // While the simulation runs, log output carries sim timestamps.
     support::ScopedSimTimeHook time_hook([this] { return now_; });
     for (AgentId id = 0; id < agents_.size(); ++id) {

@@ -29,6 +29,7 @@
 #include "sim/agent.hh"
 #include "sim/dheap.hh"
 #include "sim/time.hh"
+#include "support/arena.hh"
 #include "support/fifo.hh"
 #include "trace/sink.hh"
 
@@ -59,8 +60,13 @@ class Engine
 
     /**
      * @param cpus Hardware parallelism (fractional values allowed).
+     * @param arena Optional bump allocator backing the engine's
+     *        transient containers (timer heap, pending queue,
+     *        computing set, rate segments). Null (the default) uses
+     *        the global heap. The arena must outlive the engine and
+     *        must not be reset() while the engine is alive.
      */
-    explicit Engine(double cpus);
+    explicit Engine(double cpus, support::CellArena *arena = nullptr);
 
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
@@ -151,8 +157,12 @@ class Engine
     /** Wall-ns during which at least one agent was frozen. */
     double frozenWallTime() const { return frozen_wall_; }
 
+    /** Arena-aware container aliases (null arena = global heap). */
+    template <typename T>
+    using ArenaVec = std::vector<T, support::ArenaAllocator<T>>;
+
     /** The traced agent's rate timeline (coalesced). */
-    const std::vector<RateSegment> &rateTimeline() const;
+    const ArenaVec<RateSegment> &rateTimeline() const;
 
     /** Number of events dispatched (for efficiency tests). */
     std::uint64_t dispatchCount() const { return dispatches_; }
@@ -189,10 +199,14 @@ class Engine
         State state = State::Created;
         bool frozen = false;
         bool deferred_wake = false;  ///< Wake arrived while frozen.
-        double remaining = 0.0;      ///< Compute: CPU-ns left.
+        double remaining = 0.0;      ///< Compute: CPU-ns left, valid
+                                     ///< as of credit_mark.
         double width = 1.0;
         double speed = 1.0;
-        double cpu_time = 0.0;
+        double cpu_time = 0.0;       ///< Credited up to credit_mark.
+        double rate = 0.0;           ///< CPU-ns per wall-ns in effect
+                                     ///< since credit_mark.
+        Time credit_mark = 0.0;      ///< Last settle time.
         std::uint64_t sleep_token = 0;  ///< Matches the live timer.
         trace::TrackId track = 0;
         OpenSpan open = OpenSpan::None;
@@ -235,6 +249,22 @@ class Engine
     /** Advance the fluid model to the next event. */
     AdvanceResult advance(Time limit);
 
+    /** Credit @p slot's work and CPU time up to now_ at slot.rate. */
+    void settle(AgentSlot &slot);
+
+    /**
+     * Recompute the fluid shares after a demand transition: settle
+     * every computing agent at its old rate, then rebuild the demand
+     * sum, per-agent rates and the cached earliest completion time in
+     * one id-ascending pass (the accumulation order determinism
+     * depends on). Called lazily from advance(), so a burst of
+     * transitions at one timestamp costs a single rebuild.
+     */
+    void rebuildRates();
+
+    /** CPU time including un-settled accrual at the current rate. */
+    double accruedCpu(const AgentSlot &slot) const;
+
     /** @{ Trace emission (no-ops when no sink is installed). */
     void traceOpen(AgentSlot &slot, OpenSpan kind, const char *name);
     void traceClose(AgentSlot &slot, const char *name);
@@ -244,17 +274,33 @@ class Engine
 
     double cpus_;
     Time now_ = 0.0;
-    std::vector<AgentSlot> agents_;
-    std::vector<Cond> conds_;
-    QuadHeap<Timer> timers_;
-    support::FifoQueue<AgentId> pending_;
+    ArenaVec<AgentSlot> agents_;
+    ArenaVec<Cond> conds_;
+    QuadHeap<Timer, support::ArenaAllocator<Timer>> timers_;
+    /** Timers staged during a dispatch drain, bulk-inserted into the
+     *  heap once per drain (see QuadHeap::pushBulk). */
+    ArenaVec<Timer> timer_staging_;
+    support::FifoQueue<AgentId, support::ArenaAllocator<AgentId>>
+        pending_;
 
     /** Agents currently in State::Computing (frozen or not), kept
-     *  id-sorted so the fluid model's floating-point sums accumulate
-     *  in the same order a full id-ascending scan would — advance()
-     *  then touches only the computing set instead of every agent. */
-    std::vector<AgentId> computing_;
-    bool computing_dirty_ = false;
+     *  id-sorted (sorted insertion on join) so the fluid model's
+     *  floating-point sums accumulate in the same order a full
+     *  id-ascending scan would — rebuildRates() then touches only the
+     *  computing set instead of every agent. */
+    ArenaVec<AgentId> computing_;
+
+    /** @{ Incremental fluid-model state, maintained by rebuildRates()
+     *  and invalidated (rates_dirty_) on any demand transition:
+     *  compute join/leave, freeze/unfreeze of a computing agent, or
+     *  an effective speed change. While clean, per-agent rates and
+     *  the earliest completion time are invariant, so timer-only
+     *  events cost O(1) instead of O(runnable). */
+    bool rates_dirty_ = true;
+    double share_ = 1.0;
+    Time next_completion_ = 0.0;
+    double traced_rate_ = 0.0;
+    /** @} */
 
     /** Frozen, not-finished agents (frozen_wall_ accounting). */
     std::size_t frozen_live_ = 0;
@@ -273,7 +319,7 @@ class Engine
     bool running_ = false;
 
     AgentId traced_ = kInvalidAgent;
-    std::vector<RateSegment> trace_;
+    ArenaVec<RateSegment> trace_;
     double frozen_wall_ = 0.0;
     trace::TraceSink *sink_ = nullptr;
     fault::FaultInjector *fault_ = nullptr;

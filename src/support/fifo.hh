@@ -16,16 +16,23 @@
 #define CAPO_SUPPORT_FIFO_HH
 
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
 namespace capo::support {
 
 /** Single-threaded FIFO with pooled storage. */
-template <typename T>
+template <typename T, typename Alloc = std::allocator<T>>
 class FifoQueue
 {
   public:
+    FifoQueue() = default;
+    explicit FifoQueue(const Alloc &alloc)
+        : items_(alloc)
+    {
+    }
+
     bool empty() const { return head_ == items_.size(); }
     std::size_t size() const { return items_.size() - head_; }
 
@@ -69,7 +76,7 @@ class FifoQueue
   private:
     static constexpr std::size_t kCompactThreshold = 64;
 
-    std::vector<T> items_;
+    std::vector<T, Alloc> items_;
     std::size_t head_ = 0;
 };
 

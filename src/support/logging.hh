@@ -115,7 +115,26 @@ debug(const Args &...args)
 #define CAPO_PANIC(...) \
     ::capo::support::panicAt(__FILE__, __LINE__, __VA_ARGS__)
 
-/** Panic unless @p cond holds. */
+/**
+ * Panic unless @p cond holds.
+ *
+ * With CAPO_DISABLE_ASSERTS (Release builds, see the CAPO_ASSERTS
+ * CMake option) the check folds to nothing: the condition stays
+ * type-checked behind a constant-false guard so disabled builds cannot
+ * rot, but the optimizer removes the evaluation entirely. The checks
+ * sit on every allocation grant and event dispatch, so Release pays
+ * for none of them while Debug/ASan/TSan lanes keep them all.
+ */
+#ifdef CAPO_DISABLE_ASSERTS
+#define CAPO_ASSERT(cond, ...)                                        \
+    do {                                                              \
+        if (false && !(cond)) {                                       \
+            ::capo::support::panicAt(__FILE__, __LINE__,              \
+                                     "assertion failed: " #cond " ",  \
+                                     ##__VA_ARGS__);                  \
+        }                                                             \
+    } while (false)
+#else
 #define CAPO_ASSERT(cond, ...)                                        \
     do {                                                              \
         if (!(cond)) {                                                \
@@ -124,5 +143,6 @@ debug(const Args &...args)
                                      ##__VA_ARGS__);                  \
         }                                                             \
     } while (false)
+#endif
 
 #endif // CAPO_SUPPORT_LOGGING_HH

@@ -1,5 +1,6 @@
 #include "trace/sink.hh"
 
+#include <mutex>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -97,8 +98,33 @@ TraceSink::registerTrack(const std::string &name)
         return it->second;
     const auto id = static_cast<TrackId>(tracks_.size());
     tracks_.push_back(Track{name, {}, 0});
+    if (!spare_rings_.empty()) {
+        tracks_.back().ring = std::move(spare_rings_.back());
+        spare_rings_.pop_back();
+    }
     track_by_name_.emplace(name, id);
     return id;
+}
+
+void
+TraceSink::reset(const Options &options)
+{
+    CAPO_ASSERT(options.track_capacity > 0,
+                "trace track capacity must be positive");
+    mask_ = options.categories;
+    // Rings sized for a different capacity must not be recycled: a
+    // fresh sink would never have grown one past the new capacity.
+    if (options.track_capacity != capacity_)
+        spare_rings_.clear();
+    capacity_ = options.track_capacity;
+    base_ = 0.0;
+    for (auto &t : tracks_) {
+        t.ring.clear();
+        spare_rings_.push_back(std::move(t.ring));
+    }
+    tracks_.clear();
+    track_by_name_.clear();
+    // interned_ stays: pointers are stable and lookups are by content.
 }
 
 const char *
@@ -146,6 +172,59 @@ TraceSink::events(TrackId track) const
     for (std::size_t i = 0; i < capacity_; ++i)
         out.push_back(t.ring[(start + i) % capacity_]);
     return out;
+}
+
+namespace {
+
+/** Process-wide shard freelist. Guarded by its mutex; shards are
+ *  acquired/released once per invocation, so contention is nil. */
+struct ShardPool
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<TraceSink>> free;
+};
+
+ShardPool &
+shardPool()
+{
+    static ShardPool pool;
+    return pool;
+}
+
+} // namespace
+
+std::unique_ptr<TraceSink>
+TraceSink::acquireShard(const Options &options)
+{
+    auto &pool = shardPool();
+    {
+        std::lock_guard<std::mutex> lock(pool.mutex);
+        if (!pool.free.empty()) {
+            auto shard = std::move(pool.free.back());
+            pool.free.pop_back();
+            shard->reset(options);
+            return shard;
+        }
+    }
+    return std::make_unique<TraceSink>(options);
+}
+
+void
+TraceSink::releaseShard(std::unique_ptr<TraceSink> shard)
+{
+    if (shard == nullptr)
+        return;
+    auto &pool = shardPool();
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.free.push_back(std::move(shard));
+}
+
+void
+TraceSink::clearShardPool()
+{
+    auto &pool = shardPool();
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.free.clear();
 }
 
 TraceSink::Options

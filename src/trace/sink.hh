@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -197,6 +198,28 @@ class TraceSink
     Options shardOptions() const;
 
     /**
+     * Rewind this sink to the freshly-constructed state under
+     * @p options, keeping allocated capacity: track rings move to a
+     * spare list (handed back out by registerTrack) and interned
+     * strings stay (interning is content-addressed, so reuse is
+     * unobservable). Everything observable afterwards matches a
+     * newly-constructed sink — pooled shards depend on it.
+     */
+    void reset(const Options &options);
+
+    /** @{ Shard pool: parallel sweeps burn one shard per invocation;
+     *  acquire/release recycle them (reset() between users) instead of
+     *  reallocating rings every cell. Mutex-guarded; the lock is taken
+     *  once per invocation, never per event. */
+    static std::unique_ptr<TraceSink> acquireShard(const Options &options);
+    static void releaseShard(std::unique_ptr<TraceSink> shard);
+
+    /** Test hook: drop pooled shards so the next acquire constructs
+     *  a fresh sink. */
+    static void clearShardPool();
+    /** @} */
+
+    /**
      * Append every event of @p shard, shifted by @p offset ns, onto
      * this sink's same-named tracks (registered on demand). Event
      * names are re-interned here, so the shard may be destroyed
@@ -234,6 +257,9 @@ class TraceSink
     std::map<std::string, TrackId> track_by_name_;
     std::deque<std::string> interned_;
     std::map<std::string, const char *> interned_by_name_;
+
+    /** Cleared rings of reset tracks, recycled by registerTrack. */
+    std::vector<std::vector<TraceEvent>> spare_rings_;
 };
 
 } // namespace capo::trace

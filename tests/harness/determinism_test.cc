@@ -167,6 +167,63 @@ TEST(DeterminismTest, ParallelTraceIsIdenticalToSerialTrace)
     expectSinksIdentical(serial_sink, parallel_sink);
 }
 
+TEST(DeterminismTest, WarmPoolsMatchFreshConstruction)
+{
+    // Dirty-reuse trap for the per-worker pools (arena, world,
+    // collector, memoized setup, shard freelist): a cell run on warm
+    // pools — right after a *different* cell, and then right after
+    // itself — must be bitwise identical to the same cell run with
+    // every cache cleared. Results and trace shards both count.
+    const auto &fop = workloads::byName("fop");
+    const auto &luindex = workloads::byName("luindex");
+    auto options = baseOptions(1);
+    options.invocations = 2;
+
+    // Fresh-construction baseline for the probed cell.
+    clearWorkerCaches();
+    trace::TraceSink fresh_sink;
+    auto fresh_options = options;
+    fresh_options.trace = &fresh_sink;
+    const auto fresh =
+        Runner(fresh_options).run(luindex, gc::Algorithm::Zgc, 2.0);
+
+    // Dirty the pools with an unrelated cell, then re-run the probed
+    // cell twice: the first reuse crosses cells, the second reuses
+    // state its own previous run left behind.
+    clearWorkerCaches();
+    {
+        trace::TraceSink scratch_sink;
+        auto warm_options = options;
+        warm_options.trace = &scratch_sink;
+        Runner(warm_options).run(fop, gc::Algorithm::G1, 3.0);
+    }
+    for (int round = 0; round < 2; ++round) {
+        trace::TraceSink warm_sink;
+        auto warm_options = options;
+        warm_options.trace = &warm_sink;
+        const auto warm = Runner(warm_options)
+                              .run(luindex, gc::Algorithm::Zgc, 2.0);
+        ASSERT_EQ(fresh.runs.size(), warm.runs.size());
+        for (std::size_t i = 0; i < fresh.runs.size(); ++i)
+            expectRunsIdentical(fresh.runs[i], warm.runs[i]);
+        expectSinksIdentical(fresh_sink, warm_sink);
+    }
+
+    // And the same cell fanned out on warm pool workers (j8) must
+    // still match the fresh serial baseline.
+    trace::TraceSink parallel_sink;
+    auto parallel_options = baseOptions(8);
+    parallel_options.invocations = 2;
+    parallel_options.trace = &parallel_sink;
+    const auto parallel = Runner(parallel_options)
+                              .run(luindex, gc::Algorithm::Zgc, 2.0);
+    ASSERT_EQ(fresh.runs.size(), parallel.runs.size());
+    for (std::size_t i = 0; i < fresh.runs.size(); ++i)
+        expectRunsIdentical(fresh.runs[i], parallel.runs[i]);
+    expectSinksIdentical(fresh_sink, parallel_sink);
+    clearWorkerCaches();
+}
+
 TEST(DeterminismTest, ParallelTraceExportIsNestedAndMonotonic)
 {
     const auto &fop = workloads::byName("fop");

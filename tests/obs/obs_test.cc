@@ -182,9 +182,10 @@ TEST(Compare, AdvisoryMetricsNeverGate)
 {
     const obs::BenchSnapshot baseline = sampleSnapshot();
     obs::BenchSnapshot candidate = baseline;
-    // Throughput collapses but normalized cost holds: advisory only.
+    // Harness-level throughput collapses but normalized cost and the
+    // sim-event floor hold: advisory only.
     candidate.cells_per_sec = stat(2.0, 0.1);
-    candidate.sim_events_per_sec = stat(1.0e5, 1.0e3);
+    candidate.invocations_per_sec = stat(4.0, 0.2);
     const auto report = obs::compareSnapshots(baseline, candidate);
     EXPECT_FALSE(report.regressed());
     bool saw_regression_verdict = false;
@@ -195,6 +196,80 @@ TEST(Compare, AdvisoryMetricsNeverGate)
         }
     }
     EXPECT_TRUE(saw_regression_verdict);
+}
+
+TEST(Compare, GatesOnNormalizedEventFloor)
+{
+    const obs::BenchSnapshot baseline = sampleSnapshot();
+    obs::BenchSnapshot candidate = baseline;
+    // Sim throughput drops 10x with machine speed (calibration)
+    // unchanged: per-event cost exploded, the gate must trip.
+    candidate.sim_events_per_sec = stat(1.0e5, 5.0e3);
+    const auto report = obs::compareSnapshots(baseline, candidate);
+    EXPECT_TRUE(report.regressed());
+    bool saw = false;
+    for (const auto &metric : report.metrics) {
+        if (metric.metric != "normalized_events")
+            continue;
+        saw = true;
+        EXPECT_TRUE(metric.gating);
+        EXPECT_EQ(metric.verdict, obs::Verdict::Regression);
+    }
+    EXPECT_TRUE(saw);
+}
+
+TEST(Compare, NormalizedEventFloorCancelsMachineSpeed)
+{
+    const obs::BenchSnapshot baseline = sampleSnapshot();
+    obs::BenchSnapshot candidate = baseline;
+    // A machine half as fast: throughput halves AND the calibration
+    // spin takes twice as long. The normalized floor must not trip.
+    candidate.sim_events_per_sec = stat(5.0e5, 2.5e4);
+    candidate.calibration_sec = baseline.calibration_sec * 2.0;
+    candidate.elapsed_sec = stat(3.0, 0.2);
+    const auto report = obs::compareSnapshots(baseline, candidate);
+    EXPECT_FALSE(report.regressed());
+}
+
+TEST(Compare, GatesOnScalingCollapse)
+{
+    const obs::BenchSnapshot baseline = sampleSnapshot();
+    obs::BenchSnapshot candidate = baseline;
+    // The 2-job point degrades from 1.875x to serial speed.
+    candidate.scaling[1].speedup = 1.0;
+    const auto report = obs::compareSnapshots(baseline, candidate);
+    EXPECT_TRUE(report.regressed());
+    bool saw = false;
+    for (const auto &metric : report.metrics) {
+        if (metric.metric != "scaling@2")
+            continue;
+        saw = true;
+        EXPECT_TRUE(metric.gating);
+        EXPECT_EQ(metric.verdict, obs::Verdict::Regression);
+    }
+    EXPECT_TRUE(saw);
+}
+
+TEST(Compare, HotTailBlowupIsReportedButAdvisory)
+{
+    obs::BenchSnapshot baseline = sampleSnapshot();
+    baseline.hot.push_back(
+        {"runtime.alloc.stall_ns", 500, 1.0e4, 8.0e3, 5.0e4});
+    obs::BenchSnapshot candidate = baseline;
+    // p99 blows up 20x while every mean-level metric holds: the row
+    // must appear as a regression verdict without failing the gate.
+    candidate.hot.back().p99 = 1.0e6;
+    const auto report = obs::compareSnapshots(baseline, candidate);
+    EXPECT_FALSE(report.regressed());
+    bool saw = false;
+    for (const auto &metric : report.metrics) {
+        if (metric.metric != "runtime.alloc.stall_ns.p99")
+            continue;
+        saw = true;
+        EXPECT_FALSE(metric.gating);
+        EXPECT_EQ(metric.verdict, obs::Verdict::Regression);
+    }
+    EXPECT_TRUE(saw);
 }
 
 TEST(Compare, ConfigMismatchFailsLoudly)
@@ -219,8 +294,9 @@ TEST(Compare, UnmeasuredMetricsAreSkipped)
     candidate.cells_per_sec = stat(99.0, 1.0);
     const auto report = obs::compareSnapshots(baseline, candidate);
     for (const auto &metric : report.metrics) {
-        if (metric.metric == "cells_per_sec")
+        if (metric.metric == "cells_per_sec") {
             EXPECT_EQ(metric.verdict, obs::Verdict::Ok);
+        }
     }
 }
 
