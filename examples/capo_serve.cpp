@@ -65,7 +65,11 @@ main(int argc, char **argv)
     flags.addString("cache-dir", "cache",
                     "cache directory under the artifact root");
     flags.addInt("cache-max", 0,
-                 "in-memory cache entry cap (0 = unbounded)");
+                 "cache entry cap, LRU-evicted past it "
+                 "(0 = unbounded)");
+    flags.addInt("cache-max-bytes", 0,
+                 "cache payload-byte cap, LRU-evicted past it "
+                 "(0 = unbounded)");
     flags.parse(argc, argv);
 
     serve::ServerOptions options;
@@ -81,6 +85,8 @@ main(int argc, char **argv)
     options.cache_dir = flags.getString("cache-dir");
     options.cache_max_entries =
         static_cast<std::size_t>(flags.getInt("cache-max"));
+    options.cache_max_bytes =
+        static_cast<std::size_t>(flags.getInt("cache-max-bytes"));
 
     if (!flags.getString("faults").empty()) {
         std::string error;

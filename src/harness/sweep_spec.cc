@@ -1,0 +1,120 @@
+#include "harness/sweep_spec.hh"
+
+#include <cstdlib>
+
+namespace capo::harness {
+
+namespace {
+
+/** Strict integer parse ("-12" ok, "12x" not). */
+bool
+parseInt(const std::string &text, long long &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtoll(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+/** Split on @p sep, keeping empty pieces (they are errors the caller
+ *  reports). */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    for (;;) {
+        const auto next = text.find(sep, pos);
+        if (next == std::string::npos) {
+            out.push_back(text.substr(pos));
+            return out;
+        }
+        out.push_back(text.substr(pos, next - pos));
+        pos = next + 1;
+    }
+}
+
+} // namespace
+
+bool
+parseSweepAxis(const std::string &decl, SweepAxis &axis,
+               std::string &error)
+{
+    const auto eq = decl.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        error = "expected flag=spec, got '" + decl + "'";
+        return false;
+    }
+    SweepAxis parsed;
+    parsed.flag = decl.substr(0, eq);
+    if (parsed.flag.rfind("--", 0) == 0)
+        parsed.flag = parsed.flag.substr(2);
+    if (parsed.flag.empty()) {
+        error = "empty flag name in '" + decl + "'";
+        return false;
+    }
+    const std::string spec = decl.substr(eq + 1);
+    if (spec.empty()) {
+        error = "empty value spec in '" + decl + "'";
+        return false;
+    }
+
+    // A spec with ':' and all-integer pieces is a range; anything
+    // else is a comma list taken verbatim.
+    if (spec.find(':') != std::string::npos) {
+        const auto pieces = split(spec, ':');
+        long long lo = 0, hi = 0, step = 1;
+        if (pieces.size() < 2 || pieces.size() > 3 ||
+            !parseInt(pieces[0], lo) || !parseInt(pieces[1], hi) ||
+            (pieces.size() == 3 && !parseInt(pieces[2], step))) {
+            error = "bad range spec '" + spec + "' (want a:b[:step])";
+            return false;
+        }
+        if (step <= 0) {
+            error = "range step must be positive in '" + spec + "'";
+            return false;
+        }
+        if (hi < lo) {
+            error = "backward range '" + spec + "'";
+            return false;
+        }
+        for (long long v = lo; v <= hi; v += step)
+            parsed.values.push_back(std::to_string(v));
+    } else {
+        for (auto &value : split(spec, ',')) {
+            if (value.empty()) {
+                error = "empty value in list '" + spec + "'";
+                return false;
+            }
+            parsed.values.push_back(std::move(value));
+        }
+    }
+    axis = std::move(parsed);
+    return true;
+}
+
+std::vector<std::vector<std::string>>
+expandSweepCells(const std::vector<SweepAxis> &axes,
+                 const std::vector<std::string> &common)
+{
+    std::vector<std::vector<std::string>> cells = {common};
+    // Each axis multiplies the grid; building axis-by-axis keeps the
+    // last axis fastest, matching nested sweep loops.
+    for (const auto &axis : axes) {
+        std::vector<std::vector<std::string>> expanded;
+        expanded.reserve(cells.size() * axis.values.size());
+        for (const auto &cell : cells) {
+            for (const auto &value : axis.values) {
+                auto next = cell;
+                next.push_back("--" + axis.flag);
+                next.push_back(value);
+                expanded.push_back(std::move(next));
+            }
+        }
+        cells = std::move(expanded);
+    }
+    return cells;
+}
+
+} // namespace capo::harness

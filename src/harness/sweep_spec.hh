@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sweep-cell expansion for fleet dispatch: turn `--vary flag=spec`
+ * declarations into the cross-product of per-cell argument lists, the
+ * same grid shape the in-process harness sweeps walk, but expressed
+ * as experiment args so each cell can travel the wire to any backend.
+ *
+ * Spec grammar (one axis per --vary):
+ *
+ *   flag=v1,v2,v3      explicit values, in order
+ *   flag=a:b           integer range a..b inclusive, step 1
+ *   flag=a:b:s         integer range a..b inclusive, step s
+ *
+ * Axes expand in declaration order, last axis fastest — matching the
+ * row order of the harness's nested sweep loops, so a fleet sweep's
+ * merged table enumerates cells in the same order a local sweep
+ * would. Values are kept verbatim as strings: the cell args feed the
+ * experiment's own flag parser, which is the single authority on
+ * types and validity.
+ */
+
+#ifndef CAPO_HARNESS_SWEEP_SPEC_HH
+#define CAPO_HARNESS_SWEEP_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace capo::harness {
+
+/** One sweep axis: a flag name and its values. */
+struct SweepAxis
+{
+    std::string flag;                 ///< Without the leading "--".
+    std::vector<std::string> values;  ///< In sweep order.
+};
+
+/**
+ * Parse one `flag=spec` declaration. Accepts the flag with or
+ * without a leading "--". False + @p error on malformed input
+ * (empty value list, bad range, zero/backward step).
+ */
+bool parseSweepAxis(const std::string &decl, SweepAxis &axis,
+                    std::string &error);
+
+/**
+ * Expand the cross-product of @p axes into per-cell argument lists:
+ * each cell is @p common plus "--flag value" for its grid point.
+ * No axes → one cell (just @p common). Last axis varies fastest.
+ */
+std::vector<std::vector<std::string>>
+expandSweepCells(const std::vector<SweepAxis> &axes,
+                 const std::vector<std::string> &common);
+
+} // namespace capo::harness
+
+#endif // CAPO_HARNESS_SWEEP_SPEC_HH

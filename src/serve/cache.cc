@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "serve/protocol.hh"
 
@@ -52,8 +53,10 @@ parseFile(const std::string &contents, std::uint64_t &key,
 } // namespace
 
 ResultCache::ResultCache(report::ArtifactSink *sink, std::string dir,
-                         std::size_t max_entries)
-    : sink_(sink), dir_(std::move(dir)), max_entries_(max_entries)
+                         std::size_t max_entries,
+                         std::size_t max_bytes)
+    : sink_(sink), dir_(std::move(dir)), max_entries_(max_entries),
+      max_bytes_(max_bytes)
 {
 }
 
@@ -62,6 +65,42 @@ ResultCache::attachMetrics(trace::MetricsRegistry *metrics)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     metrics_ = metrics;
+}
+
+std::vector<std::uint64_t>
+ResultCache::evictOverCapsLocked()
+{
+    std::vector<std::uint64_t> evicted;
+    const auto over = [this] {
+        return (max_entries_ > 0 && entries_.size() > max_entries_) ||
+               (max_bytes_ > 0 && bytes_ > max_bytes_);
+    };
+    // Never evict down to nothing: a lone entry over the byte cap
+    // stays (an empty cache serves nobody).
+    while (over() && recency_.size() > 1) {
+        const std::uint64_t victim = recency_.back();
+        recency_.pop_back();
+        const auto it = entries_.find(victim);
+        if (it != entries_.end()) {
+            bytes_ -= it->second.payload.size();
+            entries_.erase(it);
+        }
+        ++evictions_;
+        if (metrics_ != nullptr)
+            metrics_->counter("serve.cache.evict").increment();
+        evicted.push_back(victim);
+    }
+    return evicted;
+}
+
+void
+ResultCache::removeFromDisk(const std::vector<std::uint64_t> &keys)
+{
+    if (sink_ == nullptr || keys.empty())
+        return;
+    std::lock_guard<std::mutex> sink_lock(sink_mutex_);
+    for (const std::uint64_t key : keys)
+        sink_->remove(dir_ + "/" + cacheFileName(key));
 }
 
 std::size_t
@@ -86,6 +125,7 @@ ResultCache::loadFromDisk()
     std::sort(files.begin(), files.end());
 
     std::size_t count = 0;
+    std::vector<std::uint64_t> evicted;
     for (const auto &path : files) {
         std::ifstream in(path, std::ios::binary);
         if (!in)
@@ -102,14 +142,21 @@ ResultCache::loadFromDisk()
             cacheFileName(key))
             continue;
         std::lock_guard<std::mutex> lock(mutex_);
-        if (entries_.emplace(key, std::move(payload)).second) {
-            insertion_order_.push_back(key);
+        const auto emplaced = entries_.emplace(key, Entry{});
+        if (emplaced.second) {
+            bytes_ += payload.size();
+            recency_.push_front(key);
+            emplaced.first->second.payload = std::move(payload);
+            emplaced.first->second.lru = recency_.begin();
             ++loaded_;
             ++count;
             if (metrics_ != nullptr)
                 metrics_->counter("serve.cache.loaded").increment();
+            const auto batch = evictOverCapsLocked();
+            evicted.insert(evicted.end(), batch.begin(), batch.end());
         }
     }
+    removeFromDisk(evicted);
     return count;
 }
 
@@ -124,7 +171,10 @@ ResultCache::lookup(std::uint64_t key, std::string &payload)
             metrics_->counter("serve.cache.miss").increment();
         return false;
     }
-    payload = it->second;
+    // The payload is copied out under the lock: an eviction racing
+    // with this replay can drop the entry afterwards, never tear it.
+    payload = it->second.payload;
+    recency_.splice(recency_.begin(), recency_, it->second.lru);
     ++hits_;
     if (metrics_ != nullptr)
         metrics_->counter("serve.cache.hit").increment();
@@ -134,25 +184,27 @@ ResultCache::lookup(std::uint64_t key, std::string &payload)
 void
 ResultCache::insert(std::uint64_t key, const std::string &payload)
 {
+    std::vector<std::uint64_t> evicted;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!entries_.emplace(key, payload).second)
+        const auto emplaced = entries_.emplace(key, Entry{});
+        if (!emplaced.second)
             return;
-        insertion_order_.push_back(key);
+        bytes_ += payload.size();
+        recency_.push_front(key);
+        emplaced.first->second.payload = payload;
+        emplaced.first->second.lru = recency_.begin();
         ++insertions_;
         if (metrics_ != nullptr)
             metrics_->counter("serve.cache.insert").increment();
-        while (max_entries_ > 0 &&
-               entries_.size() > max_entries_ &&
-               !insertion_order_.empty()) {
-            entries_.erase(insertion_order_.front());
-            insertion_order_.pop_front();
-        }
+        evicted = evictOverCapsLocked();
     }
     // Write-through outside the map lock (lookups stay fast during
     // disk I/O) but under the sink lock (ArtifactSink is not
     // thread-safe). The sink buffers, retries and quarantines; a
-    // failed write degrades to memory-only, never an error.
+    // failed write degrades to memory-only, never an error. Eviction
+    // walks from the LRU tail and never drains the list, so the entry
+    // just inserted at the front always survives its own insert.
     if (sink_ != nullptr) {
         std::lock_guard<std::mutex> sink_lock(sink_mutex_);
         sink_->write(dir_ + "/" + cacheFileName(key),
@@ -161,6 +213,7 @@ ResultCache::insert(std::uint64_t key, const std::string &payload)
                              << payload;
                      });
     }
+    removeFromDisk(evicted);
 }
 
 std::uint64_t
@@ -191,11 +244,25 @@ ResultCache::loaded() const
     return loaded_;
 }
 
+std::uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 std::size_t
 ResultCache::entryCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+std::size_t
+ResultCache::byteCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
 }
 
 double

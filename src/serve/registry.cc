@@ -1,0 +1,275 @@
+#include "serve/registry.hh"
+
+#include <algorithm>
+
+#include "exec/seed.hh"
+
+namespace capo::serve {
+
+namespace {
+
+/** Virtual nodes per backend: enough that removing one backend of N
+ *  remaps ~1/N of the key space with low variance, cheap enough that
+ *  ring construction is trivial. */
+constexpr std::size_t kVirtualNodes = 64;
+
+} // namespace
+
+const char *
+strategyName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::RoundRobin:
+        return "round-robin";
+      case Strategy::LeastConnections:
+        return "least-connections";
+      case Strategy::ConsistentHash:
+        return "consistent-hash";
+    }
+    return "?";
+}
+
+bool
+parseStrategy(const std::string &name, Strategy &strategy)
+{
+    if (name == "round-robin" || name == "rr")
+        strategy = Strategy::RoundRobin;
+    else if (name == "least-connections" || name == "least-conn" ||
+             name == "lc")
+        strategy = Strategy::LeastConnections;
+    else if (name == "consistent-hash" || name == "hash" ||
+             name == "ch")
+        strategy = Strategy::ConsistentHash;
+    else
+        return false;
+    return true;
+}
+
+const char *
+healthName(BackendHealth health)
+{
+    switch (health) {
+      case BackendHealth::Healthy:
+        return "HEALTHY";
+      case BackendHealth::Degraded:
+        return "DEGRADED";
+      case BackendHealth::Unhealthy:
+        return "UNHEALTHY";
+    }
+    return "?";
+}
+
+BackendRegistry::BackendRegistry(std::vector<BackendEndpoint> backends,
+                                 Strategy strategy, HealthPolicy policy)
+    : backends_(std::move(backends)), strategy_(strategy),
+      policy_(policy), states_(backends_.size())
+{
+    // The ring hashes backend *ids*, not indices: adding or removing
+    // a backend moves only the keys its own virtual nodes owned,
+    // which is the whole point of consistent hashing.
+    ring_.reserve(backends_.size() * kVirtualNodes);
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+        const std::uint64_t base = exec::hashString(backends_[b].id);
+        for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+            ring_.push_back(
+                {exec::seedCombine(base, exec::mix64(v)), b});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+void
+BackendRegistry::observeLocked(State &state, bool ok)
+{
+    if (ok) {
+        ++state.successes;
+        state.consecutive_failures = 0;
+        if (state.health == BackendHealth::Healthy)
+            return;
+        if (++state.consecutive_successes >= policy_.recover_after) {
+            // Recovery is one level at a time: an UNHEALTHY backend
+            // must re-earn DEGRADED and then HEALTHY separately.
+            state.health = state.health == BackendHealth::Unhealthy
+                               ? BackendHealth::Degraded
+                               : BackendHealth::Healthy;
+            state.consecutive_successes = 0;
+        }
+    } else {
+        ++state.failures;
+        state.consecutive_successes = 0;
+        ++state.consecutive_failures;
+        if (state.consecutive_failures >= policy_.unhealthy_after)
+            state.health = BackendHealth::Unhealthy;
+        else if (state.consecutive_failures >= policy_.degraded_after &&
+                 state.health == BackendHealth::Healthy)
+            state.health = BackendHealth::Degraded;
+    }
+}
+
+std::vector<std::size_t>
+BackendRegistry::candidatesLocked(std::size_t exclude) const
+{
+    std::vector<std::size_t> healthy, degraded;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (i == exclude)
+            continue;
+        if (states_[i].health == BackendHealth::Healthy)
+            healthy.push_back(i);
+        else if (states_[i].health == BackendHealth::Degraded)
+            degraded.push_back(i);
+    }
+    return healthy.empty() ? degraded : healthy;
+}
+
+bool
+BackendRegistry::ringPickLocked(
+    std::uint64_t key, const std::vector<std::size_t> &eligible,
+    std::size_t &index) const
+{
+    if (ring_.empty() || eligible.empty())
+        return false;
+    const std::uint64_t point = exec::mix64(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), RingPoint{point, 0});
+    // Walk clockwise (wrapping) until a virtual node of an eligible
+    // backend: keys owned by a dead backend spill to their ring
+    // successors, everyone else stays put.
+    for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        if (std::find(eligible.begin(), eligible.end(),
+                      it->backend) != eligible.end()) {
+            index = it->backend;
+            return true;
+        }
+        ++it;
+    }
+    return false;
+}
+
+bool
+BackendRegistry::pick(std::uint64_t key, std::size_t &index)
+{
+    return pickExcluding(key, backends_.size(), index);
+}
+
+bool
+BackendRegistry::pickExcluding(std::uint64_t key, std::size_t exclude,
+                               std::size_t &index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto eligible = candidatesLocked(exclude);
+    if (eligible.empty())
+        return false;
+
+    switch (strategy_) {
+      case Strategy::RoundRobin:
+        index = eligible[round_robin_next_ % eligible.size()];
+        ++round_robin_next_;
+        return true;
+      case Strategy::LeastConnections: {
+        index = eligible.front();
+        for (const std::size_t i : eligible) {
+            if (states_[i].in_flight < states_[index].in_flight)
+                index = i;  // Ties keep the lowest index.
+        }
+        return true;
+      }
+      case Strategy::ConsistentHash:
+        return ringPickLocked(key, eligible, index);
+    }
+    return false;
+}
+
+void
+BackendRegistry::beginDispatch(std::size_t index, std::size_t cells)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_[index].in_flight += cells;
+    states_[index].dispatched += cells;
+}
+
+void
+BackendRegistry::endDispatch(std::size_t index, std::size_t cells,
+                             bool ok)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_[index].in_flight -=
+        std::min(cells, states_[index].in_flight);
+    observeLocked(states_[index], ok);
+}
+
+void
+BackendRegistry::reportProbe(std::size_t index, bool ok)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++states_[index].probes;
+    observeLocked(states_[index], ok);
+}
+
+BackendHealth
+BackendRegistry::health(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return states_[index].health;
+}
+
+std::vector<BackendStats>
+BackendRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<BackendStats> out;
+    out.reserve(backends_.size());
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+        BackendStats stats;
+        stats.id = backends_[i].id;
+        stats.health = states_[i].health;
+        stats.in_flight = states_[i].in_flight;
+        stats.dispatched = states_[i].dispatched;
+        stats.successes = states_[i].successes;
+        stats.failures = states_[i].failures;
+        stats.probes = states_[i].probes;
+        stats.consecutive_failures = states_[i].consecutive_failures;
+        stats.consecutive_successes =
+            states_[i].consecutive_successes;
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+report::ResultTable
+BackendRegistry::statsTable() const
+{
+    report::ResultTable table(
+        report::Schema{{"backend", report::Type::String},
+                       {"health", report::Type::String},
+                       {"in_flight", report::Type::Uint},
+                       {"dispatched", report::Type::Uint},
+                       {"successes", report::Type::Uint},
+                       {"failures", report::Type::Uint},
+                       {"probes", report::Type::Uint}});
+    for (const auto &stats : snapshot()) {
+        table.addRow({report::Value::str(stats.id),
+                      report::Value::str(healthName(stats.health)),
+                      report::Value::uinteger(stats.in_flight),
+                      report::Value::uinteger(stats.dispatched),
+                      report::Value::uinteger(stats.successes),
+                      report::Value::uinteger(stats.failures),
+                      report::Value::uinteger(stats.probes)});
+    }
+    return table;
+}
+
+std::size_t
+BackendRegistry::ringOwner(std::uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::size_t> all(backends_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    std::size_t index = backends_.size();
+    ringPickLocked(key, all, index);
+    return index;
+}
+
+} // namespace capo::serve

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Backend registry for the serve fleet: which capo-serve backends
+ * exist, how healthy each one looks, and which backend the next sweep
+ * cell should go to.
+ *
+ * The shape follows the classic service-registry triple —
+ * strategy / health / stats:
+ *
+ *  - *Strategy.* Three pluggable balancers. Round-robin spreads cells
+ *    evenly; least-connections follows live in-flight counts;
+ *    consistent-hash maps a cell's cache key onto a virtual-node ring
+ *    so the same configuration always lands on the same live backend
+ *    (stickiness ⇒ a repeated cell replays from that backend's result
+ *    cache instead of re-running).
+ *
+ *  - *Health.* Per-backend HEALTHY / DEGRADED / UNHEALTHY driven by
+ *    dispatch outcomes and health-endpoint probes, with hysteresis:
+ *    consecutive failures step a backend down, and it must earn
+ *    `recover_after` consecutive successes to step back up one level
+ *    — a single lucky probe never un-quarantines a flapping backend.
+ *    Selection prefers HEALTHY backends, falls back to DEGRADED, and
+ *    never picks UNHEALTHY.
+ *
+ *  - *Stats.* Dispatch/failure counters per backend, snapshotted into
+ *    a result table for the fleet health report.
+ *
+ * The registry is bookkeeping only — it never touches a socket. The
+ * router (serve/router.hh) owns connections and feeds outcomes back
+ * in. All methods are thread-safe; selection state (round-robin
+ * cursor, in-flight counts) advances under one mutex so a serial
+ * assignment pass is deterministic.
+ */
+
+#ifndef CAPO_SERVE_REGISTRY_HH
+#define CAPO_SERVE_REGISTRY_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "report/table.hh"
+
+namespace capo::serve {
+
+/** How the fleet spreads cells across backends. */
+enum class Strategy : std::uint8_t {
+    RoundRobin,       ///< Even rotation over the live set.
+    LeastConnections, ///< Fewest in-flight batches first.
+    ConsistentHash,   ///< Cache-key ring — repeated cells stay sticky.
+};
+
+/** Machine name ("round-robin", "least-connections",
+ *  "consistent-hash"). */
+const char *strategyName(Strategy strategy);
+
+/** Parse a strategy name; false on unknown input. */
+bool parseStrategy(const std::string &name, Strategy &strategy);
+
+/** Health state of one backend. */
+enum class BackendHealth : std::uint8_t {
+    Healthy,   ///< Full member of the balancing set.
+    Degraded,  ///< Recent failures; used only when no backend is
+               ///< healthy.
+    Unhealthy, ///< Quarantined; never selected until it recovers.
+};
+
+/** Wire/report name ("HEALTHY", "DEGRADED", "UNHEALTHY"). */
+const char *healthName(BackendHealth health);
+
+/** Address of one capo-serve backend. */
+struct BackendEndpoint
+{
+    std::string id;          ///< Stable name (hashing + reports).
+    std::string socket_path; ///< Unix socket ("" = use TCP).
+    int tcp_port = 0;        ///< Loopback TCP port when no socket.
+};
+
+/** Hysteresis thresholds for the health state machine. */
+struct HealthPolicy
+{
+    /** Consecutive failures before HEALTHY steps to DEGRADED. */
+    int degraded_after = 1;
+
+    /** Consecutive failures before stepping to UNHEALTHY. */
+    int unhealthy_after = 3;
+
+    /** Consecutive successes to step back *one* level. */
+    int recover_after = 2;
+};
+
+/** Point-in-time view of one backend. */
+struct BackendStats
+{
+    std::string id;
+    BackendHealth health = BackendHealth::Healthy;
+    std::size_t in_flight = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t probes = 0;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+};
+
+/**
+ * The fleet's backend table: selection, health hysteresis, stats.
+ */
+class BackendRegistry
+{
+  public:
+    BackendRegistry(std::vector<BackendEndpoint> backends,
+                    Strategy strategy, HealthPolicy policy = {});
+
+    std::size_t size() const { return backends_.size(); }
+    const BackendEndpoint &endpoint(std::size_t index) const
+    {
+        return backends_[index];
+    }
+    Strategy strategy() const { return strategy_; }
+
+    /**
+     * Choose a backend for the cell whose cache key is @p key.
+     * Selection draws from the HEALTHY set, falling back to the
+     * DEGRADED set when no backend is healthy. Returns false when
+     * every backend is unhealthy. Round-robin advances its cursor
+     * only on a successful pick, so the assignment sequence is a pure
+     * function of the pick/outcome history.
+     */
+    bool pick(std::uint64_t key, std::size_t &index);
+
+    /**
+     * Like pick(), but excluding one backend — failover re-dispatch
+     * must not hand a cell straight back to the backend that just
+     * dropped it, even while hysteresis still reports it DEGRADED.
+     * @p exclude of size() excludes nobody.
+     */
+    bool pickExcluding(std::uint64_t key, std::size_t exclude,
+                       std::size_t &index);
+
+    /** @p cells cells left for backend @p index (bumps in-flight;
+     *  least-connections balances on these counts). */
+    void beginDispatch(std::size_t index, std::size_t cells = 1);
+
+    /** A batch of @p cells came back; @p ok = transport-level
+     *  success. Drops the in-flight count by @p cells and feeds the
+     *  hysteresis *once* — a batch is one observation of the backend,
+     *  however many cells it carried. */
+    void endDispatch(std::size_t index, std::size_t cells, bool ok);
+
+    /** A health probe of @p index completed; feeds hysteresis only. */
+    void reportProbe(std::size_t index, bool ok);
+
+    BackendHealth health(std::size_t index) const;
+
+    /** Per-backend stats, in endpoint order. */
+    std::vector<BackendStats> snapshot() const;
+
+    /** Stats as a result table ("fleet" report shape: one row per
+     *  backend). */
+    report::ResultTable statsTable() const;
+
+    /**
+     * The ring owner of @p key among *all* backends regardless of
+     * health (property tests: remap fraction is about churn, not
+     * health). Returns size() when the ring is empty.
+     */
+    std::size_t ringOwner(std::uint64_t key) const;
+
+  private:
+    struct State
+    {
+        BackendHealth health = BackendHealth::Healthy;
+        std::size_t in_flight = 0;
+        std::uint64_t dispatched = 0;
+        std::uint64_t successes = 0;
+        std::uint64_t failures = 0;
+        std::uint64_t probes = 0;
+        int consecutive_failures = 0;
+        int consecutive_successes = 0;
+    };
+
+    /** One virtual node on the consistent-hash ring. */
+    struct RingPoint
+    {
+        std::uint64_t point;
+        std::size_t backend;
+        bool operator<(const RingPoint &other) const
+        {
+            return point < other.point ||
+                   (point == other.point && backend < other.backend);
+        }
+    };
+
+    /** Apply one success/failure observation to the state machine.
+     *  Call with mutex_ held. */
+    void observeLocked(State &state, bool ok);
+
+    /** Backends currently eligible for selection (HEALTHY set, else
+     *  DEGRADED set), minus @p exclude. Call with mutex_ held. */
+    std::vector<std::size_t>
+    candidatesLocked(std::size_t exclude) const;
+
+    /** Walk the ring from @p key's position to the first backend in
+     *  @p eligible. Call with mutex_ held. */
+    bool ringPickLocked(std::uint64_t key,
+                        const std::vector<std::size_t> &eligible,
+                        std::size_t &index) const;
+
+    const std::vector<BackendEndpoint> backends_;
+    const Strategy strategy_;
+    const HealthPolicy policy_;
+    std::vector<RingPoint> ring_;
+
+    mutable std::mutex mutex_;
+    std::vector<State> states_;
+    std::size_t round_robin_next_ = 0;
+};
+
+} // namespace capo::serve
+
+#endif // CAPO_SERVE_REGISTRY_HH

@@ -65,6 +65,9 @@ healthStore(const HealthSnapshot &snapshot,
     row("cache_misses", static_cast<double>(snapshot.cache_misses));
     row("cache_entries",
         static_cast<double>(snapshot.cache_entries));
+    row("cache_bytes", static_cast<double>(snapshot.cache_bytes));
+    row("cache_evictions",
+        static_cast<double>(snapshot.cache_evictions));
     row("cache_hit_rate", snapshot.cache_hit_rate);
     row("conn_accepted", static_cast<double>(snapshot.conn_accepted));
     row("conn_read_drops",
@@ -141,7 +144,7 @@ healthStore(const HealthSnapshot &snapshot,
 ExperimentServer::ExperimentServer(ServerOptions options)
     : options_(std::move(options)),
       cache_(options_.sink, options_.cache_dir,
-             options_.cache_max_entries),
+             options_.cache_max_entries, options_.cache_max_bytes),
       queue_(options_.queue_capacity)
 {
     cache_.attachMetrics(options_.metrics);
@@ -255,6 +258,8 @@ ExperimentServer::healthSnapshot() const
     snapshot.cache_hits = cache_.hits();
     snapshot.cache_misses = cache_.misses();
     snapshot.cache_entries = cache_.entryCount();
+    snapshot.cache_bytes = cache_.byteCount();
+    snapshot.cache_evictions = cache_.evictions();
     snapshot.cache_hit_rate = cache_.hitRate();
     snapshot.conn_accepted = conn_accepted_.load();
     snapshot.conn_read_drops = conn_read_drops_.load();
@@ -348,61 +353,23 @@ ExperimentServer::connectionLoop(int fd)
             continue;
         }
 
-        const std::uint64_t key = requestKey(request);
-        std::string cached_body;
-        if (cache_.lookup(key, cached_body)) {
+        if (request.kind == RequestKind::Batch) {
+            // Cells run in cell order through the full per-cell path;
+            // the one response frame carries every part, so the
+            // conn_io schedule of the batch applies once.
+            std::vector<Response> parts;
+            parts.reserve(request.cells.size());
+            for (const auto &cell : request.cells)
+                parts.push_back(runCell(cell));
             Response response;
             response.status = Status::Ok;
-            response.cached = true;
-            response.body = std::move(cached_body);
-            completed_.fetch_add(1);
+            response.body = encodeBatchBody(parts);
             if (!writeResponse(fd, response, injector))
                 break;
             continue;
         }
 
-        Ticket ticket;
-        ticket.request = request;
-        ticket.key = key;
-        double deadline_ms = request.deadline_ms > 0.0
-                                 ? request.deadline_ms
-                                 : options_.default_deadline_ms;
-        if (deadline_ms > 0.0) {
-            ticket.has_deadline = true;
-            ticket.deadline =
-                std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double, std::milli>(
-                        deadline_ms));
-        }
-        auto promise =
-            std::make_shared<std::promise<Response>>();
-        auto future = promise->get_future();
-        ticket.respond = [promise](Response &&response) {
-            promise->set_value(std::move(response));
-        };
-
-        Response response;
-        switch (queue_.tryPush(std::move(ticket))) {
-        case AdmissionQueue::Admit::Accepted:
-            accepted_.fetch_add(1);
-            bumpCounter("serve.queue.accepted");
-            response = future.get();
-            break;
-        case AdmissionQueue::Admit::QueueFull:
-            retry_later_.fetch_add(1);
-            bumpCounter("serve.queue.retry_later");
-            response.status = Status::RetryLater;
-            response.message = "admission queue full";
-            break;
-        case AdmissionQueue::Admit::Draining:
-            shutting_down_.fetch_add(1);
-            response.status = Status::ShuttingDown;
-            response.message = "server draining";
-            break;
-        }
-        if (!writeResponse(fd, response, injector))
+        if (!writeResponse(fd, runCell(request), injector))
             break;
     }
 
@@ -410,6 +377,63 @@ ExperimentServer::connectionLoop(int fd)
     closeSocket(fd);
     std::lock_guard<std::mutex> lock(connections_mutex_);
     open_fds_.erase(fd);
+}
+
+Response
+ExperimentServer::runCell(const Request &request)
+{
+    const std::uint64_t key = requestKey(request);
+    std::string cached_body;
+    if (cache_.lookup(key, cached_body)) {
+        Response response;
+        response.status = Status::Ok;
+        response.cached = true;
+        response.body = std::move(cached_body);
+        completed_.fetch_add(1);
+        return response;
+    }
+
+    Ticket ticket;
+    ticket.request = request;
+    ticket.key = key;
+    double deadline_ms = request.deadline_ms > 0.0
+                             ? request.deadline_ms
+                             : options_.default_deadline_ms;
+    if (deadline_ms > 0.0) {
+        ticket.has_deadline = true;
+        ticket.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    deadline_ms));
+    }
+    auto promise = std::make_shared<std::promise<Response>>();
+    auto future = promise->get_future();
+    ticket.respond = [promise](Response &&response) {
+        promise->set_value(std::move(response));
+    };
+
+    Response response;
+    switch (queue_.tryPush(std::move(ticket))) {
+    case AdmissionQueue::Admit::Accepted:
+        accepted_.fetch_add(1);
+        bumpCounter("serve.queue.accepted");
+        response = future.get();
+        break;
+    case AdmissionQueue::Admit::QueueFull:
+        retry_later_.fetch_add(1);
+        bumpCounter("serve.queue.retry_later");
+        response.status = Status::RetryLater;
+        response.message = "admission queue full";
+        break;
+    case AdmissionQueue::Admit::Draining:
+        shutting_down_.fetch_add(1);
+        response.status = Status::ShuttingDown;
+        response.message = "server draining";
+        break;
+    }
+    return response;
 }
 
 bool
@@ -508,10 +532,12 @@ ExperimentServer::execute(const Request &request)
     }
 
     // Bodies share process-global cout and the process-wide pool;
-    // run one at a time and keep their narration out of the daemon's
-    // stdout. Their *internal* sweep parallelism still fans out
-    // across exec::Pool.
-    std::lock_guard<std::mutex> lock(run_mutex_);
+    // run one at a time — across *every* server in this process, not
+    // just this one, since cout capture swaps a global streambuf —
+    // and keep their narration out of the daemon's stdout. Their
+    // *internal* sweep parallelism still fans out across exec::Pool.
+    static std::mutex run_mutex;
+    std::lock_guard<std::mutex> lock(run_mutex);
     report::ArtifactSink sink(".", report::ArtifactSink::Mode::Discard);
     report::ResultStore store;
     std::ostringstream captured;

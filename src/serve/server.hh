@@ -18,13 +18,23 @@
  *                       registered experiment -> encode store ->
  *                       cache insert (write-through) -> resolve
  *
- * Experiment *bodies* execute one at a time under a run mutex: the
- * registry bodies share process-global streams (std::cout) and the
- * process-wide exec::Pool, and each body already parallelizes its own
- * sweep cells across that pool — serving-level concurrency comes from
- * admission, caching and connection handling, not from interleaving
- * two simulations' output. Responses for cached keys never take the
- * run mutex at all.
+ * Experiment *bodies* execute one at a time under a *process-global*
+ * run mutex: the registry bodies share process-global streams
+ * (std::cout) and the process-wide exec::Pool, and each body already
+ * parallelizes its own sweep cells across that pool — serving-level
+ * concurrency comes from admission, caching and connection handling,
+ * not from interleaving two simulations' output. The mutex is global
+ * rather than per-server so a fleet of in-process backends (the test
+ * topology) contends exactly like one server. Responses for cached
+ * keys never take the run mutex at all.
+ *
+ * A BATCH request carries many run cells in one frame; each cell runs
+ * the full per-cell path (cache lookup, admission, worker execution)
+ * in cell order, and the combined reply is one response whose body
+ * holds the per-cell responses. The connection-level conn_io schedule
+ * applies to the batch frame as a whole (one read opportunity, one
+ * response write), while each cell keeps its own (stream, seq,
+ * attempt) identity for accounting upstream.
  *
  * Determinism: the conn_io fault schedule for a request is a pure
  * function of (fault plan seed, client stream id, request sequence,
@@ -85,11 +95,12 @@ struct ServerOptions
     int conn_retries = 2;
 
     /** Result-cache write-through sink (null = memory-only cache)
-     *  and directory under its root; max_entries caps memory (0 =
-     *  unbounded). */
+     *  and directory under its root; max_entries / max_bytes cap the
+     *  cache with LRU eviction of both tiers (0 = unbounded). */
     report::ArtifactSink *sink = nullptr;
     std::string cache_dir = "cache";
     std::size_t cache_max_entries = 0;
+    std::size_t cache_max_bytes = 0;
 
     /** Metrics registry for queue/cache/connection stats (null
      *  disables). */
@@ -113,6 +124,8 @@ struct HealthSnapshot
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t cache_entries = 0;
+    std::uint64_t cache_bytes = 0;
+    std::uint64_t cache_evictions = 0;
     double cache_hit_rate = 0.0;
     std::uint64_t conn_accepted = 0;
     std::uint64_t conn_read_drops = 0;
@@ -171,6 +184,11 @@ class ExperimentServer
     /** Worker side: pop tickets, run experiments, resolve. */
     void workerLoop();
 
+    /** Full run-cell path for one Run request: cache lookup, admit,
+     *  await the worker's response (shared by Run and each BATCH
+     *  cell). Never writes to the socket. */
+    Response runCell(const Request &request);
+
     /** Run one registered experiment and encode its store. */
     Response execute(const Request &request);
 
@@ -197,9 +215,6 @@ class ExperimentServer
     std::vector<std::thread> connections_;
     std::mutex connections_mutex_;
     std::set<int> open_fds_;
-
-    /** Serializes experiment bodies (shared cout + process pool). */
-    std::mutex run_mutex_;
 
     std::atomic<bool> draining_{false};
     std::atomic<std::size_t> in_flight_{0};

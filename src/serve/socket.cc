@@ -175,11 +175,12 @@ sendAll(int fd, const void *data, std::size_t length)
 }
 
 bool
-recvAll(int fd, void *data, std::size_t length)
+recvAll(int fd, void *data, std::size_t length, std::size_t &received)
 {
     char *p = static_cast<char *>(data);
-    while (length > 0) {
-        const ssize_t n = ::recv(fd, p, length, 0);
+    received = 0;
+    while (received < length) {
+        const ssize_t n = ::recv(fd, p + received, length - received, 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -187,10 +188,16 @@ recvAll(int fd, void *data, std::size_t length)
         }
         if (n == 0)
             return false;
-        p += n;
-        length -= static_cast<std::size_t>(n);
+        received += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+bool
+recvAll(int fd, void *data, std::size_t length)
+{
+    std::size_t received = 0;
+    return recvAll(fd, data, length, received);
 }
 
 bool
@@ -208,8 +215,15 @@ recvFrame(int fd, std::string &payload, std::string &error)
 {
     error.clear();
     char header[4];
-    if (!recvAll(fd, header, sizeof header))
-        return false;  // Clean EOF between frames.
+    std::size_t received = 0;
+    if (!recvAll(fd, header, sizeof header, received)) {
+        if (received == 0)
+            return false;  // Clean EOF between frames.
+        // A partial length prefix is a torn frame, not a clean close.
+        error = "TRUNCATED_FRAME: connection closed mid-header (" +
+                std::to_string(received) + "/4 bytes)";
+        return false;
+    }
     const std::uint32_t length = decodeFrameLength(header);
     if (length > kMaxFrameBytes) {
         error = "frame length " + std::to_string(length) +
@@ -217,8 +231,11 @@ recvFrame(int fd, std::string &payload, std::string &error)
         return false;
     }
     payload.resize(length);
-    if (length > 0 && !recvAll(fd, payload.data(), length)) {
-        error = "connection dropped mid-frame";
+    if (length > 0 &&
+        !recvAll(fd, payload.data(), length, received)) {
+        error = "TRUNCATED_FRAME: connection closed mid-frame (" +
+                std::to_string(received) + "/" +
+                std::to_string(length) + " payload bytes)";
         return false;
     }
     return true;

@@ -35,15 +35,23 @@ int connectTcp(int port, std::string &error);
 /** Accept one connection; -1 on error/closed listener. */
 int acceptConnection(int listen_fd);
 
-/** @{ Exact-count I/O. recvAll returns false on EOF or error. */
+/** @{ Exact-count I/O. recvAll returns false on EOF or error; the
+ *  counting overload also reports how many bytes landed before the
+ *  stream ended, so framing code can tell a clean close from a
+ *  truncated transfer. */
 bool sendAll(int fd, const void *data, std::size_t length);
 bool recvAll(int fd, void *data, std::size_t length);
+bool recvAll(int fd, void *data, std::size_t length,
+             std::size_t &received);
 /** @} */
 
 /** @{ One protocol frame (length prefix + payload). recvFrame
- *  enforces kMaxFrameBytes and distinguishes clean EOF (false with
- *  empty @p error) from protocol violations (false with @p error
- *  set). */
+ *  enforces kMaxFrameBytes and distinguishes clean EOF between frames
+ *  (false with empty @p error) from protocol violations (false with
+ *  @p error set). A peer that closes *mid-frame* — after some header
+ *  or payload bytes arrived — yields an error starting with
+ *  "TRUNCATED_FRAME", so clients can surface a torn response
+ *  distinctly from an ordinary drop. */
 bool sendFrame(int fd, const std::string &payload);
 bool recvFrame(int fd, std::string &payload, std::string &error);
 /** @} */

@@ -59,7 +59,9 @@ namespace capo::trace::hot {
     M(PoolStealScan, "exec.pool.steal_scan",                               \
       1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)                            \
     M(AllocStallNs, "runtime.alloc.stall_ns",                              \
-      1e3, 1e4, 1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10)
+      1e3, 1e4, 1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10)        \
+    M(FleetCellAttempts, "fleet.cell.attempts",                            \
+      1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32)
 
 /** The hot counter set: M(EnumName, "dotted.name"). */
 #define CAPO_APPLY_TO_HOT_COUNTERS(M)                                      \
@@ -68,7 +70,9 @@ namespace capo::trace::hot {
     M(InvocationsCompleted, "harness.invocations")                         \
     M(SweepCellsCompleted, "harness.sweep_cells")                          \
     M(PoolSteals, "exec.pool.steals")                                      \
-    M(AllocStalls, "runtime.alloc.stalls")
+    M(AllocStalls, "runtime.alloc.stalls")                                 \
+    M(FleetCells, "fleet.cells")                                           \
+    M(FleetFailovers, "fleet.failovers")
 
 #define M(NAME, ...) NAME,
 enum Histogram : std::size_t { CAPO_APPLY_TO_HOT_HISTOGRAMS(M) };

@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -209,6 +212,58 @@ healthStat(const Response &response, const std::string &stat)
 }
 
 // ---------------------------------------------------------------------
+// Framing tests: truncation is diagnosed, clean EOF stays silent.
+
+/** recvFrame against hand-fed bytes over a socketpair, after the
+ *  write side closes. */
+std::pair<bool, std::string>
+recvFrameAfterClose(const std::string &bytes)
+{
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    EXPECT_EQ(::send(fds[1], bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+    ::close(fds[1]);
+    std::string payload, error;
+    const bool ok = recvFrame(fds[0], payload, error);
+    ::close(fds[0]);
+    return {ok, error};
+}
+
+TEST(ServeSocketTest, CleanCloseBeforeHeaderIsNotAnError)
+{
+    const auto [ok, error] = recvFrameAfterClose("");
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST(ServeSocketTest, MidHeaderCloseReportsTruncatedFrame)
+{
+    // Two of the four length bytes, then the peer vanishes: that is
+    // a torn exchange, not a polite goodbye, and the error must say
+    // so — callers distinguish retryable truncation from clean EOF.
+    const auto [ok, error] = recvFrameAfterClose(std::string(2, 'x'));
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("TRUNCATED_FRAME"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("mid-header"), std::string::npos) << error;
+    EXPECT_NE(error.find("2/4"), std::string::npos) << error;
+}
+
+TEST(ServeSocketTest, MidFrameCloseReportsTruncatedFrame)
+{
+    char header[4];
+    encodeFrameLength(100, header);
+    const auto [ok, error] = recvFrameAfterClose(
+        std::string(header, 4) + std::string(10, 'p'));
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("TRUNCATED_FRAME"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("mid-frame"), std::string::npos) << error;
+    EXPECT_NE(error.find("10/100"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
 // Protocol codec tests.
 
 TEST(ServeProtocolTest, FrameLengthRoundTrips)
@@ -353,6 +408,69 @@ TEST(ServeProtocolTest, RequestKeyCoversResultsShapingFieldsOnly)
               "0123456789abcdef.capores");
 }
 
+TEST(ServeProtocolTest, BatchRequestRoundTripsItsCells)
+{
+    Request batch;
+    batch.kind = RequestKind::Batch;
+    batch.stream = 0x1234;
+    batch.deadline_ms = 80.0;
+    for (int i = 0; i < 3; ++i) {
+        Request cell = runRequest(
+            "serve_test_echo",
+            {"--rows", std::to_string(i + 1), "pos arg"}, 5.0,
+            100 + static_cast<std::uint64_t>(i), 0);
+        cell.attempt = i;
+        batch.cells.push_back(std::move(cell));
+    }
+
+    Request back;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(batch), back, error))
+        << error;
+    EXPECT_EQ(back.kind, RequestKind::Batch);
+    EXPECT_EQ(back.stream, batch.stream);
+    ASSERT_EQ(back.cells.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(back.cells[i].experiment, "serve_test_echo");
+        EXPECT_EQ(back.cells[i].args, batch.cells[i].args);
+        EXPECT_EQ(back.cells[i].stream, batch.cells[i].stream);
+        EXPECT_EQ(back.cells[i].attempt, batch.cells[i].attempt);
+    }
+
+    // A batch whose declared cell count disagrees with its embedded
+    // cells is malformed, as is a truncated embedded cell.
+    std::string encoded = encodeRequest(batch);
+    EXPECT_FALSE(decodeRequest(
+        encoded.substr(0, encoded.size() - 5), back, error));
+}
+
+TEST(ServeProtocolTest, BatchBodyRoundTripsBinaryParts)
+{
+    std::vector<Response> parts(3);
+    parts[0].status = Status::Ok;
+    parts[0].body = std::string("bin\0line\n\tbytes", 15);
+    parts[1].status = Status::RetryLater;
+    parts[1].message = "admission queue full";
+    parts[2].status = Status::Error;
+    parts[2].message = "exited with code 3";
+
+    const std::string body = encodeBatchBody(parts);
+    std::vector<Response> back;
+    std::string error;
+    ASSERT_TRUE(decodeBatchBody(body, back, error)) << error;
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].status, Status::Ok);
+    EXPECT_EQ(back[0].body, parts[0].body);
+    EXPECT_EQ(back[1].status, Status::RetryLater);
+    EXPECT_EQ(back[1].message, parts[1].message);
+    EXPECT_EQ(back[2].status, Status::Error);
+
+    EXPECT_FALSE(decodeBatchBody("", back, error));
+    EXPECT_FALSE(
+        decodeBatchBody(body.substr(0, body.size() - 3), back,
+                        error));
+}
+
 // ---------------------------------------------------------------------
 // Cache tests.
 
@@ -421,6 +539,144 @@ TEST(ResultCacheTest, WarmLoadsDiskAndSkipsTornFiles)
     EXPECT_FALSE(cache.lookup(0x33, payload));
 }
 
+TEST(ResultCacheTest, LookupRefreshesRecencyUnderEntryCap)
+{
+    ResultCache cache(nullptr, "cache", 2);
+    cache.insert(1, "a");
+    cache.insert(2, "b");
+    // Touch 1: now 2 is the least recently used and must go first.
+    std::string payload;
+    ASSERT_TRUE(cache.lookup(1, payload));
+    cache.insert(3, "c");
+    EXPECT_FALSE(cache.lookup(2, payload));
+    ASSERT_TRUE(cache.lookup(1, payload));
+    EXPECT_EQ(payload, "a");
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCacheTest, ByteCapEvictsLruAndTracksBytes)
+{
+    ResultCache cache(nullptr, "cache", 0, 10);
+    cache.insert(1, "aaaa");
+    cache.insert(2, "bbbb");
+    EXPECT_EQ(cache.byteCount(), 8u);
+    std::string payload;
+    ASSERT_TRUE(cache.lookup(1, payload)); // refresh 1
+    cache.insert(3, "cccc");               // 12 > 10: evict 2
+    EXPECT_FALSE(cache.lookup(2, payload));
+    ASSERT_TRUE(cache.lookup(1, payload));
+    ASSERT_TRUE(cache.lookup(3, payload));
+    EXPECT_EQ(cache.byteCount(), 8u);
+    EXPECT_EQ(cache.entryCount(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCacheTest, OversizeEntryIsKeptNeverEvictedToEmpty)
+{
+    // A single entry larger than the byte cap must survive: a cache
+    // that evicted its only entry would thrash forever.
+    ResultCache cache(nullptr, "cache", 0, 4);
+    cache.insert(1, "twelve-bytes");
+    std::string payload;
+    ASSERT_TRUE(cache.lookup(1, payload));
+    EXPECT_EQ(cache.evictions(), 0u);
+    // The next insert displaces it — LRU still applies between two.
+    cache.insert(2, "x");
+    EXPECT_FALSE(cache.lookup(1, payload));
+    ASSERT_TRUE(cache.lookup(2, payload));
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCacheTest, EvictionUnlinksDiskFilesTornSurvivorSkipped)
+{
+    const auto dir = tempDir("cache_evict");
+    {
+        report::ArtifactSink sink(dir);
+        ResultCache cache(&sink, "cache", 2);
+        cache.insert(0x11, "one");
+        cache.insert(0x22, "two");
+        std::string payload;
+        ASSERT_TRUE(cache.lookup(0x11, payload)); // 0x22 becomes LRU
+        cache.insert(0x33, "three");              // evicts 0x22
+        // The evicted entry's disk file is unlinked, not orphaned.
+        EXPECT_FALSE(std::filesystem::exists(
+            dir + "/cache/" + cacheFileName(0x22)));
+        EXPECT_TRUE(std::filesystem::exists(
+            dir + "/cache/" + cacheFileName(0x11)));
+    }
+
+    // Tear one survivor on disk: a fresh warm load takes the intact
+    // entry, skips the torn one, and never resurrects the evicted
+    // key.
+    {
+        std::ofstream torn(dir + "/cache/" + cacheFileName(0x33),
+                           std::ios::binary | std::ios::trunc);
+        torn << "capo-result v1 0000000000000033 999\nnope";
+    }
+    report::ArtifactSink sink(dir);
+    ResultCache cache(&sink, "cache", 2);
+    EXPECT_EQ(cache.loadFromDisk(), 1u);
+    std::string payload;
+    ASSERT_TRUE(cache.lookup(0x11, payload));
+    EXPECT_EQ(payload, "one");
+    EXPECT_FALSE(cache.lookup(0x22, payload));
+    EXPECT_FALSE(cache.lookup(0x33, payload));
+}
+
+TEST(ResultCacheTest, WarmLoadAppliesCapsWithEviction)
+{
+    const auto dir = tempDir("cache_warm_cap");
+    {
+        report::ArtifactSink sink(dir);
+        ResultCache cache(&sink, "cache");
+        cache.insert(0x01, "alpha");
+        cache.insert(0x02, "beta");
+        cache.insert(0x03, "gamma");
+    }
+    // Reload under a 2-entry cap: later names count as more recent,
+    // so the lowest key is evicted — and its file unlinked.
+    report::ArtifactSink sink(dir);
+    ResultCache cache(&sink, "cache", 2);
+    cache.loadFromDisk();
+    EXPECT_EQ(cache.entryCount(), 2u);
+    std::string payload;
+    EXPECT_FALSE(cache.lookup(0x01, payload));
+    ASSERT_TRUE(cache.lookup(0x02, payload));
+    ASSERT_TRUE(cache.lookup(0x03, payload));
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/cache/" + cacheFileName(0x01)));
+}
+
+TEST(ResultCacheTest, ConcurrentLookupsNeverSeeTornPayloads)
+{
+    // A replay in flight must never observe a half-evicted entry:
+    // lookups copy the payload out under the lock. Hammer one hot
+    // key while inserts churn the rest of a tiny cache past its
+    // caps.
+    constexpr std::uint64_t kHotKey = 0xffffull;
+    ResultCache cache(nullptr, "cache", 4);
+    const std::string hot(4096, 'h');
+    cache.insert(kHotKey, hot);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::thread reader([&] {
+        std::string payload;
+        while (!stop.load()) {
+            if (cache.lookup(kHotKey, payload) && payload != hot)
+                torn.fetch_add(1);
+        }
+    });
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        cache.insert(i + 1, std::string(64, 'x'));
+        std::string payload;
+        cache.lookup(kHotKey, payload); // keep the hot key recent
+    }
+    stop.store(true);
+    reader.join();
+    EXPECT_EQ(torn.load(), 0);
+}
+
 // ---------------------------------------------------------------------
 // End-to-end server tests (Unix socket, test-local experiments).
 
@@ -457,6 +713,57 @@ TEST(ServeServerTest, ServedRunMatchesDirectRegistryBitwise)
     const auto snapshot = harness.server->healthSnapshot();
     EXPECT_EQ(snapshot.cache_hits, 1u);
     EXPECT_EQ(snapshot.completed, 2u);
+}
+
+TEST(ServeServerTest, BatchRunsEveryCellAndMatchesDirectBitwise)
+{
+    ServerOptions options;
+    options.workers = 2;
+    TestServer harness(options, "batch");
+
+    ClientOptions copt;
+    copt.socket_path = harness.socketPath();
+    Client client(copt);
+
+    std::vector<Request> cells;
+    for (int i = 0; i < 3; ++i)
+        cells.push_back(runRequest(
+            "serve_test_echo", {"--rows", std::to_string(i + 2)},
+            0.0, 50 + static_cast<std::uint64_t>(i), 0));
+    // One bad apple: a per-cell error is a part answer, not a batch
+    // failure.
+    cells.push_back(
+        runRequest("no_such_experiment", {}, 0.0, 60, 0));
+
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.runBatch(cells, response, error)) << error;
+    ASSERT_EQ(response.status, Status::Ok);
+
+    std::vector<Response> parts;
+    ASSERT_TRUE(decodeBatchBody(response.body, parts, error))
+        << error;
+    ASSERT_EQ(parts.size(), 4u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(parts[i].status, Status::Ok);
+        EXPECT_EQ(parts[i].body,
+                  directBody("serve_test_echo",
+                             {"--rows", std::to_string(i + 2)}));
+    }
+    EXPECT_EQ(parts[3].status, Status::Error);
+    EXPECT_NE(parts[3].message.find("unknown experiment"),
+              std::string::npos);
+
+    // Each batch cell is a real run with a real cache identity: a
+    // repeat replays every part from cache.
+    ASSERT_TRUE(client.runBatch(cells, response, error)) << error;
+    std::vector<Response> replay;
+    ASSERT_TRUE(decodeBatchBody(response.body, replay, error));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(replay[i].cached) << "part " << i;
+        EXPECT_EQ(replay[i].body, parts[i].body);
+    }
+    EXPECT_EQ(harness.server->healthSnapshot().cache_hits, 3u);
 }
 
 TEST(ServeServerTest, UnknownExperimentAndBadArgsAnswerError)
