@@ -8,9 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gc/factory.hh"
 #include "metrics/latency.hh"
 #include "metrics/mmu.hh"
 #include "metrics/request_synth.hh"
+#include "runtime/execution.hh"
 #include "sim/engine.hh"
 #include "stats/pca.hh"
 #include "support/arena.hh"
@@ -150,6 +152,45 @@ BM_EngineStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EngineStep);
+
+/** Round-trip cost of the stall→pause→resume chain. A tight heap
+ *  drives the mutator into the collector constantly, so the run is
+ *  dominated by safepoint sequences: batch world freeze, the fused
+ *  TTSP-sleep + pause-compute action, batch resume, and the stall
+ *  wakeup (DESIGN.md §14). Items are completed collection cycles:
+ *  watch ns/item for the per-pause cost. */
+void
+BM_PausePath(benchmark::State &state)
+{
+    runtime::ExecutionConfig cfg;
+    cfg.cpus = 8.0;
+    cfg.heap_bytes = 48.0 * 1024.0 * 1024.0;
+    cfg.survivor_fraction = 0.03;
+    cfg.survivor_reference_bytes = cfg.heap_bytes * 0.5;
+    cfg.seed = 11;
+    cfg.time_limit_sec = 400;
+
+    runtime::MutatorPlan plan;
+    plan.iterations = 2;
+    plan.width = 4.0;
+    plan.work_per_iteration = 0.2e9 * plan.width;
+    plan.alloc_per_iteration = 4e9;
+
+    heap::LiveSetModel live;
+    live.base_bytes = 20.0 * 1024.0 * 1024.0;
+    live.buildup_fraction = 0.05;
+
+    for (auto _ : state) {
+        auto collector = gc::makeCollector(gc::Algorithm::Serial);
+        const auto result =
+            runtime::runExecution(cfg, plan, live, *collector);
+        benchmark::DoNotOptimize(result.collections);
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(result.collections));
+    }
+}
+BENCHMARK(BM_PausePath);
 
 /** Full-suite PCA (standardize + covariance + Jacobi). */
 void

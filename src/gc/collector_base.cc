@@ -26,6 +26,7 @@ CollectorBase::attach(const runtime::CollectorContext &context)
     phase_aborted_ = false;
     wake_cond_ = engine().makeCondition(name_ + ".wake");
     stall_cond_ = engine().makeCondition(name_ + ".stall");
+    pause_.attach(*this);
     onAttach();
 }
 
@@ -34,6 +35,14 @@ CollectorBase::shutdown()
 {
     shutdown_requested_ = true;
     engine().notifyAll(wake_cond_);
+    // Cell end for the collector: land the batched pause telemetry.
+    pause_.flushHotStats();
+}
+
+void
+CollectorBase::notifyWaiters(sim::CondId cond)
+{
+    engine().notifyAll(cond);
 }
 
 double

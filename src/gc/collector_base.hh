@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "gc/pause_protocol.hh"
 #include "gc/tuning.hh"
 #include "runtime/collector_runtime.hh"
 
@@ -61,6 +62,26 @@ class CollectorBase : public runtime::CollectorRuntime
     /** Wake the controller (called from allocation requests). */
     void kickController();
 
+    /** Wake every agent waiting on a collector-private condition
+     *  (e.g.\ G1's marker). Pause/stall wakeups go through the pause
+     *  protocol, never through this. */
+    void notifyWaiters(sim::CondId cond);
+
+    /**
+     * The shared safepoint driver (see gc/pause_protocol.hh): every
+     * stop-the-world pause is a beginPause()/finishPause() pair on
+     * this object; collectors keep only trigger policy and cost
+     * models.
+     */
+    PauseProtocol &pauseProtocol() { return pause_; }
+
+    /**
+     * Called by the protocol right after the world resumes, before
+     * stalled mutators are released. Pacing collectors re-apply their
+     * mutator speed factor here; the default does nothing.
+     */
+    virtual void onWorldResumed() {}
+
     /**
      * Consult the GcPhaseAbort fault site. Collectors call this at
      * phase-completion points — after the cycle is recorded, the world
@@ -81,12 +102,15 @@ class CollectorBase : public runtime::CollectorRuntime
     sim::CondId stallCond() const { return stall_cond_; }
 
   private:
+    friend class PauseProtocol;  ///< Drives world/log/fault plumbing.
+
     std::string name_;
     int year_;
     GcTuning tuning_;
     double footprint_;
 
     runtime::CollectorContext ctx_;
+    PauseProtocol pause_;
     sim::CondId wake_cond_ = sim::kInvalidCond;
     sim::CondId stall_cond_ = sim::kInvalidCond;
     bool shutdown_requested_ = false;

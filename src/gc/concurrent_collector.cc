@@ -26,12 +26,8 @@ ConcurrentCollector::onAttach()
     stalled_in_cycle_ = false;
     last_was_young_ = false;
     last_reclaimed_ = -1.0;
-    phase_token_ = 0;
-    phase_cpu_mark_ = 0.0;
     cycle_begin_ = 0.0;
-    pause_begin_ = 0.0;
-    conc_work_ = 0.0;
-    self_ = engine().addAgent(this);
+    engine().addAgent(this);
 }
 
 void
@@ -121,24 +117,17 @@ ConcurrentCollector::resume(sim::Engine &engine)
             trigger_ = false;
 
             cycle_begin_ = engine.now();
-            world().stopTheWorld();
-            pause_begin_ = engine.now();
-            phase_token_ = log().beginPhase(pause_begin_,
-                                            runtime::GcPhase::InitPause);
-            phase_cpu_mark_ = engine.cpuTime(self_);
-            state_ = State::InitSafepoint;
-            return sim::Action::sleepUntil(engine.now() + t.ttsp_ns);
-
-          case State::InitSafepoint:
-            state_ = State::InitWork;
-            return sim::Action::compute(
+            state_ = State::InitPause;
+            return pauseProtocol().beginPause(
+                runtime::GcPhase::InitPause,
                 t.init_pause_wall_ns * t.stw_width, t.stw_width);
 
-          case State::InitWork: {
-            log().endPhase(phase_token_, engine.now(),
-                           engine.cpuTime(self_) - phase_cpu_mark_);
-            world().resumeTheWorld();
-            updatePacing();
+          case State::InitPause: {
+            // The init pause only opens the cycle: nobody can be
+            // stalled on it and aborts fire at completion points, so
+            // the stall condition stays untouched.
+            pauseProtocol().finishPause(nullptr,
+                                        /*release_stalled=*/false);
 
             // Concurrent phase: trace (and evacuate) the live data. A
             // generational young cycle only processes the young region
@@ -151,41 +140,32 @@ ConcurrentCollector::resume(sim::Engine &engine)
                 to_process = t.young_cycle_cost_scale *
                              (heap().fresh() + 0.2 * heap().live());
             }
-            conc_work_ = std::max(to_process, 0.01 * heap().capacity()) *
-                         t.conc_ns_per_byte;
-            phase_token_ = log().beginPhase(engine.now(),
-                                            runtime::GcPhase::Concurrent);
-            phase_cpu_mark_ = engine.cpuTime(self_);
+            const double conc_work =
+                std::max(to_process, 0.01 * heap().capacity()) *
+                t.conc_ns_per_byte;
             state_ = State::ConcurrentWork;
-            return sim::Action::compute(conc_work_, t.conc_width);
+            return pauseProtocol().beginConcurrentPhase(
+                runtime::GcPhase::Concurrent, conc_work, t.conc_width);
           }
 
-          case State::ConcurrentWork:
-            log().endPhase(phase_token_, engine.now(),
-                           engine.cpuTime(self_) - phase_cpu_mark_);
-            world().stopTheWorld();
-            pause_begin_ = engine.now();
-            phase_token_ = log().beginPhase(pause_begin_,
-                                            runtime::GcPhase::FinalPause);
-            phase_cpu_mark_ = engine.cpuTime(self_);
-            state_ = State::FinalSafepoint;
-            return sim::Action::sleepUntil(engine.now() + t.ttsp_ns);
-
-          case State::FinalSafepoint: {
+          case State::ConcurrentWork: {
+            pauseProtocol().closeConcurrentPhase();
             // A degenerated cycle (mutators hit the wall while we were
-            // collecting) finishes work inside the pause.
+            // collecting) finishes work inside the pause. Mutators are
+            // frozen through the time-to-safepoint window, so reading
+            // the flag here (rather than after the TTSP sleep) cannot
+            // race a new stall.
             const double degen_scale = stalled_in_cycle_ ? 2.0 : 1.0;
-            state_ = State::FinalWork;
-            return sim::Action::compute(
+            state_ = State::FinalPause;
+            return pauseProtocol().beginPause(
+                runtime::GcPhase::FinalPause,
                 t.final_pause_wall_ns * t.stw_width * degen_scale,
                 t.stw_width);
           }
 
-          case State::FinalWork: {
+          case State::FinalPause: {
             const auto collection = young_cycle_ ? heap().collectYoung()
                                                  : heap().collectFull();
-            log().endPhase(phase_token_, engine.now(),
-                           engine.cpuTime(self_) - phase_cpu_mark_);
 
             runtime::CycleRecord cycle;
             cycle.begin = cycle_begin_;
@@ -195,15 +175,13 @@ ConcurrentCollector::resume(sim::Engine &engine)
             cycle.traced = collection.traced;
             cycle.reclaimed = collection.reclaimed;
             cycle.post_gc_bytes = collection.post_gc;
-            log().recordCycle(cycle);
 
+            // Cycle bookkeeping lands before finishPause so the
+            // onWorldResumed pacing hook sees the cycle as complete.
             last_was_young_ = young_cycle_;
             last_reclaimed_ = collection.reclaimed;
             cycle_active_ = false;
-            world().resumeTheWorld();
-            updatePacing();
-            engine.notifyAll(stallCond());
-            injectPhaseAbort();
+            pauseProtocol().finishPause(&cycle);
             state_ = State::Idle;
             continue;
           }

@@ -45,6 +45,11 @@ class ConcurrentCollector : public CollectorBase, private sim::Agent
   protected:
     void onAttach() override;
 
+    /** Pacing reads post-cycle heap state; the pause protocol calls
+     *  this right after every world resume, before stalled mutators
+     *  retry their allocations. */
+    void onWorldResumed() override { updatePacing(); }
+
   private:
     sim::Action resume(sim::Engine &engine) override;
 
@@ -54,14 +59,10 @@ class ConcurrentCollector : public CollectorBase, private sim::Agent
     /** Recompute and apply the pacing speed factor (Shenandoah). */
     void updatePacing();
 
-    enum class State {
-        Idle,
-        InitSafepoint,
-        InitWork,
-        ConcurrentWork,
-        FinalSafepoint,
-        FinalWork,
-    };
+    // Init/final safepoint mechanics live in the shared PauseProtocol;
+    // the states left are the collector's own legs: one per pause plus
+    // the concurrent trace window.
+    enum class State { Idle, InitPause, ConcurrentWork, FinalPause };
 
     State state_ = State::Idle;
     bool trigger_ = false;
@@ -71,12 +72,7 @@ class ConcurrentCollector : public CollectorBase, private sim::Agent
     bool last_was_young_ = false;
     double last_reclaimed_ = -1.0;  ///< < 0 until a cycle completes.
 
-    runtime::GcEventLog::PhaseToken phase_token_ = 0;
-    double phase_cpu_mark_ = 0.0;
     sim::Time cycle_begin_ = 0.0;
-    sim::Time pause_begin_ = 0.0;
-    double conc_work_ = 0.0;
-    sim::AgentId self_ = sim::kInvalidAgent;
 };
 
 } // namespace capo::gc

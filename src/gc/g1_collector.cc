@@ -15,7 +15,7 @@ void
 G1Collector::shutdown()
 {
     CollectorBase::shutdown();
-    engine().notifyAll(mark_cond_);
+    notifyWaiters(mark_cond_);
 }
 
 void
@@ -29,15 +29,12 @@ G1Collector::onAttach()
     mixed_credits_ = 0;
     controller_.state_ = Controller::State::Idle;
     controller_.phase_kind_ = runtime::GcPhase::YoungPause;
-    controller_.phase_token_ = 0;
     controller_.current_ = {};
-    controller_.pause_cpu_mark_ = 0.0;
-    controller_.pause_begin_ = 0.0;
     marker_.state_ = Marker::State::Idle;
     marker_.phase_token_ = 0;
     marker_.cpu_mark_ = 0.0;
     mark_cond_ = engine().makeCondition("g1.mark");
-    controller_.self_ = engine().addAgent(&controller_);
+    engine().addAgent(&controller_);
     marker_.self_ = engine().addAgent(&marker_);
 }
 
@@ -71,7 +68,7 @@ G1Collector::request(double bytes)
             log().traceInstant("trigger-mark", engine().now(),
                                h.occupied());
             mark_requested_ = true;
-            engine().notifyAll(mark_cond_);
+            notifyWaiters(mark_cond_);
         }
         return runtime::AllocResponse::granted();
     }
@@ -122,12 +119,7 @@ G1Collector::Controller::resume(sim::Engine &engine)
                 return sim::Action::wait(gc.wakeCond());
             gc.trigger_ = false;
 
-            gc.world().stopTheWorld();
-            pause_begin_ = engine.now();
             phase_kind_ = gc.pending_kind_;
-            phase_token_ = gc.log().beginPhase(pause_begin_, phase_kind_);
-            pause_cpu_mark_ = engine.cpuTime(self_);
-
             switch (phase_kind_) {
               case runtime::GcPhase::YoungPause:
                 current_ = gc.heap().collectYoung();
@@ -146,12 +138,7 @@ G1Collector::Controller::resume(sim::Engine &engine)
               default:
                 CAPO_PANIC("unexpected G1 pause kind");
             }
-            state_ = State::Safepoint;
-            return sim::Action::sleepUntil(engine.now() +
-                                           gc.tuning().ttsp_ns);
-          }
 
-          case State::Safepoint: {
             const auto &t = gc.tuning();
             double fixed_scale = 1.0;
             double cost_scale = 1.0;
@@ -169,26 +156,20 @@ G1Collector::Controller::resume(sim::Engine &engine)
                 cost_scale * (current_.traced * t.trace_ns_per_byte +
                               current_.evacuated * t.copy_ns_per_byte) +
                 current_.fresh_processed * t.young_sweep_ns_per_byte;
-            state_ = State::Work;
-            return sim::Action::compute(work, width);
+            state_ = State::Pause;
+            return gc.pauseProtocol().beginPause(phase_kind_, work,
+                                                 width);
           }
 
-          case State::Work: {
-            const double cpu = engine.cpuTime(self_) - pause_cpu_mark_;
-            gc.log().endPhase(phase_token_, engine.now(), cpu);
-
+          case State::Pause: {
             runtime::CycleRecord cycle;
-            cycle.begin = pause_begin_;
+            cycle.begin = gc.pauseProtocol().pauseBegin();
             cycle.end = engine.now();
             cycle.kind = phase_kind_;
             cycle.traced = current_.traced;
             cycle.reclaimed = current_.reclaimed;
             cycle.post_gc_bytes = current_.post_gc;
-            gc.log().recordCycle(cycle);
-
-            gc.world().resumeTheWorld();
-            engine.notifyAll(gc.stallCond());
-            gc.injectPhaseAbort();
+            gc.pauseProtocol().finishPause(&cycle);
             state_ = State::Idle;
             continue;
           }

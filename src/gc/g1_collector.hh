@@ -46,15 +46,13 @@ class G1Collector : public CollectorBase
         sim::Action resume(sim::Engine &engine) override;
 
       private:
-        enum class State { Idle, Safepoint, Work };
+        // Safepoint mechanics live in the shared PauseProtocol; the
+        // controller keeps only pause-kind selection and cost models.
+        enum class State { Idle, Pause };
         G1Collector &owner_;
         State state_ = State::Idle;
         runtime::GcPhase phase_kind_ = runtime::GcPhase::YoungPause;
-        runtime::GcEventLog::PhaseToken phase_token_ = 0;
         heap::HeapSpace::Collection current_;
-        double pause_cpu_mark_ = 0.0;
-        sim::Time pause_begin_ = 0.0;
-        sim::AgentId self_ = sim::kInvalidAgent;
 
         friend class G1Collector;
     };

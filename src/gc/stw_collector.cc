@@ -20,11 +20,8 @@ StwCollector::onAttach()
     trigger_ = false;
     pending_full_ = false;
     phase_kind_ = runtime::GcPhase::YoungPause;
-    phase_token_ = 0;
     current_ = {};
-    pause_cpu_mark_ = 0.0;
-    pause_begin_ = 0.0;
-    self_ = engine().addAgent(this);
+    engine().addAgent(this);
 }
 
 double
@@ -99,51 +96,31 @@ StwCollector::resume(sim::Engine &engine)
                 return sim::Action::wait(wakeCond());
             trigger_ = false;
 
-            // Safepoint: stop the world, then pay time-to-safepoint.
-            world().stopTheWorld();
-            pause_begin_ = engine.now();
-            phase_kind_ = pending_full_ ? runtime::GcPhase::FullPause
-                                        : runtime::GcPhase::YoungPause;
-            phase_token_ = log().beginPhase(pause_begin_, phase_kind_);
-            pause_cpu_mark_ = engine.cpuTime(self_);
+            const bool full = pending_full_;
+            phase_kind_ = full ? runtime::GcPhase::FullPause
+                               : runtime::GcPhase::YoungPause;
             // Collect at pause start: mutators are stopped, so the
             // space is unobservable until the stall wakeup anyway.
-            current_ = pending_full_ ? heap().collectFull()
-                                     : heap().collectYoung();
-            state_ = State::Safepoint;
-            return sim::Action::sleepUntil(engine.now() +
-                                           tuning().ttsp_ns);
+            current_ = full ? heap().collectFull()
+                            : heap().collectYoung();
+            state_ = State::Pause;
+            return pauseProtocol().beginPause(
+                phase_kind_, pauseWork(current_, full),
+                tuning().stw_width);
           }
 
-          case State::Safepoint:
-            state_ = State::Work;
-            return sim::Action::compute(
-                pauseWork(current_,
-                          phase_kind_ == runtime::GcPhase::FullPause),
-                tuning().stw_width);
-
-          case State::Work: {
-            const double cpu = engine.cpuTime(self_) - pause_cpu_mark_;
-            log().endPhase(phase_token_, engine.now(), cpu);
-
+          case State::Pause: {
             runtime::CycleRecord cycle;
-            cycle.begin = pause_begin_;
+            cycle.begin = pauseProtocol().pauseBegin();
             cycle.end = engine.now();
             cycle.kind = phase_kind_;
             cycle.traced = current_.traced;
             cycle.reclaimed = current_.reclaimed;
             cycle.post_gc_bytes = current_.post_gc;
-            log().recordCycle(cycle);
-
-            world().resumeTheWorld();
-            engine.notifyAll(stallCond());
-            injectPhaseAbort();
+            pauseProtocol().finishPause(&cycle);
             state_ = State::Idle;
             continue;
           }
-
-          case State::Finish:
-            return sim::Action::exit();
         }
     }
 }

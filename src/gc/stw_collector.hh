@@ -51,17 +51,15 @@ class StwCollector : public CollectorBase, private sim::Agent
     double pauseWork(const heap::HeapSpace::Collection &c,
                      bool full) const;
 
-    enum class State { Idle, Safepoint, Work, Finish };
+    // The whole safepoint sequence lives in the shared PauseProtocol;
+    // this machine is just trigger → pause-work → record.
+    enum class State { Idle, Pause };
     State state_ = State::Idle;
     bool trigger_ = false;
     bool pending_full_ = false;
 
     runtime::GcPhase phase_kind_ = runtime::GcPhase::YoungPause;
-    runtime::GcEventLog::PhaseToken phase_token_ = 0;
     heap::HeapSpace::Collection current_;
-    double pause_cpu_mark_ = 0.0;
-    sim::Time pause_begin_ = 0.0;
-    sim::AgentId self_ = sim::kInvalidAgent;
 };
 
 } // namespace capo::gc

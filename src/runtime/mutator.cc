@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "support/logging.hh"
-#include "trace/hot_metrics.hh"
 
 namespace capo::runtime {
 
@@ -20,6 +19,12 @@ MutatorGroup::MutatorGroup(const MutatorPlan &plan, Allocator &allocator,
     CAPO_ASSERT(plan.min_chunks >= 1 &&
                 plan.max_chunks >= plan.min_chunks,
                 "bad chunk bounds");
+}
+
+MutatorGroup::~MutatorGroup()
+{
+    stall_ns_.flush();
+    stall_count_.flush();
 }
 
 void
@@ -136,12 +141,11 @@ MutatorGroup::resume(sim::Engine &engine)
               case AllocVerdict::Granted:
                 if (stall_begin_ >= 0.0) {
                     log_.recordStall(stall_begin_, engine.now());
-                    // Hot-tier stall probe (sim-ns): pacing stalls are
-                    // rare next to allocation grants, so a per-stall
-                    // lock-free record is essentially free.
-                    trace::hot::observe(trace::hot::AllocStallNs,
-                                        engine.now() - stall_begin_);
-                    trace::hot::count(trace::hot::AllocStalls);
+                    // Hot-tier stall probe (sim-ns), batched: samples
+                    // stay in run-local buckets and hit the shared
+                    // atomic cells once, at group destruction.
+                    stall_ns_.observe(engine.now() - stall_begin_);
+                    stall_count_.add();
                     if (sink_) {
                         sink_->endSpan(track_, trace::Category::Runtime,
                                        "alloc-stall", engine.now());

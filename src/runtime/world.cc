@@ -30,8 +30,7 @@ void
 World::stopTheWorld()
 {
     CAPO_ASSERT(!stopped_, "world already stopped");
-    for (auto id : mutators_)
-        engine_->freeze(id);
+    engine_->freezeAll(mutators_.data(), mutators_.size());
     stopped_ = true;
 }
 
@@ -39,8 +38,7 @@ void
 World::resumeTheWorld()
 {
     CAPO_ASSERT(stopped_, "world not stopped");
-    for (auto id : mutators_)
-        engine_->unfreeze(id);
+    engine_->unfreezeAll(mutators_.data(), mutators_.size());
     stopped_ = false;
 }
 
@@ -52,7 +50,7 @@ World::setMutatorSpeed(double factor)
     // rate-transition path.
     if (factor == speed_)
         return;
-    if (sink_ && factor != speed_) {
+    if (sink_) {
         sink_->counter(track_, trace::Category::Runtime, "mutator-speed",
                        engine_->now(), factor);
     }

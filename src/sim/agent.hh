@@ -42,7 +42,7 @@ constexpr CondId kInvalidCond = std::numeric_limits<CondId>::max();
  */
 struct Action
 {
-    enum class Kind { Compute, SleepUntil, Wait, Exit };
+    enum class Kind { Compute, SleepUntil, SleepThenCompute, Wait, Exit };
 
     Kind kind = Kind::Exit;
     double work = 0.0;   ///< Compute: CPU-ns of work across lanes.
@@ -66,6 +66,27 @@ struct Action
         Action a;
         a.kind = Kind::SleepUntil;
         a.until = t;
+        return a;
+    }
+
+    /**
+     * Fused sleep + compute: sleep until @p t, then start computing
+     * @p work_cpu_ns at @p width directly at timer expiry, without an
+     * intermediate resume() dispatch. resume() is next called when the
+     * compute finishes. This is the safepoint fast path: a TTSP wait
+     * followed by the pause work is one engine interaction instead of
+     * two (see DESIGN.md §14). The fused transition still counts in
+     * dispatchCount(), so event totals stay comparable with the
+     * unfused pair it replaces.
+     */
+    static Action
+    sleepThenCompute(Time t, double work_cpu_ns, double width = 1.0)
+    {
+        Action a;
+        a.kind = Kind::SleepThenCompute;
+        a.until = t;
+        a.work = work_cpu_ns;
+        a.width = width;
         return a;
     }
 

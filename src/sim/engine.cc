@@ -146,8 +146,28 @@ Engine::unfreeze(AgentId id)
     }
     if (slot.deferred_wake) {
         slot.deferred_wake = false;
-        pending_.push(id);
+        // A staged fused compute whose timer fired during the freeze
+        // starts now — the same timestamp its deferred dispatch would
+        // have been delivered at on the unfused path.
+        if (slot.staged && slot.state == State::Sleeping)
+            startStagedCompute(id);
+        else
+            pending_.push(id);
     }
+}
+
+void
+Engine::freezeAll(const AgentId *ids, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        freeze(ids[i]);
+}
+
+void
+Engine::unfreezeAll(const AgentId *ids, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        unfreeze(ids[i]);
 }
 
 void
@@ -392,35 +412,25 @@ Engine::apply(AgentId id, const Action &action)
         rates_dirty_ = true;
         return;
 
-      case Action::Kind::SleepUntil: {
+      case Action::Kind::SleepUntil:
         flushComputeEnd(slot);
         traceOpen(slot, OpenSpan::Sleep, kSpanSleep);
-        Time requested = action.until;
-        // Injected timer perturbation: a deterministic jitter on the
-        // due time, modelling noisy timers / late wakeups. The jitter
-        // stream depends only on the injector's seed and consultation
-        // order, which is serial within one simulation.
-        if (fault_ != nullptr)
-            requested += fault_->timerJitter(now_);
-        const Time due = std::max(requested, now_);
-        slot.state = State::Sleeping;
-        slot.sleep_token = ++timer_seq_;
-        // Staged, not pushed: drainPending() bulk-inserts the whole
-        // burst in one heap operation. Due times only matter to the
-        // next advance(), which runs after the drain flushes.
-        timer_staging_.push_back(
-            Timer{due, timer_seq_, id, slot.sleep_token});
-        // Sampled depth probe: every 1024th push records the queue
-        // depth into the lock-free hot tier (the stride keeps the
-        // atomic traffic negligible against millions of timer ops).
-        if ((timer_seq_ & 1023) == 0) {
-            trace::hot::observe(
-                trace::hot::TimerQueueDepth,
-                static_cast<double>(timers_.size() +
-                                    timer_staging_.size()));
-        }
+        slot.staged = false;
+        stageSleep(slot, id, action.until);
         return;
-      }
+
+      case Action::Kind::SleepThenCompute:
+        CAPO_ASSERT(action.work >= 0.0, "negative staged work from ",
+                    slot.agent->name());
+        CAPO_ASSERT(action.width > 0.0, "non-positive staged width from ",
+                    slot.agent->name());
+        flushComputeEnd(slot);
+        traceOpen(slot, OpenSpan::Sleep, kSpanSleep);
+        slot.staged = true;
+        slot.staged_work = action.work;
+        slot.staged_width = action.width;
+        stageSleep(slot, id, action.until);
+        return;
 
       case Action::Kind::Wait:
         CAPO_ASSERT(action.cond < conds_.size(),
@@ -439,6 +449,68 @@ Engine::apply(AgentId id, const Action &action)
         return;
     }
     CAPO_PANIC("unhandled action kind");
+}
+
+void
+Engine::stageSleep(AgentSlot &slot, AgentId id, Time until)
+{
+    Time requested = until;
+    // Injected timer perturbation: a deterministic jitter on the
+    // due time, modelling noisy timers / late wakeups. The jitter
+    // stream depends only on the injector's seed and consultation
+    // order, which is serial within one simulation.
+    if (fault_ != nullptr)
+        requested += fault_->timerJitter(now_);
+    const Time due = std::max(requested, now_);
+    slot.state = State::Sleeping;
+    slot.sleep_token = ++timer_seq_;
+    // Staged, not pushed: drainPending() bulk-inserts the whole
+    // burst in one heap operation. Due times only matter to the
+    // next advance(), which runs after the drain flushes.
+    timer_staging_.push_back(Timer{due, timer_seq_, id, slot.sleep_token});
+    // Sampled depth probe: every 1024th push records the queue
+    // depth into the lock-free hot tier (the stride keeps the
+    // atomic traffic negligible against millions of timer ops).
+    if ((timer_seq_ & 1023) == 0) {
+        trace::hot::observe(trace::hot::TimerQueueDepth,
+                            static_cast<double>(timers_.size() +
+                                                timer_staging_.size()));
+    }
+}
+
+void
+Engine::startStagedCompute(AgentId id)
+{
+    auto &slot = agents_[id];
+    if (slot.frozen) {
+        // Deliver at unfreeze, like any timer wake that lands in a
+        // stop-the-world window (see unfreeze()).
+        slot.deferred_wake = true;
+        return;
+    }
+    slot.staged = false;
+    // The fused transition is a delivered engine event: counting it
+    // keeps dispatchCount() — and the events/s throughput metric —
+    // comparable with the sleep-dispatch-compute pair it replaces.
+    ++dispatches_;
+    if (slot.open == OpenSpan::Sleep)
+        traceClose(slot, kSpanSleep);
+    if (slot.staged_work <= 0.0) {
+        // Zero work completes instantly; fall back to a dispatch so
+        // the agent sees the same "compute finished" resume().
+        slot.state = State::Pending;
+        pending_.push(id);
+        return;
+    }
+    traceOpen(slot, OpenSpan::Compute, kSpanRun);
+    slot.state = State::Computing;
+    slot.remaining = slot.staged_work;
+    slot.width = slot.staged_width;
+    slot.rate = 0.0;  // no progress until rebuildRates() runs
+    slot.credit_mark = now_;
+    computing_.insert(
+        std::lower_bound(computing_.begin(), computing_.end(), id), id);
+    rates_dirty_ = true;
 }
 
 void
@@ -571,12 +643,17 @@ Engine::advance(Time limit)
         rates_dirty_ = true;
     }
 
-    // Fire due timers.
+    // Fire due timers. A fused sleepThenCompute transitions straight
+    // into Computing here; plain sleeps queue a resume() dispatch.
     while (!timers_.empty() && timers_.top().due <= now_) {
         const Timer top = timers_.top();
         timers_.pop();
         auto &slot = agents_[top.agent];
-        if (slot.state == State::Sleeping && slot.sleep_token == top.token)
+        if (slot.state != State::Sleeping || slot.sleep_token != top.token)
+            continue;
+        if (slot.staged)
+            startStagedCompute(top.agent);
+        else
             wake(top.agent);
     }
 

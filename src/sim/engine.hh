@@ -97,6 +97,18 @@ class Engine
     void unfreeze(AgentId id);
 
     /**
+     * Freeze a batch of agents in id order — the stop-the-world entry
+     * point. One engine call per world stop instead of per mutator;
+     * the rate-model invalidation and trace bookkeeping are shared
+     * across the batch. Equivalent to freeze() per id.
+     */
+    void freezeAll(const AgentId *ids, std::size_t count);
+
+    /** Undo freezeAll(); delivers deferred wake-ups and starts any
+     *  staged fused computes (see Action::sleepThenCompute). */
+    void unfreezeAll(const AgentId *ids, std::size_t count);
+
+    /**
      * Scale an agent's execution speed (used for allocation pacing).
      * The agent's CPU demand and progress scale by @p factor in [0, 1].
      */
@@ -208,6 +220,12 @@ class Engine
                                      ///< since credit_mark.
         Time credit_mark = 0.0;      ///< Last settle time.
         std::uint64_t sleep_token = 0;  ///< Matches the live timer.
+        /** @{ Fused sleepThenCompute: the compute staged to start when
+         *  the sleep timer fires (staged = false for a plain sleep). */
+        double staged_work = 0.0;
+        double staged_width = 1.0;
+        bool staged = false;
+        /** @} */
         trace::TrackId track = 0;
         OpenSpan open = OpenSpan::None;
     };
@@ -245,6 +263,17 @@ class Engine
 
     /** Queue an agent for dispatch (handles frozen deferral). */
     void wake(AgentId id);
+
+    /** Arm @p slot's sleep timer for @p until (staged bulk insert,
+     *  fault jitter, sampled depth probe). */
+    void stageSleep(AgentSlot &slot, AgentId id, Time until);
+
+    /**
+     * A fused sleepThenCompute timer fired: move the agent straight
+     * into Computing (or defer to unfreeze while frozen) without a
+     * resume() dispatch.
+     */
+    void startStagedCompute(AgentId id);
 
     /** Advance the fluid model to the next event. */
     AdvanceResult advance(Time limit);

@@ -61,7 +61,9 @@ namespace capo::trace::hot {
     M(AllocStallNs, "runtime.alloc.stall_ns",                              \
       1e3, 1e4, 1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10)        \
     M(FleetCellAttempts, "fleet.cell.attempts",                            \
-      1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32)
+      1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32)                             \
+    M(GcPauseNs, "gc.pause.wall_ns",                                       \
+      1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 5e7, 1e8)
 
 /** The hot counter set: M(EnumName, "dotted.name"). */
 #define CAPO_APPLY_TO_HOT_COUNTERS(M)                                      \
@@ -72,7 +74,8 @@ namespace capo::trace::hot {
     M(PoolSteals, "exec.pool.steals")                                      \
     M(AllocStalls, "runtime.alloc.stalls")                                 \
     M(FleetCells, "fleet.cells")                                           \
-    M(FleetFailovers, "fleet.failovers")
+    M(FleetFailovers, "fleet.failovers")                                   \
+    M(GcPauses, "gc.pauses")
 
 #define M(NAME, ...) NAME,
 enum Histogram : std::size_t { CAPO_APPLY_TO_HOT_HISTOGRAMS(M) };
@@ -184,6 +187,123 @@ count(Counter counter, std::uint64_t delta = 1)
     detail::cells().counters[counter].fetch_add(
         delta, std::memory_order_relaxed);
 }
+
+namespace detail {
+
+constexpr std::size_t
+maxBucketCount()
+{
+    std::size_t most = 0;
+    for (const std::size_t count : kBucketCounts)
+        most = count > most ? count : most;
+    return most;
+}
+
+constexpr std::size_t kMaxBucketCount = maxBucketCount();
+
+} // namespace detail
+
+/**
+ * Per-run local accumulator for one hot histogram.
+ *
+ * observe() above is cheap but not free: three relaxed fetch_adds per
+ * sample contend on shared cache lines when a single run records
+ * hundreds of thousands of samples (a fig01 sweep makes ~half a
+ * million alloc-stall observes). An accumulator buckets samples into
+ * plain non-atomic locals and lands the whole run with one fetch_add
+ * per touched cell at flush() — bucket selection, count and the
+ * per-sample kSumScale truncation are identical, so a flushed run is
+ * cell-for-cell equal to the per-sample observes it replaces.
+ *
+ * Flush contract (DESIGN.md §14): the owner flushes at cell end — the
+ * mutator's destructor, the pause protocol at collector shutdown and
+ * re-attach. Samples are invisible to snapshot() until flushed; the
+ * hot tier is observational and read at quiescence, so that window is
+ * acceptable. Not thread-safe: one accumulator belongs to one agent.
+ */
+class HistogramAccumulator
+{
+  public:
+    explicit HistogramAccumulator(Histogram metric) : metric_(metric) {}
+
+    /** Record one sample locally (same gate as hot::observe). */
+    void
+    observe(double value)
+    {
+        if (!enabled())
+            return;
+        const std::size_t bounds = detail::kBucketCounts[metric_] - 1;
+        const double *bound =
+            &detail::kAllBounds[detail::boundOffset(metric_)];
+        std::size_t index = 0;
+        while (index < bounds && value > bound[index])
+            ++index;
+        ++buckets_[index];
+        ++count_;
+        const double clamped = value > 0.0 ? value : 0.0;
+        pending_sum_ +=
+            static_cast<std::uint64_t>(clamped * detail::kSumScale);
+    }
+
+    /** Land the accumulated samples in the shared cells and clear. */
+    void
+    flush()
+    {
+        if (count_ == 0)
+            return;
+        auto &cells = detail::cells();
+        const std::size_t base = detail::bucketOffset(metric_);
+        const std::size_t buckets = detail::kBucketCounts[metric_];
+        for (std::size_t i = 0; i < buckets; ++i) {
+            if (buckets_[i] > 0) {
+                cells.buckets[base + i].fetch_add(
+                    buckets_[i], std::memory_order_relaxed);
+                buckets_[i] = 0;
+            }
+        }
+        cells.counts[metric_].fetch_add(count_,
+                                        std::memory_order_relaxed);
+        cells.sums[metric_].fetch_add(pending_sum_,
+                                      std::memory_order_relaxed);
+        count_ = 0;
+        pending_sum_ = 0;
+    }
+
+  private:
+    Histogram metric_;
+    std::uint64_t count_ = 0;
+    std::uint64_t pending_sum_ = 0;  ///< kSumScale-scaled integral sum.
+    std::array<std::uint64_t, detail::kMaxBucketCount> buckets_{};
+};
+
+/** Per-run local accumulator for one hot counter (same contract as
+ *  HistogramAccumulator: gate at add(), one fetch_add at flush()). */
+class CounterAccumulator
+{
+  public:
+    explicit CounterAccumulator(Counter counter) : counter_(counter) {}
+
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (enabled())
+            pending_ += delta;
+    }
+
+    void
+    flush()
+    {
+        if (pending_ == 0)
+            return;
+        detail::cells().counters[counter_].fetch_add(
+            pending_, std::memory_order_relaxed);
+        pending_ = 0;
+    }
+
+  private:
+    Counter counter_;
+    std::uint64_t pending_ = 0;
+};
 
 /** Printable dotted name of a histogram / counter. */
 const char *histogramName(Histogram metric);
