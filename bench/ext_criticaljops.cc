@@ -76,7 +76,8 @@ runExtCriticalJops(report::ExperimentContext &context)
                 run.rate_timeline, run.baseline_rate,
                 workload.requests, timed.wall_begin, timed.wall_end,
                 rate, service_ns, support::Rng(91));
-            return metrics::quantile(rec.simpleLatencies(), 0.99);
+            // Arrival-stamped: open-loop p99 must include queueing.
+            return metrics::quantile(rec.intendedLatencies(), 0.99);
         };
         const double critical =
             metrics::criticalJops(p99_at, slas, max_rate);

@@ -28,6 +28,7 @@
 #include "harness/latency_experiment.hh"
 #include "harness/lbo_experiment.hh"
 #include "harness/minheap.hh"
+#include "harness/openloop_experiment.hh"
 #include "harness/plan_file.hh"
 #include "metrics/export.hh"
 #include "report/artifact.hh"
@@ -68,6 +69,20 @@ configHash(const harness::ExperimentPlan &plan)
     for (std::size_t i = 0; i < fault::kSiteCount; ++i) {
         canon += "|fr:" + harness::CheckpointJournal::encodeDouble(
                               plan.options.faults.rates[i]);
+    }
+    if (plan.kind == harness::ExperimentPlan::Kind::OpenLoop) {
+        canon += "|a:";
+        canon += load::arrivalKindName(plan.arrival.kind);
+        canon += "|br:" + harness::CheckpointJournal::encodeDouble(
+                              plan.arrival.burst_ratio);
+        canon += "|bd:" + harness::CheckpointJournal::encodeDouble(
+                              plan.arrival.burst_duty);
+        for (double f : plan.load_factors) {
+            canon +=
+                "|lf:" + harness::CheckpointJournal::encodeDouble(f);
+        }
+        for (const auto &mode : plan.pacing_modes)
+            canon += "|pm:" + mode;
     }
     return exec::hashString(canon);
 }
@@ -187,9 +202,10 @@ runLatency(const harness::ExperimentPlan &plan, bool want_csv,
             std::cout << "\n## " << name << " at "
                       << support::fixed(factor, 1) << "x [ms]\n";
             support::TextTable table;
-            table.columns({"collector", "p50", "p99", "p99.9",
-                           "p50(met)", "p99.9(met)"},
+            table.columns({"collector", "p50", "p99", "p99(arr)",
+                           "p99.9", "p50(met)", "p99.9(met)"},
                           {support::TextTable::Align::Left,
+                           support::TextTable::Align::Right,
                            support::TextTable::Align::Right,
                            support::TextTable::Align::Right,
                            support::TextTable::Align::Right,
@@ -200,12 +216,14 @@ runLatency(const harness::ExperimentPlan &plan, bool want_csv,
                 const auto &cell = result.cells[index];
                 if (!cell.ok) {
                     table.row({cell.collector, "DNF", "-", "-", "-",
-                               "-"});
+                               "-", "-"});
                     continue;
                 }
                 table.row({cell.collector,
                            support::fixed(cell.p50_ns / 1e6, 3),
                            support::fixed(cell.p99_ns / 1e6, 3),
+                           support::fixed(cell.intended_p99_ns / 1e6,
+                                          3),
                            support::fixed(cell.p999_ns / 1e6, 3),
                            support::fixed(cell.metered_p50_ns / 1e6,
                                           3),
@@ -225,6 +243,112 @@ runLatency(const harness::ExperimentPlan &plan, bool want_csv,
             }
             table.render(std::cout);
         }
+    }
+}
+
+void
+runOpenLoop(const harness::ExperimentPlan &plan, bool want_csv,
+            report::ArtifactSink &sink,
+            harness::CheckpointJournal *journal)
+{
+    harness::OpenLoopSweepOptions sweep;
+    sweep.load_factors = plan.load_factors;
+    sweep.collectors = plan.collectors;
+    sweep.modes = plan.pacing_modes;
+    sweep.heap_factor =
+        plan.heap_factors.empty() ? 2.0 : plan.heap_factors.front();
+    sweep.arrival = plan.arrival;
+    sweep.base = plan.options;
+    sweep.journal = journal;
+
+    const auto result =
+        harness::runOpenLoopSweep(plan.workloads, sweep);
+    if (result.restored_cells > 0) {
+        std::cerr << "  restored " << result.restored_cells
+                  << " cell(s) from checkpoint\n";
+    }
+
+    std::string csv_rows =
+        "workload,collector,mode,load_factor,ok,arrival_p50_ms,"
+        "arrival_p99_ms,arrival_p999_ms,service_p50_ms,service_p99_ms,"
+        "service_p999_ms,goodput_rps,utility,shed,mean_pace\n";
+    std::size_t index = 0;
+    for (const auto &name : plan.workloads) {
+        std::cout << "\n## " << name << " open-loop ("
+                  << load::arrivalKindName(plan.arrival.kind)
+                  << " arrivals) [ms]\n";
+        support::TextTable table;
+        table.columns({"collector", "mode", "load", "p50(arr)",
+                       "p99(arr)", "p99(srv)", "goodput", "utility",
+                       "pace"},
+                      {support::TextTable::Align::Left,
+                       support::TextTable::Align::Left,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right,
+                       support::TextTable::Align::Right});
+        for (std::size_t c = 0; c < plan.collectors.size(); ++c) {
+            for (const auto &mode : plan.pacing_modes) {
+                for (double factor : plan.load_factors) {
+                    const auto &cell = result.cells[index++];
+                    if (!cell.ok) {
+                        table.row({cell.collector, cell.mode,
+                                   support::fixed(factor, 2), "DNF",
+                                   "-", "-", "-", "-", "-"});
+                    } else {
+                        table.row(
+                            {cell.collector, cell.mode,
+                             support::fixed(factor, 2),
+                             support::fixed(cell.arrival_p50_ns / 1e6,
+                                            3),
+                             support::fixed(cell.arrival_p99_ns / 1e6,
+                                            3),
+                             support::fixed(cell.service_p99_ns / 1e6,
+                                            3),
+                             support::fixed(cell.goodput_rps, 1),
+                             support::fixed(cell.utility, 2),
+                             support::fixed(cell.mean_pace, 2)});
+                    }
+                    csv_rows += cell.workload + "," + cell.collector +
+                                "," + cell.mode + "," +
+                                support::fixed(cell.load_factor, 3) +
+                                "," + (cell.ok ? "1" : "0") + "," +
+                                support::fixed(
+                                    cell.arrival_p50_ns / 1e6, 4) +
+                                "," +
+                                support::fixed(
+                                    cell.arrival_p99_ns / 1e6, 4) +
+                                "," +
+                                support::fixed(
+                                    cell.arrival_p999_ns / 1e6, 4) +
+                                "," +
+                                support::fixed(
+                                    cell.service_p50_ns / 1e6, 4) +
+                                "," +
+                                support::fixed(
+                                    cell.service_p99_ns / 1e6, 4) +
+                                "," +
+                                support::fixed(
+                                    cell.service_p999_ns / 1e6, 4) +
+                                "," +
+                                support::fixed(cell.goodput_rps, 2) +
+                                "," + support::fixed(cell.utility, 4) +
+                                "," + support::fixed(cell.shed, 0) +
+                                "," +
+                                support::fixed(cell.mean_pace, 4) +
+                                "\n";
+                }
+            }
+        }
+        table.render(std::cout);
+    }
+
+    if (want_csv) {
+        sink.write("openloop.csv",
+                   [&](std::ostream &out) { out << csv_rows; });
     }
 }
 
@@ -395,6 +519,9 @@ main(int argc, char **argv)
         break;
       case harness::ExperimentPlan::Kind::MinHeap:
         runMinHeap(plan, want_csv, artifacts, journal.get());
+        break;
+      case harness::ExperimentPlan::Kind::OpenLoop:
+        runOpenLoop(plan, want_csv, artifacts, journal.get());
         break;
     }
 

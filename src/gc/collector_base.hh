@@ -54,6 +54,7 @@ class CollectorBase : public runtime::CollectorRuntime
     heap::HeapSpace &heap() const { return *ctx_.heap; }
     runtime::GcEventLog &log() const { return *ctx_.log; }
     runtime::World &world() const { return *ctx_.world; }
+    const runtime::CollectorContext &context() const { return ctx_; }
     /** @} */
 
     /** Capacity minus the collector's reserved headroom. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gc/pacing.hh"
 #include "support/logging.hh"
 
 namespace capo::gc {
@@ -58,16 +59,22 @@ ConcurrentCollector::startCycle()
 void
 ConcurrentCollector::updatePacing()
 {
-    if (!tuning().pacing)
-        return;
-    double speed = 1.0;
-    if (cycle_active_) {
-        const double free_frac =
-            std::max(0.0, heap().freeBytes()) / heap().capacity();
-        speed = std::clamp(free_frac / tuning().pace_free_threshold,
-                           tuning().pace_floor, 1.0);
-    }
-    world().setMutatorSpeed(speed);
+    // Delegate to the context's policy override when present, else the
+    // built-in static pacer. Policies return 1.0 for unsupported or
+    // quiescent signals and World::setMutatorSpeed early-outs on an
+    // unchanged factor, so non-pacing collectors stay untouched.
+    const runtime::PacingPolicy &policy =
+        context().pacing ? *context().pacing
+                         : StaticPacingPolicy::instance();
+    runtime::PacingSignal signal;
+    signal.now = engine().now();
+    signal.pacing_supported = tuning().pacing;
+    signal.cycle_active = cycle_active_;
+    signal.free_fraction =
+        std::max(0.0, heap().freeBytes()) / heap().capacity();
+    signal.pace_free_threshold = tuning().pace_free_threshold;
+    signal.pace_floor = tuning().pace_floor;
+    world().setMutatorSpeed(policy.mutatorSpeed(signal));
 }
 
 runtime::AllocResponse

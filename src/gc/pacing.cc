@@ -1,0 +1,23 @@
+#include "gc/pacing.hh"
+
+#include <algorithm>
+
+namespace capo::gc {
+
+double
+StaticPacingPolicy::mutatorSpeed(const runtime::PacingSignal &signal) const
+{
+    if (!signal.pacing_supported || !signal.cycle_active)
+        return 1.0;
+    return std::clamp(signal.free_fraction / signal.pace_free_threshold,
+                      signal.pace_floor, 1.0);
+}
+
+const StaticPacingPolicy &
+StaticPacingPolicy::instance()
+{
+    static const StaticPacingPolicy policy;
+    return policy;
+}
+
+} // namespace capo::gc

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The built-in static pacing policy (Shenandoah-style).
+ *
+ * Reproduces the historical formula verbatim: while a concurrent
+ * cycle is active, mutator speed is proportional to free-heap
+ * headroom below `pace_free_threshold`, clamped to `pace_floor`;
+ * outside a cycle (or on a collector without a pacer) mutators run at
+ * full speed. The feedback alternative lives in load/pacer.hh.
+ */
+
+#ifndef CAPO_GC_PACING_HH
+#define CAPO_GC_PACING_HH
+
+#include "runtime/pacing.hh"
+
+namespace capo::gc {
+
+class StaticPacingPolicy : public runtime::PacingPolicy
+{
+  public:
+    double mutatorSpeed(const runtime::PacingSignal &signal) const override;
+    const char *policyName() const override { return "static"; }
+
+    /** Stateless, so one shared instance serves every collector. */
+    static const StaticPacingPolicy &instance();
+};
+
+} // namespace capo::gc
+
+#endif // CAPO_GC_PACING_HH

@@ -10,7 +10,9 @@ namespace capo::harness {
 
 namespace {
 
-/** Journal fields: ok, then the five quantiles as exact doubles. */
+/** Journal fields: ok, then the six quantiles as exact doubles. (The
+ *  strict field-count check below means journals written before the
+ *  arrival-stamped column simply miss and re-run.) */
 std::vector<std::string>
 encodeCell(const LatencyCell &cell)
 {
@@ -18,6 +20,7 @@ encodeCell(const LatencyCell &cell)
             report::encodeDouble(cell.p50_ns),
             report::encodeDouble(cell.p99_ns),
             report::encodeDouble(cell.p999_ns),
+            report::encodeDouble(cell.intended_p99_ns),
             report::encodeDouble(cell.metered_p50_ns),
             report::encodeDouble(cell.metered_p999_ns)};
 }
@@ -25,14 +28,15 @@ encodeCell(const LatencyCell &cell)
 bool
 decodeCell(const std::vector<std::string> &fields, LatencyCell &cell)
 {
-    if (fields.size() != 6)
+    if (fields.size() != 7)
         return false;
     cell.ok = fields[0] == "1";
     return report::decodeDouble(fields[1], cell.p50_ns) &&
            report::decodeDouble(fields[2], cell.p99_ns) &&
            report::decodeDouble(fields[3], cell.p999_ns) &&
-           report::decodeDouble(fields[4], cell.metered_p50_ns) &&
-           report::decodeDouble(fields[5], cell.metered_p999_ns);
+           report::decodeDouble(fields[4], cell.intended_p99_ns) &&
+           report::decodeDouble(fields[5], cell.metered_p50_ns) &&
+           report::decodeDouble(fields[6], cell.metered_p999_ns);
 }
 
 } // namespace
@@ -103,6 +107,8 @@ runLatencySweep(const std::vector<std::string> &workload_names,
                     cell.p50_ns = metrics::quantile(simple, 0.5);
                     cell.p99_ns = metrics::quantile(simple, 0.99);
                     cell.p999_ns = metrics::quantile(simple, 0.999);
+                    cell.intended_p99_ns = metrics::quantile(
+                        cell.requests.intendedLatencies(), 0.99);
                     cell.metered_p50_ns =
                         metrics::quantile(metered, 0.5);
                     cell.metered_p999_ns =

@@ -61,11 +61,16 @@ struct LatencyCell
     bool ok = false;        ///< Invocation completed (else DNF).
     bool restored = false;  ///< Came from the journal, not a run.
 
-    /** @{ Simple request-latency quantiles (ns). */
+    /** @{ Simple (service-stamped) request-latency quantiles (ns). */
     double p50_ns = 0.0;
     double p99_ns = 0.0;
     double p999_ns = 0.0;
     /** @} */
+
+    /** Arrival-stamped p99 (ns): measured from each request's
+     *  intended start, so the gap to p99_ns quantifies coordinated
+     *  omission even in this closed-loop sweep. */
+    double intended_p99_ns = 0.0;
 
     /** @{ Metered quantiles at LatencySweepOptions::metered_window_ns
      *  (ns). */

@@ -188,6 +188,8 @@ planKindName(ExperimentPlan::Kind kind)
         return "latency";
       case ExperimentPlan::Kind::MinHeap:
         return "minheap";
+      case ExperimentPlan::Kind::OpenLoop:
+        return "openloop";
     }
     return "?";
 }
@@ -226,6 +228,8 @@ parsePlan(const std::string &text)
                 plan.kind = ExperimentPlan::Kind::Latency;
             else if (kind == "minheap")
                 plan.kind = ExperimentPlan::Kind::MinHeap;
+            else if (kind == "openloop")
+                plan.kind = ExperimentPlan::Kind::OpenLoop;
             else
                 fail(line_no, "unknown experiment '", value, "'");
         } else if (key == "workloads") {
@@ -294,13 +298,75 @@ parsePlan(const std::string &text)
                 fail(line_no, "retries must be >= 0, got ", value);
         } else if (key == "checkpoint") {
             plan.checkpoint = value;
+        } else if (key == "arrival") {
+            if (!load::tryArrivalKindFromName(lower(value),
+                                              &plan.arrival.kind)) {
+                fail(line_no, "unknown arrival process '", value,
+                     "' (expected poisson, onoff or diurnal)");
+            }
+        } else if (key == "rate") {
+            plan.load_factors.clear();
+            for (const auto &item : splitList(value)) {
+                const double factor =
+                    parseDouble(item, line_no, "load factor");
+                if (factor <= 0.0) {
+                    fail(line_no, "load factor must be positive, got ",
+                         item);
+                }
+                plan.load_factors.push_back(factor);
+            }
+            if (plan.load_factors.empty())
+                fail(line_no, "empty rate list");
+        } else if (key == "burst") {
+            const auto colon = value.find(':');
+            if (colon == std::string::npos) {
+                fail(line_no, "burst expects ratio:duty, got '", value,
+                     "'");
+            }
+            const double ratio = parseDouble(trim(value.substr(0, colon)),
+                                             line_no, "burst ratio");
+            const double duty = parseDouble(trim(value.substr(colon + 1)),
+                                            line_no, "burst duty");
+            if (ratio < 1.0)
+                fail(line_no, "burst ratio must be >= 1, got ", value);
+            if (duty <= 0.0 || duty >= 1.0)
+                fail(line_no, "burst duty must be in (0, 1), got ",
+                     value);
+            plan.arrival.burst_ratio = ratio;
+            plan.arrival.burst_duty = duty;
+        } else if (key == "pacing") {
+            plan.pacing_modes.clear();
+            for (const auto &item : splitList(value)) {
+                const std::string mode = lower(item);
+                if (mode != "closed" && mode != "static" &&
+                    mode != "adaptive") {
+                    fail(line_no, "unknown pacing mode '", item,
+                         "' (expected closed, static or adaptive)");
+                }
+                plan.pacing_modes.push_back(mode);
+            }
+            if (plan.pacing_modes.empty())
+                fail(line_no, "empty pacing list");
         } else {
             fail(line_no, "unknown key '", key, "'");
         }
     }
 
-    // Latency experiments only make sense on latency-sensitive
-    // workloads; filter silently so "workloads = all" works.
+    // Latency and open-loop experiments only make sense on
+    // latency-sensitive workloads; filter silently so
+    // "workloads = all" works.
+    if (plan.kind == ExperimentPlan::Kind::OpenLoop) {
+        std::vector<std::string> filtered;
+        for (const auto &name : plan.workloads) {
+            if (workloads::byName(name).latency_sensitive)
+                filtered.push_back(name);
+        }
+        if (filtered.empty()) {
+            fail(0, "openloop experiment with no latency-sensitive "
+                    "workloads");
+        }
+        plan.workloads = filtered;
+    }
     if (plan.kind == ExperimentPlan::Kind::Latency) {
         std::vector<std::string> filtered;
         for (const auto &name : plan.workloads) {

@@ -8,7 +8,7 @@
  * small line-oriented format:
  *
  *     # comments and blank lines are ignored
- *     experiment   = lbo            # lbo | latency | minheap
+ *     experiment   = lbo            # lbo | latency | minheap | openloop
  *     workloads    = lusearch, h2   # names, or "all" / "latency"
  *     collectors   = serial, g1, zgc  # or "production" / "all"
  *     heap_factors = 1.5, 2, 3, 6
@@ -25,6 +25,13 @@
  *     retries      = 2                # attempts per faulty invocation
  *     checkpoint   = run.ckpt         # journal path (--resume reuses)
  *
+ * Open-loop plans (`experiment = openloop`) add four keys:
+ *
+ *     arrival = poisson             # poisson | onoff | diurnal
+ *     rate    = 0.5, 0.9, 1.2      # load factors (1.0 = lane saturation)
+ *     burst   = 4:0.3               # on/off rate ratio : duty cycle
+ *     pacing  = closed, static, adaptive  # modes (subset, any order)
+ *
  * See `examples/runbms.cpp` for the executor. Malformed input raises
  * ParseError (never exits or crashes — the parser is fuzzed on that
  * contract); executors catch it and report.
@@ -39,6 +46,7 @@
 
 #include "gc/factory.hh"
 #include "harness/runner.hh"
+#include "load/arrival.hh"
 
 namespace capo::harness {
 
@@ -63,7 +71,7 @@ class ParseError : public std::runtime_error
 /** What a definition file asks capo to run. */
 struct ExperimentPlan
 {
-    enum class Kind { Lbo, Latency, MinHeap };
+    enum class Kind { Lbo, Latency, MinHeap, OpenLoop };
 
     Kind kind = Kind::Lbo;
     std::vector<std::string> workloads;     ///< Resolved names.
@@ -83,6 +91,14 @@ struct ExperimentPlan
      *  the journal and decides resume-vs-fresh. (faults, fault_seed
      *  and retries land directly in `options`.) */
     std::string checkpoint;
+
+    /** @{ Open-loop keys (`arrival`, `rate`, `burst`, `pacing`);
+     *  only Kind::OpenLoop executors read them. */
+    load::ArrivalSpec arrival;
+    std::vector<double> load_factors = {0.5, 1.2};
+    std::vector<std::string> pacing_modes = {"closed", "static",
+                                             "adaptive"};
+    /** @} */
 };
 
 /** Parse a definition from text; throws ParseError when malformed. */

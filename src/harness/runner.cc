@@ -217,7 +217,8 @@ runtime::ExecutionResult
 Runner::executeInvocation(const workloads::Descriptor &workload,
                           gc::Algorithm algorithm, double heap_mb,
                           int invocation, int attempt,
-                          trace::TraceSink *shard) const
+                          trace::TraceSink *shard,
+                          runtime::LoadGenerator *load) const
 {
     // Per-cell setup cost is a prime parallel-scaling suspect (see
     // ROADMAP "raw speed"); measure it into the lock-free hot tier so
@@ -263,6 +264,7 @@ Runner::executeInvocation(const workloads::Descriptor &workload,
         config.faults = &options_.faults;
         config.fault_attempt = attempt;
     }
+    config.load = load;
 
     auto result = runtime::runExecution(config, setup.plan, setup.live,
                                         collector);
@@ -274,7 +276,8 @@ runtime::ExecutionResult
 Runner::runWithRetry(const workloads::Descriptor &workload,
                      gc::Algorithm algorithm, double heap_mb,
                      int invocation,
-                     std::unique_ptr<trace::TraceSink> &shard) const
+                     std::unique_ptr<trace::TraceSink> &shard,
+                     runtime::LoadGenerator *load) const
 {
     // Without fault injection a failed run re-fails bit-identically,
     // so only injected faults earn retries.
@@ -297,8 +300,11 @@ Runner::runWithRetry(const workloads::Descriptor &workload,
             shard = trace::TraceSink::acquireShard(
                 options_.trace->shardOptions());
         }
+        // LoadGenerator::attach resets the generator, so a retried
+        // attempt never sees the failed attempt's requests.
         result = executeInvocation(workload, algorithm, heap_mb,
-                                   invocation, attempt, shard.get());
+                                   invocation, attempt, shard.get(),
+                                   load);
         result.attempts = attempt + 1;
         if (result.usable())
             break;
@@ -333,12 +339,12 @@ Runner::mergeInvocation(const workloads::Descriptor &workload,
 
 runtime::ExecutionResult
 Runner::runOnce(const workloads::Descriptor &workload,
-                gc::Algorithm algorithm, double heap_mb,
-                int invocation) const
+                gc::Algorithm algorithm, double heap_mb, int invocation,
+                runtime::LoadGenerator *load) const
 {
     std::unique_ptr<trace::TraceSink> shard;
-    auto result =
-        runWithRetry(workload, algorithm, heap_mb, invocation, shard);
+    auto result = runWithRetry(workload, algorithm, heap_mb, invocation,
+                               shard, load);
     if (options_.trace != nullptr) {
         mergeInvocation(workload, algorithm, invocation, result,
                         *shard);
@@ -375,7 +381,7 @@ Runner::runAtHeapMb(const workloads::Descriptor &workload,
         [&](std::size_t i) {
             set.runs[i] =
                 runWithRetry(workload, algorithm, heap_mb,
-                             static_cast<int>(i), shards[i]);
+                             static_cast<int>(i), shards[i], nullptr);
         },
         jobs);
     if (sink != nullptr) {

@@ -142,11 +142,16 @@ class Runner
                               gc::Algorithm algorithm,
                               double heap_mb) const;
 
-    /** Single invocation with an explicit heap and invocation index. */
+    /**
+     * Single invocation with an explicit heap and invocation index.
+     * @p load optionally attaches an open-loop traffic generator
+     * (src/load); the caller owns it, reads its results afterwards,
+     * and must not share one instance across concurrent cells.
+     */
     runtime::ExecutionResult
     runOnce(const workloads::Descriptor &workload,
-            gc::Algorithm algorithm, double heap_mb,
-            int invocation) const;
+            gc::Algorithm algorithm, double heap_mb, int invocation,
+            runtime::LoadGenerator *load = nullptr) const;
 
     const ExperimentOptions &options() const { return options_; }
 
@@ -157,15 +162,16 @@ class Runner
     executeInvocation(const workloads::Descriptor &workload,
                       gc::Algorithm algorithm, double heap_mb,
                       int invocation, int attempt,
-                      trace::TraceSink *shard) const;
+                      trace::TraceSink *shard,
+                      runtime::LoadGenerator *load) const;
 
     /** executeInvocation plus the retry loop. Each attempt traces
      *  into a fresh shard (@p shard holds the final attempt's). */
     runtime::ExecutionResult
     runWithRetry(const workloads::Descriptor &workload,
                  gc::Algorithm algorithm, double heap_mb,
-                 int invocation,
-                 std::unique_ptr<trace::TraceSink> &shard) const;
+                 int invocation, std::unique_ptr<trace::TraceSink> &shard,
+                 runtime::LoadGenerator *load) const;
 
     /** Merge one finished invocation's shard onto the shared sink:
      *  wrap it in a harness-track span at the current time base, then

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic open-loop arrival processes.
+ *
+ * An ArrivalGenerator produces the inter-arrival gaps of a request
+ * stream that does *not* react to server state (open loop): Poisson,
+ * bursty on/off (a two-state MMPP), or diurnally modulated. Streams
+ * are a pure function of the seed they are constructed with — the
+ * harness derives that seed from the cellSeed recipe, so arrival
+ * traces are bit-identical at any `--jobs`.
+ */
+
+#ifndef CAPO_LOAD_ARRIVAL_HH
+#define CAPO_LOAD_ARRIVAL_HH
+
+#include <string_view>
+
+#include "support/rng.hh"
+
+namespace capo::load {
+
+enum class ArrivalKind { Poisson, OnOff, Diurnal };
+
+std::string_view arrivalKindName(ArrivalKind kind);
+
+/** Parses "poisson" / "onoff" / "diurnal"; returns false on junk. */
+bool tryArrivalKindFromName(std::string_view name, ArrivalKind *out);
+
+/**
+ * Shape of one arrival process. `rate_per_sec` is the long-run mean
+ * rate for every kind; the bursty/diurnal parameters redistribute the
+ * same mass in time.
+ */
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    double rate_per_sec = 1000.0;
+
+    /** @{ OnOff (MMPP): bursts run at `burst_ratio` times the off
+     *  rate and occupy `burst_duty` of the time; sojourns are
+     *  exponential with mean burst length `burst_mean_ns`. */
+    double burst_ratio = 4.0;
+    double burst_duty = 0.3;
+    double burst_mean_ns = 50e6;
+    /** @} */
+
+    /** @{ Diurnal: sinusoidal rate modulation with the given period
+     *  and relative depth in [0, 1). */
+    double diurnal_period_ns = 1e9;
+    double diurnal_depth = 0.5;
+    /** @} */
+};
+
+/**
+ * Draws successive inter-arrival gaps (ns). Construction captures the
+ * RNG by value; two generators built from equal specs and seeds
+ * produce identical streams.
+ */
+class ArrivalGenerator
+{
+  public:
+    ArrivalGenerator(const ArrivalSpec &spec, support::Rng rng);
+
+    /** Next inter-arrival gap in ns (> 0). */
+    double next();
+
+    /** OnOff only: is the process currently in the burst state? */
+    bool inBurst() const { return in_burst_; }
+
+  private:
+    double nextPoisson();
+    double nextOnOff();
+    double nextDiurnal();
+
+    /** Mean off-state sojourn giving occupancy == burst_duty. */
+    double offMeanNs() const
+    {
+        return spec_.burst_mean_ns * (1.0 - spec_.burst_duty) /
+               spec_.burst_duty;
+    }
+
+    ArrivalSpec spec_;
+    support::Rng rng_;
+
+    /** @{ OnOff state. */
+    bool in_burst_ = false;
+    double state_left_ns_ = 0.0;
+    double rate_on_ = 0.0;
+    double rate_off_ = 0.0;
+    /** @} */
+
+    /** Diurnal: absolute process time (ns since stream start). */
+    double clock_ns_ = 0.0;
+};
+
+} // namespace capo::load
+
+#endif // CAPO_LOAD_ARRIVAL_HH

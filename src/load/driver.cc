@@ -1,0 +1,202 @@
+#include "load/driver.hh"
+
+#include <algorithm>
+
+#include "exec/seed.hh"
+#include "sim/engine.hh"
+#include "support/logging.hh"
+
+namespace capo::load {
+
+/**
+ * Timer-scheduled arrivals: sleeps until the generator's next arrival
+ * instant and admits one request, independent of service state.
+ */
+class OpenLoopDriver::ArrivalAgent : public sim::Agent
+{
+  public:
+    ArrivalAgent(OpenLoopDriver &driver, ArrivalGenerator generator)
+        : driver_(driver), generator_(std::move(generator))
+    {
+    }
+
+    std::string_view name() const override { return "load-arrival"; }
+
+    sim::Action
+    resume(sim::Engine &engine) override
+    {
+        if (driver_.stop_)
+            return sim::Action::exit();
+        if (armed_)
+            driver_.admit(engine, engine.now());
+        armed_ = true;
+        return sim::Action::sleepUntil(engine.now() + generator_.next());
+    }
+
+  private:
+    OpenLoopDriver &driver_;
+    ArrivalGenerator generator_;
+    bool armed_ = false;  ///< First resume only schedules.
+};
+
+/**
+ * One service lane: pops requests FIFO from the admission queue and
+ * computes their demand. Registered with the stoppable world, so it
+ * freezes at safepoints and slows under GC pacing like any mutator.
+ */
+class OpenLoopDriver::LaneAgent : public sim::Agent
+{
+  public:
+    explicit LaneAgent(OpenLoopDriver &driver) : driver_(driver) {}
+
+    std::string_view name() const override { return "load-lane"; }
+
+    sim::Action
+    resume(sim::Engine &engine) override
+    {
+        if (busy_) {
+            driver_.complete(current_, service_begin_, engine.now());
+            busy_ = false;
+        }
+        if (driver_.stop_)
+            return sim::Action::exit();
+        if (!driver_.queue_.empty()) {
+            current_ = driver_.queue_.front();
+            driver_.queue_.pop_front();
+            service_begin_ = engine.now();
+            busy_ = true;
+            return sim::Action::compute(current_.demand, 1.0);
+        }
+        return sim::Action::wait(driver_.queue_cond_);
+    }
+
+  private:
+    OpenLoopDriver &driver_;
+    Request current_;
+    double service_begin_ = 0.0;
+    bool busy_ = false;
+};
+
+OpenLoopDriver::OpenLoopDriver(const OpenLoopConfig &config)
+    : config_(config)
+{
+    CAPO_ASSERT(config_.lanes > 0 && config_.service_mean_ns > 0.0,
+                "open-loop driver needs lanes and a service time");
+    // The policy pointer is consulted before attach() (the collector
+    // attaches first), so the pacer must exist up front.
+    if (config_.adaptive_pacing) {
+        pacer_ = std::make_unique<UtilityGradientPacer>(config_.pacer,
+                                                        *this);
+    }
+}
+
+OpenLoopDriver::~OpenLoopDriver() = default;
+
+void
+OpenLoopDriver::attach(sim::Engine &engine, runtime::World &world,
+                       std::uint64_t seed)
+{
+    // Full reset: a retried cell reuses this driver on a fresh engine.
+    engine_ = &engine;
+    stop_ = false;
+    queue_.clear();
+    recorder_ = metrics::LatencyRecorder{};
+    arrivals_ = 0;
+    completed_ = 0;
+    shed_ = 0;
+    arrival_latency_sum_ns_ = 0.0;
+
+    queue_cond_ = engine.makeCondition("load/queue");
+
+    // Independent streams off the invocation seed: the arrival process
+    // and the demand mixture never share draws, so lane scheduling
+    // can't perturb either.
+    support::Rng base(seed);
+    demand_rng_ = base.fork(exec::hashString("load/demand"));
+    arrival_agent_ = std::make_unique<ArrivalAgent>(
+        *this, ArrivalGenerator(
+                   config_.arrival,
+                   base.fork(exec::hashString("load/arrival"))));
+    engine.addAgent(arrival_agent_.get());
+
+    lanes_.clear();
+    for (int i = 0; i < config_.lanes; ++i) {
+        lanes_.push_back(std::make_unique<LaneAgent>(*this));
+        world.addMutator(engine.addAgent(lanes_.back().get()));
+    }
+
+    if (pacer_) {
+        pacer_->reset();
+        engine.addAgent(pacer_.get());
+    }
+}
+
+void
+OpenLoopDriver::requestShutdown()
+{
+    stop_ = true;
+    // Unserved requests die with the benchmark; count them as shed so
+    // arrivals == completed + queued-at-exit sheds + overflow sheds.
+    shed_ += queue_.size();
+    queue_.clear();
+    if (pacer_)
+        pacer_->requestStop();
+    if (engine_ != nullptr)
+        engine_->notifyAll(queue_cond_);
+}
+
+const runtime::PacingPolicy *
+OpenLoopDriver::pacingPolicy() const
+{
+    return pacer_.get();
+}
+
+LoadStats
+OpenLoopDriver::loadStats() const
+{
+    LoadStats stats;
+    stats.completed = completed_;
+    stats.arrival_latency_sum_ns = arrival_latency_sum_ns_;
+    return stats;
+}
+
+void
+OpenLoopDriver::admit(sim::Engine &engine, double arrival_ns)
+{
+    ++arrivals_;
+    if (queue_.size() >= config_.queue_limit) {
+        ++shed_;
+        return;
+    }
+    queue_.push_back(Request{arrival_ns, drawDemand()});
+    engine.notifyOne(queue_cond_);
+}
+
+void
+OpenLoopDriver::complete(const Request &request, double service_begin,
+                         double end)
+{
+    recorder_.record(request.arrival, service_begin, end);
+    ++completed_;
+    arrival_latency_sum_ns_ += end - request.arrival;
+}
+
+double
+OpenLoopDriver::drawDemand()
+{
+    // Same body/tail mixture as the closed-loop synthesizer
+    // (metrics/request_synth.cc), at the configured mean.
+    const double f =
+        std::clamp(config_.heavy_tail_fraction, 0.0, 0.5);
+    const double tail_scale = std::max(config_.heavy_tail_scale, 1.0);
+    const double body_mean =
+        config_.service_mean_ns / (1.0 - f + f * tail_scale);
+    const double sigma = std::max(config_.service_sigma, 0.01);
+    const double mu = -sigma * sigma / 2.0;
+    double demand = body_mean * demand_rng_.logNormal(mu, sigma);
+    if (demand_rng_.uniform() < f)
+        demand = body_mean * tail_scale * demand_rng_.heavyTail(1.0, 2.2);
+    return demand;
+}
+
+} // namespace capo::load

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Open-loop traffic driver: timer-scheduled request arrivals feeding
+ * a pool of service-lane agents through a bounded admission queue.
+ *
+ * Arrivals are decoupled from service completion (the defining
+ * open-loop property): the arrival agent fires on a timer driven by
+ * an ArrivalGenerator regardless of how backed up the lanes are, so
+ * when mutators are saturated — or paced down by a concurrent GC
+ * cycle — requests queue, and the arrival-stamped latency recorded
+ * per request exhibits real coordinated-omission behaviour next to
+ * the service-stamped value.
+ *
+ * Service lanes register with the stoppable world, so they freeze at
+ * safepoints and slow under GC pacing exactly like mutator threads.
+ */
+
+#ifndef CAPO_LOAD_DRIVER_HH
+#define CAPO_LOAD_DRIVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "load/arrival.hh"
+#include "load/pacer.hh"
+#include "metrics/latency.hh"
+#include "runtime/execution.hh"
+#include "sim/agent.hh"
+
+namespace capo::load {
+
+/** One open-loop traffic tier attached to an execution. */
+struct OpenLoopConfig
+{
+    ArrivalSpec arrival;
+
+    int lanes = 8;                   ///< Service-lane agents.
+    double service_mean_ns = 1e6;    ///< Mean request demand (cpu-ns).
+    double service_sigma = 0.6;      ///< Log-normal body sigma.
+    double heavy_tail_fraction = 0.01;
+    double heavy_tail_scale = 6.0;
+    std::size_t queue_limit = 4096;  ///< Admission bound; beyond: shed.
+
+    bool adaptive_pacing = false;    ///< Install the utility pacer.
+    PacerConfig pacer;
+};
+
+/**
+ * Owns the arrival agent, the service lanes, the admission queue, the
+ * per-request latency recorder and (optionally) the feedback pacer.
+ * One driver serves one execution at a time; attach() fully resets it
+ * so harness retries can reuse the instance.
+ */
+class OpenLoopDriver : public runtime::LoadGenerator,
+                       public LoadStatsSource
+{
+  public:
+    explicit OpenLoopDriver(const OpenLoopConfig &config);
+    ~OpenLoopDriver() override;
+
+    /** @{ runtime::LoadGenerator. */
+    void attach(sim::Engine &engine, runtime::World &world,
+                std::uint64_t seed) override;
+    void requestShutdown() override;
+    const runtime::PacingPolicy *pacingPolicy() const override;
+    /** @} */
+
+    /** @{ LoadStatsSource (pacer feedback). */
+    LoadStats loadStats() const override;
+    /** @} */
+
+    /** @{ Results (valid after the run). */
+    const metrics::LatencyRecorder &requests() const { return recorder_; }
+    std::uint64_t arrivals() const { return arrivals_; }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t shedCount() const { return shed_; }
+    const UtilityGradientPacer *pacer() const { return pacer_.get(); }
+    /** @} */
+
+  private:
+    class ArrivalAgent;
+    class LaneAgent;
+    friend class ArrivalAgent;
+    friend class LaneAgent;
+
+    struct Request
+    {
+        double arrival = 0.0;
+        double demand = 0.0;
+    };
+
+    /** Arrival-timer callback: admit (or shed) one request. */
+    void admit(sim::Engine &engine, double arrival_ns);
+
+    /** Lane callback: land one finished request. */
+    void complete(const Request &request, double service_begin,
+                  double end);
+
+    /** Draw one service demand (body/tail mixture). */
+    double drawDemand();
+
+    OpenLoopConfig config_;
+
+    sim::Engine *engine_ = nullptr;
+    sim::CondId queue_cond_ = sim::kInvalidCond;
+    bool stop_ = false;
+
+    std::unique_ptr<ArrivalAgent> arrival_agent_;
+    std::vector<std::unique_ptr<LaneAgent>> lanes_;
+    std::unique_ptr<UtilityGradientPacer> pacer_;
+
+    support::Rng demand_rng_{1};
+    std::deque<Request> queue_;
+
+    metrics::LatencyRecorder recorder_;
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t shed_ = 0;
+    double arrival_latency_sum_ns_ = 0.0;
+};
+
+} // namespace capo::load
+
+#endif // CAPO_LOAD_DRIVER_HH

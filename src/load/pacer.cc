@@ -1,0 +1,141 @@
+#include "load/pacer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "report/codec.hh"
+#include "sim/engine.hh"
+
+namespace capo::load {
+
+double
+pacingUtility(double goodput_rps, double mean_latency_ns,
+              const PacerConfig &config)
+{
+    // PCC-style: sub-linear reward on goodput, linear penalty on mean
+    // latency past the target (no reward for being under it — only
+    // throughput earns utility).
+    const double goodput = std::max(goodput_rps, 0.0);
+    const double reward =
+        std::pow(goodput, config.throughput_exponent);
+    const double excess = std::max(
+        0.0, mean_latency_ns / config.latency_target_ns - 1.0);
+    return reward - config.latency_weight * goodput * excess;
+}
+
+std::string
+encodePacerDecisions(const std::vector<PacerDecision> &log)
+{
+    std::string out;
+    for (const auto &d : log) {
+        out += report::encodeDouble(d.t_ns);
+        out += ',';
+        out += report::encodeDouble(d.goodput_rps);
+        out += ',';
+        out += report::encodeDouble(d.mean_latency_ns);
+        out += ',';
+        out += report::encodeDouble(d.utility);
+        out += ',';
+        out += report::encodeDouble(d.rate);
+        out += ';';
+    }
+    return out;
+}
+
+UtilityGradientPacer::UtilityGradientPacer(const PacerConfig &config,
+                                           const LoadStatsSource &stats)
+    : config_(config), stats_(stats)
+{
+    reset();
+}
+
+void
+UtilityGradientPacer::reset()
+{
+    stop_ = false;
+    started_ = false;
+    rate_ = config_.initial_rate;
+    direction_ = 1.0;
+    step_ = config_.step;
+    have_utility_ = false;
+    prev_utility_ = 0.0;
+    mark_t_ns_ = 0.0;
+    mark_ = LoadStats{};
+    decisions_.clear();
+}
+
+double
+UtilityGradientPacer::mutatorSpeed(
+    const runtime::PacingSignal &signal) const
+{
+    // Outside concurrent cycles (or on a collector without a pacer)
+    // the contract requires full speed; during a cycle the learned
+    // rate replaces the free-heap formula, still honouring the floor.
+    if (!signal.pacing_supported || !signal.cycle_active)
+        return 1.0;
+    return std::clamp(rate_, signal.pace_floor, 1.0);
+}
+
+sim::Action
+UtilityGradientPacer::resume(sim::Engine &engine)
+{
+    if (stop_)
+        return sim::Action::exit();
+    const double now = engine.now();
+    if (!started_) {
+        started_ = true;
+        mark_t_ns_ = now;
+        mark_ = stats_.loadStats();
+    } else {
+        onInterval(now);
+    }
+    return sim::Action::sleepUntil(now + config_.interval_ns);
+}
+
+void
+UtilityGradientPacer::onInterval(double now)
+{
+    const LoadStats stats = stats_.loadStats();
+    const double dt_sec = (now - mark_t_ns_) / 1e9;
+    const auto delta_completed = static_cast<double>(
+        stats.completed - mark_.completed);
+    const double goodput =
+        dt_sec > 0.0 ? delta_completed / dt_sec : 0.0;
+    const double mean_latency =
+        delta_completed > 0.0
+            ? (stats.arrival_latency_sum_ns -
+               mark_.arrival_latency_sum_ns) /
+                  delta_completed
+            : 0.0;
+    const double utility = pacingUtility(goodput, mean_latency, config_);
+
+    // Hill climb along the utility gradient: keep direction while
+    // utility is non-decreasing, otherwise reverse and shrink the
+    // step (Aurora's probing simplified to a deterministic bang-bang).
+    if (have_utility_ && utility < prev_utility_) {
+        direction_ = -direction_;
+        step_ = std::max(config_.min_step, step_ * 0.5);
+    }
+    have_utility_ = true;
+    prev_utility_ = utility;
+    rate_ = std::clamp(rate_ + direction_ * step_, config_.rate_floor,
+                       1.0);
+
+    decisions_.push_back(
+        PacerDecision{now, goodput, mean_latency, utility, rate_});
+    mark_t_ns_ = now;
+    mark_ = stats;
+}
+
+double
+UtilityGradientPacer::meanRate() const
+{
+    if (decisions_.empty())
+        return config_.initial_rate;
+    double sum = 0.0;
+    for (const auto &d : decisions_)
+        sum += d.rate;
+    return sum / static_cast<double>(decisions_.size());
+}
+
+} // namespace capo::load

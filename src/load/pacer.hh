@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Feedback GC pacing as congestion control.
+ *
+ * The UtilityGradientPacer treats concurrent-GC pacing the way PCC
+ * Aurora treats a sending rate: sim time is divided into monitoring
+ * intervals; each interval's goodput and arrival-stamped latency are
+ * folded into a scalar utility (throughput reward minus a latency
+ * penalty past a target); and the pacing rate hill-climbs along the
+ * utility gradient — keep direction while utility improves, reverse
+ * and shrink the step when it degrades. The resulting rate is served
+ * to the collector through the runtime::PacingPolicy hook whenever a
+ * concurrent cycle is active.
+ *
+ * Everything here is deterministic: decisions depend only on sim-time
+ * interval boundaries and the driver's counters, so pacer traces are
+ * bit-identical at any `--jobs`.
+ */
+
+#ifndef CAPO_LOAD_PACER_HH
+#define CAPO_LOAD_PACER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/pacing.hh"
+#include "sim/agent.hh"
+
+namespace capo::load {
+
+/** Counters a pacer samples at interval boundaries. */
+struct LoadStats
+{
+    std::uint64_t completed = 0;        ///< Requests finished so far.
+    double arrival_latency_sum_ns = 0.0; ///< Sum of (end - arrival).
+};
+
+/** Where the pacer reads its feedback from (the open-loop driver). */
+class LoadStatsSource
+{
+  public:
+    virtual ~LoadStatsSource() = default;
+    virtual LoadStats loadStats() const = 0;
+};
+
+struct PacerConfig
+{
+    double interval_ns = 50e6;        ///< Monitoring interval.
+    double latency_target_ns = 20e6;  ///< Penalty-free mean latency.
+    double latency_weight = 2.0;      ///< Penalty slope past target.
+    double throughput_exponent = 0.9; ///< Sub-linear goodput reward.
+    double step = 0.15;               ///< Initial rate step.
+    double min_step = 0.02;           ///< Step floor after reversals.
+    double initial_rate = 0.7;        ///< Starting pacing rate.
+    double rate_floor = 0.05;         ///< Never throttle below this.
+};
+
+/**
+ * The PCC-style utility of one monitoring interval. Shared by the
+ * pacer and the harness so static and adaptive runs are scored with
+ * the same yardstick.
+ */
+double pacingUtility(double goodput_rps, double mean_latency_ns,
+                     const PacerConfig &config);
+
+/** One monitoring-interval decision (for tables and digests). */
+struct PacerDecision
+{
+    double t_ns = 0.0;
+    double goodput_rps = 0.0;
+    double mean_latency_ns = 0.0;
+    double utility = 0.0;
+    double rate = 0.0;
+};
+
+/** Exact bit-pattern digest of a decision trace (determinism tests). */
+std::string encodePacerDecisions(const std::vector<PacerDecision> &log);
+
+class UtilityGradientPacer : public runtime::PacingPolicy,
+                             public sim::Agent
+{
+  public:
+    UtilityGradientPacer(const PacerConfig &config,
+                         const LoadStatsSource &stats);
+
+    /** Re-arm for a fresh run (driver attach calls this). */
+    void reset();
+
+    /** Ask the interval agent to exit at its next tick. */
+    void requestStop() { stop_ = true; }
+
+    /** @{ runtime::PacingPolicy. */
+    double mutatorSpeed(const runtime::PacingSignal &signal) const override;
+    const char *policyName() const override { return "utility-gradient"; }
+    /** @} */
+
+    /** @{ sim::Agent (one resume per monitoring interval). */
+    std::string_view name() const override { return "load-pacer"; }
+    sim::Action resume(sim::Engine &engine) override;
+    /** @} */
+
+    const std::vector<PacerDecision> &decisions() const
+    {
+        return decisions_;
+    }
+
+    /** Mean decided rate (initial_rate when no interval completed). */
+    double meanRate() const;
+
+  private:
+    void onInterval(double now);
+
+    PacerConfig config_;
+    const LoadStatsSource &stats_;
+
+    bool stop_ = false;
+    bool started_ = false;
+    double rate_ = 0.0;
+    double direction_ = 1.0;
+    double step_ = 0.0;
+    bool have_utility_ = false;
+    double prev_utility_ = 0.0;
+    double mark_t_ns_ = 0.0;
+    LoadStats mark_;
+    std::vector<PacerDecision> decisions_;
+};
+
+} // namespace capo::load
+
+#endif // CAPO_LOAD_PACER_HH

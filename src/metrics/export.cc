@@ -14,7 +14,8 @@ exportLatencyCsv(const LatencyRecorder &recorder, double window_ns,
                  std::ostream &out)
 {
     support::CsvWriter csv(out);
-    csv.header({"start_ns", "end_ns", "simple_ns", "metered_ns"});
+    csv.header({"intended_ns", "start_ns", "end_ns", "intended_lat_ns",
+                "simple_ns", "metered_ns"});
 
     std::vector<LatencyEvent> by_start = recorder.events();
     std::sort(by_start.begin(), by_start.end(),
@@ -24,8 +25,10 @@ exportLatencyCsv(const LatencyRecorder &recorder, double window_ns,
     const auto metered = recorder.meteredLatencies(window_ns);
     for (std::size_t i = 0; i < by_start.size(); ++i) {
         csv.beginRow();
+        csv.cell(by_start[i].intended);
         csv.cell(by_start[i].start);
         csv.cell(by_start[i].end);
+        csv.cell(by_start[i].intendedLatency());
         csv.cell(by_start[i].latency());
         csv.cell(metered[i]);
         csv.endRow();

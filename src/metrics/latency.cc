@@ -12,7 +12,15 @@ void
 LatencyRecorder::record(double start, double end)
 {
     CAPO_ASSERT(end >= start, "event ends before it starts");
-    events_.push_back(LatencyEvent{start, end});
+    events_.push_back(LatencyEvent{start, end, start});
+}
+
+void
+LatencyRecorder::record(double intended, double start, double end)
+{
+    CAPO_ASSERT(intended <= start, "event intended after service start");
+    CAPO_ASSERT(end >= start, "event ends before it starts");
+    events_.push_back(LatencyEvent{start, end, intended});
 }
 
 void
@@ -28,6 +36,16 @@ LatencyRecorder::simpleLatencies() const
     out.reserve(events_.size());
     for (const auto &e : events_)
         out.push_back(e.latency());
+    return out;
+}
+
+std::vector<double>
+LatencyRecorder::intendedLatencies() const
+{
+    std::vector<double> out;
+    out.reserve(events_.size());
+    for (const auto &e : events_)
+        out.push_back(e.intendedLatency());
     return out;
 }
 

@@ -29,13 +29,24 @@
 
 namespace capo::metrics {
 
-/** One timed event (a request, query, or frame). Times in ns. */
+/**
+ * One timed event (a request, query, or frame). Times in ns.
+ *
+ * `start` is when service began (the request was picked up);
+ * `intended` is when the client *intended* to issue it (its arrival,
+ * or its slot in an ideal open-loop schedule). The gap between the
+ * two latency definitions is exactly the coordinated-omission error a
+ * closed-loop harness hides: `intendedLatency() >= latency()` always,
+ * with equality when the server never queued the request.
+ */
 struct LatencyEvent
 {
     double start = 0.0;
     double end = 0.0;
+    double intended = 0.0;
 
     double latency() const { return end - start; }
+    double intendedLatency() const { return end - intended; }
 };
 
 /**
@@ -44,8 +55,13 @@ struct LatencyEvent
 class LatencyRecorder
 {
   public:
-    /** Record one event; @p end must be >= @p start. */
+    /** Record one event; @p end must be >= @p start. The intended
+     *  start defaults to the service start (no queueing observed). */
     void record(double start, double end);
+
+    /** Record one event with an explicit intended (arrival) stamp;
+     *  requires @p intended <= @p start <= @p end. */
+    void record(double intended, double start, double end);
 
     /** Reserve capacity (cheap recording matters; cf.\ the paper). */
     void reserve(std::size_t n);
@@ -54,8 +70,12 @@ class LatencyRecorder
     std::size_t size() const { return events_.size(); }
     bool empty() const { return events_.empty(); }
 
-    /** Simple latencies, one per event (unsorted). */
+    /** Simple (service-stamped) latencies, one per event (unsorted). */
     std::vector<double> simpleLatencies() const;
+
+    /** Intended-start (arrival-stamped) latencies, one per event
+     *  (unsorted); elementwise >= simpleLatencies(). */
+    std::vector<double> intendedLatencies() const;
 
     /**
      * Metered latencies with the given smoothing window (ns).

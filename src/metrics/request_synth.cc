@@ -141,6 +141,12 @@ synthesizeRequests(const std::vector<sim::RateSegment> &timeline,
     recorder.reserve(static_cast<std::size_t>(per_lane) *
                      profile.lanes);
 
+    // Intended starts follow the ideal uniform per-lane schedule: the
+    // i-th request of a lane *should* have issued at its share of the
+    // window. A GC pause pushes actual starts past that schedule, so
+    // the arrival-stamped latency keeps the queueing delay closed-loop
+    // measurement would omit (coordinated omission).
+    const double span = window_end - window_begin;
     for (int lane = 0; lane < profile.lanes; ++lane) {
         support::Rng lane_rng = rng.fork(static_cast<std::uint64_t>(lane));
         LaneCursor cursor(segments, window_begin);
@@ -149,7 +155,9 @@ synthesizeRequests(const std::vector<sim::RateSegment> &timeline,
             const double demand = drawDemand(
                 body_mean, tail_scale, f, mu, sigma, lane_rng);
             const double end = cursor.advance(demand);
-            recorder.record(start, end);
+            const double ideal =
+                window_begin + static_cast<double>(i) * span / per_lane;
+            recorder.record(std::min(start, ideal), start, end);
             start = end;
         }
     }
@@ -199,10 +207,13 @@ synthesizeOpenLoopRequests(const std::vector<sim::RateSegment> &timeline,
                 return a.now() < b.now();
             });
         lane.seek(arrival);  // idle until the request arrives
+        const double service_begin = lane.now();
         const double demand =
             drawDemand(body_mean, tail_scale, f, mu, sigma, rng);
         const double end = lane.advance(demand);
-        recorder.record(arrival, end);  // latency includes queueing
+        // Arrival-stamped latency (end - arrival) includes queueing;
+        // the service stamp isolates the on-lane time.
+        recorder.record(arrival, service_begin, end);
     }
     return recorder;
 }

@@ -16,6 +16,7 @@
 #include "heap/heap_space.hh"
 #include "runtime/allocator.hh"
 #include "runtime/gc_event_log.hh"
+#include "runtime/pacing.hh"
 #include "runtime/world.hh"
 #include "sim/engine.hh"
 
@@ -33,6 +34,13 @@ struct CollectorContext
 
     /** Optional fault injector (GcPhaseAbort site); may be null. */
     fault::FaultInjector *fault = nullptr;
+
+    /**
+     * Optional pacing-policy override; null means the collector's
+     * built-in static pacer (gc::StaticPacingPolicy). Must outlive
+     * the run.
+     */
+    const PacingPolicy *pacing = nullptr;
 };
 
 /**

@@ -64,6 +64,8 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     context.log = &log;
     context.world = &world;
     context.fault = injector.get();
+    if (config.load != nullptr)
+        context.pacing = config.load->pacingPolicy();
     collector.attach(context);
 
     // Bake the collector's barrier tax into the mutator's work: the
@@ -76,6 +78,11 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
     mutator.attach(engine, world);
     if (injector)
         mutator.setFaultInjector(injector.get());
+
+    // Open-loop traffic joins after the mutator so agent registration
+    // order (and thus the event stream) is stable across runs.
+    if (config.load != nullptr)
+        config.load->attach(engine, world, config.seed);
 
     // Observability wiring: scheduling spans from the engine, phase
     // spans from the event log and mutator, pacing from the world,
@@ -111,8 +118,10 @@ runExecution(const ExecutionConfig &config, const MutatorPlan &plan,
         }
     }
 
-    mutator.setShutdownHook([&collector, &sampler] {
+    mutator.setShutdownHook([&collector, &sampler, &config] {
         collector.shutdown();
+        if (config.load != nullptr)
+            config.load->requestShutdown();
         if (sampler)
             sampler->requestStop();
     });

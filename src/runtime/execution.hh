@@ -23,6 +23,33 @@
 
 namespace capo::runtime {
 
+/**
+ * Optional open-loop traffic attached to an execution (implemented in
+ * src/load; the runtime only knows this seam). A generator registers
+ * its own agents — timer-driven arrivals plus service lanes that join
+ * the stoppable world — and may supply a pacing policy that overrides
+ * the collector's built-in static pacer.
+ *
+ * Lifecycle: attach() is called once per run after the mutator is
+ * registered and must fully reset internal state (harness retries
+ * reuse the instance); requestShutdown() is invoked from the
+ * mutator's shutdown hook and must leave every generator agent on a
+ * path to exit without external wakeups.
+ */
+class LoadGenerator
+{
+  public:
+    virtual ~LoadGenerator() = default;
+
+    virtual void attach(sim::Engine &engine, World &world,
+                        std::uint64_t seed) = 0;
+    virtual void requestShutdown() = 0;
+
+    /** Pacing policy to install for this run; null keeps the
+     *  collector's built-in static pacing. */
+    virtual const PacingPolicy *pacingPolicy() const { return nullptr; }
+};
+
 /** Parameters of one invocation. */
 struct ExecutionConfig
 {
@@ -55,6 +82,10 @@ struct ExecutionConfig
     const fault::FaultPlan *faults = nullptr;
     int fault_attempt = 0;
     /** @} */
+
+    /** Optional open-loop traffic generator; null runs the classic
+     *  closed-loop mutator alone. Must outlive the run. */
+    LoadGenerator *load = nullptr;
 };
 
 /** Everything measured during one invocation. */

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pacing policy: how hard the runtime throttles mutators while a
+ * concurrent GC cycle is racing allocation.
+ *
+ * Historically the Shenandoah-style pacer was a fixed formula baked
+ * into the concurrent collector (speed proportional to free-heap
+ * headroom, clamped to a floor). Treating that formula as one policy
+ * behind an interface lets alternative controllers — notably the
+ * feedback utility-gradient pacer in `src/load` — plug into the same
+ * hook without the GC layer knowing who is steering.
+ *
+ * The interface lives in runtime (not gc) because gc depends on
+ * runtime, never the reverse; policies are consulted through
+ * CollectorContext.
+ */
+
+#ifndef CAPO_RUNTIME_PACING_HH
+#define CAPO_RUNTIME_PACING_HH
+
+namespace capo::runtime {
+
+/**
+ * Everything a pacing decision may observe, sampled by the collector
+ * at each pacing-relevant event (allocation grant, world resume).
+ * Policies must be pure functions of this signal plus their own
+ * internal (deterministically updated) state.
+ */
+struct PacingSignal
+{
+    double now = 0.0;              ///< Sim time, ns.
+    bool pacing_supported = false; ///< Collector model has a pacer at all.
+    bool cycle_active = false;     ///< A concurrent cycle is in flight.
+    double free_fraction = 0.0;    ///< free bytes / heap capacity, >= 0.
+    double pace_free_threshold = 1.0; ///< Tuning: full-speed headroom.
+    double pace_floor = 0.0;          ///< Tuning: minimum mutator speed.
+};
+
+/**
+ * Maps a pacing signal to a mutator speed factor in (0, 1].
+ *
+ * Contract: return 1.0 whenever `!pacing_supported` or
+ * `!cycle_active` — collectors without a pacer, and quiescent phases,
+ * must run mutators at full speed. World::setMutatorSpeed early-outs
+ * on an unchanged factor, so honouring this keeps non-pacing
+ * collectors byte-identical to a build without the policy layer.
+ */
+class PacingPolicy
+{
+  public:
+    virtual ~PacingPolicy() = default;
+
+    virtual double mutatorSpeed(const PacingSignal &signal) const = 0;
+
+    /** Stable identifier for tables and logs. */
+    virtual const char *policyName() const = 0;
+};
+
+} // namespace capo::runtime
+
+#endif // CAPO_RUNTIME_PACING_HH

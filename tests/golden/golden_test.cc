@@ -303,6 +303,18 @@ TEST(GoldenTest, Tab01MetricCatalogFromRegistry)
         registryTableCsv("tab01_metric_catalog", "metric_catalog", {}));
 }
 
+TEST(GoldenTest, ExtOpenLoopTableFromRegistry)
+{
+    // The open-loop comparison table: closed-loop synthesis vs live
+    // open-loop traffic, static vs adaptive pacing, two load factors.
+    // Committing it pins the acceptance gaps (arrival p99 >= service
+    // p99; adaptive utility > static in a saturating regime) into the
+    // diffable record.
+    expectMatchesGolden(
+        "ext_openloop.csv",
+        registryTableCsv("ext_openloop_pacing", "openloop", {}));
+}
+
 TEST(GoldenTest, EveryBenchAliasIsRegistered)
 {
     // The CMake alias targets and the registry must agree: a bench
@@ -316,7 +328,8 @@ TEST(GoldenTest, EveryBenchAliasIsRegistered)
           "tab04_arch_sensitivity", "figA_lbo_per_benchmark",
           "figA_heap_timeline", "figA_latency_all", "tabA_minheap",
           "tabB_characterization", "tabC_bytecode", "ext_footprint",
-          "ext_criticaljops", "ablation_collectors"}) {
+          "ext_criticaljops", "ext_openloop_pacing",
+          "ablation_collectors"}) {
         EXPECT_NE(report::ExperimentRegistry::instance().find(name),
                   nullptr)
             << name << " missing from the experiment registry";

@@ -64,6 +64,40 @@ TEST(PlanFileTest, LatencyFiltersToLatencySensitive)
     EXPECT_TRUE(plan.options.trace_rate);
 }
 
+TEST(PlanFileTest, ParsesOpenLoopKeys)
+{
+    const auto plan = parsePlan(R"(
+        experiment = openloop
+        workloads  = all
+        arrival    = onoff
+        rate       = 0.5, 0.9, 1.2
+        burst      = 6 : 0.25
+        pacing     = static, adaptive
+    )");
+    EXPECT_EQ(plan.kind, ExperimentPlan::Kind::OpenLoop);
+    EXPECT_EQ(plan.workloads.size(), 9u); // latency-sensitive only
+    EXPECT_EQ(plan.arrival.kind, load::ArrivalKind::OnOff);
+    EXPECT_EQ(plan.load_factors, (std::vector<double>{0.5, 0.9, 1.2}));
+    EXPECT_DOUBLE_EQ(plan.arrival.burst_ratio, 6.0);
+    EXPECT_DOUBLE_EQ(plan.arrival.burst_duty, 0.25);
+    EXPECT_EQ(plan.pacing_modes,
+              (std::vector<std::string>{"static", "adaptive"}));
+}
+
+TEST(PlanFileTest, OpenLoopKeyJunkIsParseError)
+{
+    EXPECT_THROW(parsePlan("arrival = sawtooth\n"), ParseError);
+    EXPECT_THROW(parsePlan("rate = 0.5, -1\n"), ParseError);
+    EXPECT_THROW(parsePlan("rate = \n"), ParseError);
+    EXPECT_THROW(parsePlan("burst = 4\n"), ParseError);
+    EXPECT_THROW(parsePlan("burst = 0.5:0.3\n"), ParseError);
+    EXPECT_THROW(parsePlan("burst = 4:1.5\n"), ParseError);
+    EXPECT_THROW(parsePlan("pacing = closed, turbo\n"), ParseError);
+    EXPECT_THROW(parsePlan("experiment = openloop\n"
+                           "workloads = fop\n"),
+                 ParseError); // no latency-sensitive workload
+}
+
 TEST(PlanFileTest, CollectorGroups)
 {
     EXPECT_EQ(parsePlan("collectors = production\n").collectors.size(),

@@ -37,7 +37,7 @@ TEST(LatencyExportEdgeTest, EmptyRecorderWritesHeaderOnly)
     EXPECT_EQ(exportLatencyCsv(recorder, 100e6, out), 0u);
     const auto lines = splitLines(out.str());
     ASSERT_EQ(lines.size(), 1u);
-    EXPECT_EQ(lines[0], "start_ns,end_ns,simple_ns,metered_ns");
+    EXPECT_EQ(lines[0], "intended_ns,start_ns,end_ns,intended_lat_ns,simple_ns,metered_ns");
 }
 
 TEST(LatencyExportEdgeTest, SingleEventRoundTrips)
@@ -48,7 +48,7 @@ TEST(LatencyExportEdgeTest, SingleEventRoundTrips)
     EXPECT_EQ(exportLatencyCsv(recorder, 100e6, out), 1u);
     const auto lines = splitLines(out.str());
     ASSERT_EQ(lines.size(), 2u);
-    EXPECT_EQ(lines[1], "100,350,250,250");
+    EXPECT_EQ(lines[1], "100,100,350,250,250,250");
 }
 
 TEST(LatencyExportEdgeTest, ZeroWindowSelectsFullSmoothing)

@@ -69,9 +69,9 @@ TEST(ExportTest, LatencyCsvHasOneRowPerEvent)
     const auto rows = exportLatencyCsv(rec, 0.0, out);
     EXPECT_EQ(rows, 2u);
     const std::string text = out.str();
-    EXPECT_NE(text.find("start_ns,end_ns,simple_ns,metered_ns"),
+    EXPECT_NE(text.find("intended_ns,start_ns,end_ns,intended_lat_ns,simple_ns,metered_ns"),
               std::string::npos);
-    EXPECT_NE(text.find("20,35,15"), std::string::npos);
+    EXPECT_NE(text.find("20,20,35,15,15"), std::string::npos);
 }
 
 TEST(ExportTest, PercentileCsvCoversPaperPoints)

@@ -126,7 +126,7 @@ TEST(ExportFileTest, WriteCsvFileRoundTrips)
     ASSERT_TRUE(in.good());
     std::string header;
     std::getline(in, header);
-    EXPECT_EQ(header, "start_ns,end_ns,simple_ns,metered_ns");
+    EXPECT_EQ(header, "intended_ns,start_ns,end_ns,intended_lat_ns,simple_ns,metered_ns");
     int rows = 0;
     std::string line;
     while (std::getline(in, line))

@@ -146,7 +146,10 @@ TEST(OpenLoopTest, LowLoadLatencyIsServiceTime)
     const auto rec = synthesizeOpenLoopRequests(
         timeline, 1.0, p, 0.0, 1e9, 100.0, 1e6, support::Rng(1));
     EXPECT_NEAR(static_cast<double>(rec.size()), 100.0, 1.0);
-    EXPECT_NEAR(quantile(rec.simpleLatencies(), 0.5), 1e6, 2e5);
+    EXPECT_NEAR(quantile(rec.intendedLatencies(), 0.5), 1e6, 2e5);
+    // No queueing at 2.5 % utilization: both stamps agree.
+    EXPECT_NEAR(quantile(rec.simpleLatencies(), 0.5),
+                quantile(rec.intendedLatencies(), 0.5), 1e3);
 }
 
 TEST(OpenLoopTest, OverloadGrowsTheQueue)
@@ -156,8 +159,10 @@ TEST(OpenLoopTest, OverloadGrowsTheQueue)
     // Capacity 2 lanes / 1 ms = 2000 req/s; inject 4000.
     const auto rec = synthesizeOpenLoopRequests(
         timeline, 1.0, p, 0.0, 1e9, 4000.0, 1e6, support::Rng(2));
-    // The last arrivals wait behind ~half the run's backlog.
-    EXPECT_GT(quantile(rec.simpleLatencies(), 0.99), 100e6);
+    // The last arrivals wait behind ~half the run's backlog; only the
+    // arrival stamp sees it (the service stamp is the CO-blind view).
+    EXPECT_GT(quantile(rec.intendedLatencies(), 0.99), 100e6);
+    EXPECT_LT(quantile(rec.simpleLatencies(), 0.5), 10e6);
 }
 
 TEST(OpenLoopTest, PauseCascadesIntoQueuedArrivals)
@@ -173,8 +178,8 @@ TEST(OpenLoopTest, PauseCascadesIntoQueuedArrivals)
         clean, 1.0, p, 0.0, 1.1e9, 1000.0, 1e6, support::Rng(3));
     // ~100 arrivals land in or behind the pause; p90 inflates without
     // any metering transform.
-    EXPECT_GT(quantile(with_pause.simpleLatencies(), 0.95),
-              10.0 * quantile(without.simpleLatencies(), 0.95));
+    EXPECT_GT(quantile(with_pause.intendedLatencies(), 0.95),
+              10.0 * quantile(without.intendedLatencies(), 0.95));
 }
 
 TEST(CriticalJopsTest, FindsTheSlaKnee)
